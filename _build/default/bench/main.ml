@@ -1,0 +1,363 @@
+(* Benchmark harness: regenerates every figure of the paper's evaluation
+   (Figures 6, 7, 8), the protocol-comparison table implied by §4's
+   opening claim, and the CBT trade-off discussion of §5 — plus bechamel
+   micro-benchmarks of the computational kernels (one per table/figure).
+
+   Usage: main.exe [fig6] [fig7] [fig8] [compare] [cbt] [ablation] [hierarchy]
+   [extra] [micro] [quick]
+   With no section argument, everything runs.  [quick] shrinks the seed
+   set (3 instead of 10 graphs per size) for a fast smoke run. *)
+
+let quick = ref false
+
+let seeds () =
+  if !quick then [ 1; 2; 3 ] else Experiments.Figures.default_seeds
+
+let heading title =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "================================================================\n"
+
+let ci (s : Metrics.Stats.summary) = Metrics.Table.cell_ci ~mean:s.mean ~ci:s.ci95
+
+let print_bursty title note (r : Experiments.Figures.bursty_result) =
+  heading title;
+  print_endline note;
+  let row (n, p) =
+    let f = List.assoc n r.floodings.points in
+    let c = List.assoc n r.convergence.points in
+    [ string_of_int n; ci p; ci f; ci c ]
+  in
+  Metrics.Table.print
+    ~headers:
+      [
+        "switches";
+        "(a) proposals/event";
+        "(b) floodings/event";
+        "(c) convergence (rounds)";
+      ]
+    (List.map row r.proposals.points);
+  Printf.printf "all runs converged to network-wide agreement: %b\n" r.all_converged
+
+let fig6 () =
+  print_bursty "Figure 6 - Experiment 1: bursty events, computation dominates"
+    "(Tc = 400 us, t_hop = 4 us; 10-member join burst within one flooding \
+     diameter;\n mean +/- 95% CI over the random graphs of each size)"
+    (Experiments.Figures.fig6 ~seeds:(seeds ()) ())
+
+let fig7 () =
+  print_bursty "Figure 7 - Experiment 2: bursty events, communication dominates"
+    "(Tc = 100 us, t_hop = 5 ms - WAN regime; same workload as Figure 6)"
+    (Experiments.Figures.fig7 ~seeds:(seeds ()) ())
+
+let fig8 () =
+  heading "Figure 8 - Experiment 3: normal traffic periods";
+  print_endline
+    "(established 5-member MC; 40 Poisson membership events, mean gap 50 \
+     rounds;\n events handled individually => both ratios stay minimal)";
+  let r = Experiments.Figures.fig8 ~seeds:(seeds ()) () in
+  let row (n, p) =
+    let f = List.assoc n r.n_floodings.points in
+    [ string_of_int n; ci p; ci f ]
+  in
+  Metrics.Table.print
+    ~headers:[ "switches"; "(a) proposals/event"; "(b) floodings/event" ]
+    (List.map row r.n_proposals.points);
+  Printf.printf "all runs converged to network-wide agreement: %b\n"
+    r.n_all_converged
+
+let compare () =
+  heading "Comparison - per-event signaling cost: D-GMC vs brute-force vs MOSPF";
+  print_endline
+    "(same bursty workload; brute-force recomputes at every switch per \
+     event;\n MOSPF recomputes at every on-tree router per source after each \
+     change)";
+  let c = Experiments.Figures.compare_protocols ~seeds:(seeds ()) () in
+  let row n =
+    let get (s : Experiments.Figures.series) = ci (List.assoc n s.points) in
+    [
+      string_of_int n;
+      get c.dgmc_computations;
+      get c.brute_computations;
+      get c.mospf_computations;
+      get c.dgmc_floodings;
+      get c.brute_floodings;
+      get c.mospf_floodings;
+    ]
+  in
+  Metrics.Table.print
+    ~headers:
+      [
+        "switches";
+        "dgmc comp/ev";
+        "brute comp/ev";
+        "mospf comp/ev";
+        "dgmc flood/ev";
+        "brute flood/ev";
+        "mospf flood/ev";
+      ]
+    (List.map row c.c_sizes)
+
+let cbt () =
+  heading "CBT trade-off (paper 5) - shared-tree traffic concentration";
+  print_endline
+    "(60 switches, 12 receivers, 6 off-tree senders x 5 packets; shared \
+     trees\n carry every packet on every tree link, per-source trees spread \
+     the load;\n CBT cost/delay depend on a core placement the network \
+     cannot really pick)";
+  let rows = Experiments.Figures.cbt_comparison () in
+  Metrics.Table.print
+    ~align:[ Metrics.Table.Left ]
+    ~headers:
+      [
+        "configuration";
+        "tree cost";
+        "max link load";
+        "mean link load";
+        "links used";
+        "mean delay";
+        "control msgs";
+      ]
+    (List.map
+       (fun (r : Experiments.Figures.cbt_row) ->
+         [
+           r.strategy;
+           Metrics.Table.cell_f r.tree_cost;
+           string_of_int r.max_link_load;
+           Metrics.Table.cell_f r.mean_link_load;
+           string_of_int r.links_used;
+           Metrics.Table.cell_f r.mean_delay;
+           string_of_int r.control_messages;
+         ])
+       rows)
+
+let ablation () =
+  heading "Ablations - design choices called out in DESIGN.md";
+  print_endline "\n[a] incremental updates (paper 3.5) vs from-scratch computation";
+  print_endline
+    "(8-member burst + 20 churn events; tree quality = final cost / fresh KMB)";
+  Metrics.Table.print
+    ~align:[ Metrics.Table.Left ]
+    ~headers:[ "strategy"; "mean cost ratio"; "all converged" ]
+    (List.map
+       (fun (r : Experiments.Ablation.incremental_row) ->
+         [
+           r.label;
+           Metrics.Table.cell_f r.mean_cost_ratio;
+           string_of_bool r.all_converged;
+         ])
+       (Experiments.Ablation.incremental_vs_scratch ~seeds:(seeds ()) ()));
+  print_endline "\n[b] Steiner heuristic choice (n = 60)";
+  Metrics.Table.print
+    ~align:[ Metrics.Table.Left ]
+    ~headers:[ "heuristic"; "members"; "cost / lower bound"; "cpu time" ]
+    (List.map
+       (fun (r : Experiments.Ablation.heuristic_row) ->
+         [
+           r.algo;
+           string_of_int r.members;
+           Metrics.Table.cell_f r.mean_cost_vs_bound;
+           Printf.sprintf "%.0f us" r.mean_time_us;
+         ])
+       (Experiments.Ablation.steiner_heuristics ~seeds:(seeds ()) ()));
+  print_endline "\n[c] drift threshold for from-scratch recomputation";
+  Metrics.Table.print
+    ~headers:[ "threshold"; "final cost ratio"; "all converged" ]
+    (List.map
+       (fun (r : Experiments.Ablation.drift_row) ->
+         [
+           Metrics.Table.cell_f r.threshold;
+           Metrics.Table.cell_f r.final_cost_ratio;
+           string_of_bool r.d_converged;
+         ])
+       (Experiments.Ablation.drift_threshold ~seeds:(seeds ()) ()));
+  print_endline "\n[d] flooding simulation mode (n = 80, 12-member burst)";
+  Metrics.Table.print
+    ~align:[ Metrics.Table.Left ]
+    ~headers:[ "mode"; "same outcome"; "host time"; "engine events" ]
+    (List.map
+       (fun (r : Experiments.Ablation.flooding_row) ->
+         [
+           r.mode;
+           string_of_bool r.same_topology_as_hop_by_hop;
+           Printf.sprintf "%.1f ms" r.wall_time_ms;
+           string_of_int r.sim_events;
+         ])
+       (Experiments.Ablation.flooding_modes ()))
+
+let hierarchy () =
+  heading "Hierarchical D-GMC - the paper's scalability extension (2)";
+  print_endline "(10 areas x 20 switches = 200; 20 sparse membership events";
+  print_endline " confined to 3 areas; 'reach' = switches receiving signaling per";
+  print_endline " event: flat D-GMC floods all n switches, the hierarchy floods";
+  print_endline " one area plus the logical level when area membership flips)";
+  let rows =
+    Experiments.Scale.hier_vs_flat
+      ~seeds:(if !quick then [ 1; 2 ] else [ 1; 2; 3; 4; 5 ])
+      ()
+  in
+  Metrics.Table.print
+    ~align:[ Metrics.Table.Left ]
+    ~headers:
+      [
+        "protocol"; "switches"; "floodings/event"; "messages/event";
+        "reach/event"; "converged";
+      ]
+    (List.map
+       (fun (r : Experiments.Scale.row) ->
+         [
+           r.protocol;
+           string_of_int r.n;
+           Metrics.Table.cell_f r.floodings_per_event;
+           Metrics.Table.cell_f r.messages_per_event;
+           Metrics.Table.cell_f r.reach_per_event;
+           string_of_bool r.converged;
+         ])
+       rows)
+
+let extra () =
+  heading "Extension experiments - axes the paper implies but does not sweep";
+  print_endline "\n[a] burst-size sensitivity (n = 60, computation-dominated regime)";
+  Metrics.Table.print
+    ~headers:
+      [ "burst"; "proposals/event"; "floodings/event"; "convergence (rounds)"; "ok" ]
+    (List.map
+       (fun (r : Experiments.Extra.burst_row) ->
+         [
+           string_of_int r.members;
+           ci r.proposals_per_event;
+           ci r.floodings_per_event;
+           ci r.convergence_rounds;
+           string_of_bool r.all_converged;
+         ])
+       (Experiments.Extra.burst_size ~seeds:(seeds ()) ()));
+  print_endline
+    "\n[b] per-MC independence (3.1): k concurrent 6-member bursts, n = 60";
+  Metrics.Table.print
+    ~headers:
+      [ "concurrent MCs"; "computations/event/MC"; "floodings/event/MC"; "ok" ]
+    (List.map
+       (fun (r : Experiments.Extra.independence_row) ->
+         [
+           string_of_int r.mcs;
+           ci r.per_mc_computations;
+           ci r.per_mc_floodings;
+           string_of_bool r.i_all_converged;
+         ])
+       (Experiments.Extra.mc_independence ~seeds:(seeds ()) ()))
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: the computational kernel behind each
+   table/figure, measured in wall-clock time per run. *)
+
+let micro () =
+  heading "Micro-benchmarks (bechamel, monotonic clock)";
+  let open Bechamel in
+  let graph = Experiments.Harness.graph_for ~seed:1 ~n:100 in
+  let members =
+    let rng = Sim.Rng.create 7 in
+    Sim.Rng.sample rng 10 (List.init 100 (fun i -> i))
+  in
+  let mc_members =
+    Dgmc.Member.of_list (List.map (fun x -> (x, Dgmc.Member.Both)) members)
+  in
+  let stamp_a = Dgmc.Timestamp.of_array (Array.init 100 (fun i -> i mod 5)) in
+  let stamp_b = Dgmc.Timestamp.of_array (Array.init 100 (fun i -> (i + 1) mod 5)) in
+  let tests =
+    [
+      (* Figure 6/7 kernel: one bursty D-GMC run on a small network. *)
+      Test.make ~name:"fig6/7 kernel: bursty run (n=20)"
+        (Staged.stage (fun () ->
+             ignore
+               (Experiments.Harness.bursty_run ~seed:1 ~n:20
+                  ~config:Dgmc.Config.atm_lan ~members:10)));
+      (* Figure 8 kernel: sparse-event run. *)
+      Test.make ~name:"fig8 kernel: poisson run (n=20, 10 events)"
+        (Staged.stage (fun () ->
+             ignore
+               (Experiments.Harness.poisson_run ~seed:1 ~n:20
+                  ~config:Dgmc.Config.atm_lan ~events:10 ~gap_rounds:50.0)));
+      (* Comparison kernels: the per-switch work each protocol repeats. *)
+      Test.make ~name:"steiner kmb (n=100, 10 members)"
+        (Staged.stage (fun () -> ignore (Mctree.Steiner.kmb graph members)));
+      Test.make ~name:"steiner sph (n=100, 10 members)"
+        (Staged.stage (fun () -> ignore (Mctree.Steiner.sph graph members)));
+      Test.make ~name:"spt (n=100, 10 receivers)"
+        (Staged.stage (fun () ->
+             ignore
+               (Mctree.Spt.source_rooted graph ~root:(List.hd members)
+                  ~receivers:(List.tl members))));
+      Test.make ~name:"incremental join (n=100)"
+        (Staged.stage
+           (let tree = Mctree.Steiner.sph graph (List.tl members) in
+            fun () ->
+              ignore (Mctree.Incremental.join graph tree (List.hd members))));
+      Test.make ~name:"compute proposal (protocol entry point)"
+        (Staged.stage (fun () ->
+             ignore
+               (Dgmc.Compute.topology Dgmc.Config.atm_lan Dgmc.Mc_id.Symmetric
+                  graph mc_members ~self:0 ~current:None)));
+      (* Timestamp machinery: the per-LSA cost of the D-GMC bookkeeping. *)
+      Test.make ~name:"timestamp merge (n=100)"
+        (Staged.stage (fun () -> ignore (Dgmc.Timestamp.merge stamp_a stamp_b)));
+      Test.make ~name:"timestamp geq (n=100)"
+        (Staged.stage (fun () -> ignore (Dgmc.Timestamp.geq stamp_a stamp_b)));
+      (* CBT kernel: one leave+join grafting cycle. *)
+      Test.make ~name:"cbt join+leave (n=100)"
+        (Staged.stage
+           (let cbt = Baselines.Cbt.create ~graph ~core:(List.hd members) () in
+            List.iter (Baselines.Cbt.join cbt) (List.tl members);
+            fun () ->
+              Baselines.Cbt.leave cbt (List.nth members 3);
+              Baselines.Cbt.join cbt (List.nth members 3)));
+    ]
+  in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:200
+      ~quota:(Time.second (if !quick then 0.25 else 0.5))
+      ~kde:None ()
+  in
+  let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"micro" tests) in
+  let results = Analyze.all ols instance raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let nanos =
+        match Analyze.OLS.estimates ols_result with
+        | Some (est :: _) -> est
+        | Some [] | None -> nan
+      in
+      rows := (name, nanos) :: !rows)
+    results;
+  let pretty ns =
+    if Float.is_nan ns then "n/a"
+    else if ns >= 1e9 then Printf.sprintf "%.3f s" (ns /. 1e9)
+    else if ns >= 1e6 then Printf.sprintf "%.3f ms" (ns /. 1e6)
+    else if ns >= 1e3 then Printf.sprintf "%.3f us" (ns /. 1e3)
+    else Printf.sprintf "%.0f ns" ns
+  in
+  Metrics.Table.print
+    ~align:[ Metrics.Table.Left ]
+    ~headers:[ "benchmark"; "time/run" ]
+    (List.sort Stdlib.compare !rows |> List.map (fun (n, v) -> [ n; pretty v ]))
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  quick := List.mem "quick" args;
+  let sections = List.filter (fun a -> a <> "quick") args in
+  let all = sections = [] in
+  let want s = all || List.mem s sections in
+  if want "fig6" then fig6 ();
+  if want "fig7" then fig7 ();
+  if want "fig8" then fig8 ();
+  if want "compare" then compare ();
+  if want "cbt" then cbt ();
+  if want "ablation" then ablation ();
+  if want "hierarchy" then hierarchy ();
+  if want "extra" then extra ();
+  if want "micro" then micro ();
+  print_newline ()

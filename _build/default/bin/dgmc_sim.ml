@@ -1,0 +1,362 @@
+(* dgmc_sim — command-line driver for the D-GMC simulation study.
+
+   Subcommands mirror the paper's evaluation artifacts (fig6/fig7/fig8,
+   compare, cbt) and add single-run and topology-inspection utilities.
+   `dgmc_sim <cmd> --help` documents each. *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared options *)
+
+let sizes_arg =
+  let doc = "Comma-separated network sizes to sweep." in
+  Arg.(value & opt (list int) Experiments.Figures.default_sizes & info [ "sizes" ] ~doc)
+
+let seeds_arg =
+  let doc = "Number of random graphs (seeds 1..N) per size." in
+  Arg.(value & opt int 10 & info [ "graphs" ] ~doc)
+
+let members_arg =
+  let doc = "Members joining in each burst." in
+  Arg.(value & opt int 10 & info [ "members" ] ~doc)
+
+let seeds_of count = List.init count (fun i -> i + 1)
+
+let ci (s : Metrics.Stats.summary) = Metrics.Table.cell_ci ~mean:s.mean ~ci:s.ci95
+
+let csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the table as CSV to $(docv).")
+
+let maybe_csv path ~headers rows =
+  match path with
+  | Some path -> Metrics.Csv.write ~path ~headers rows
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* fig6 / fig7 *)
+
+let print_bursty csv (r : Experiments.Figures.bursty_result) =
+  let headers =
+    [ "switches"; "proposals/event"; "floodings/event"; "convergence (rounds)" ]
+  in
+  let rows =
+    List.map
+      (fun (n, p) ->
+        [
+          string_of_int n;
+          ci p;
+          ci (List.assoc n r.floodings.points);
+          ci (List.assoc n r.convergence.points);
+        ])
+      r.proposals.points
+  in
+  Metrics.Table.print ~headers rows;
+  maybe_csv csv ~headers rows;
+  Printf.printf "all runs converged: %b\n" r.all_converged
+
+let fig6_cmd =
+  let run sizes graphs members csv =
+    print_bursty csv
+      (Experiments.Figures.fig6 ~sizes ~seeds:(seeds_of graphs) ~members ())
+  in
+  Cmd.v
+    (Cmd.info "fig6" ~doc:"Experiment 1: bursty events, computation dominates.")
+    Term.(const run $ sizes_arg $ seeds_arg $ members_arg $ csv_arg)
+
+let fig7_cmd =
+  let run sizes graphs members csv =
+    print_bursty csv
+      (Experiments.Figures.fig7 ~sizes ~seeds:(seeds_of graphs) ~members ())
+  in
+  Cmd.v
+    (Cmd.info "fig7" ~doc:"Experiment 2: bursty events, communication dominates.")
+    Term.(const run $ sizes_arg $ seeds_arg $ members_arg $ csv_arg)
+
+(* ------------------------------------------------------------------ *)
+(* fig8 *)
+
+let fig8_cmd =
+  let events_arg =
+    Arg.(value & opt int 40 & info [ "events" ] ~doc:"Membership events per run.")
+  in
+  let gap_arg =
+    Arg.(
+      value & opt float 50.0
+      & info [ "gap" ] ~doc:"Mean inter-event gap, in protocol rounds.")
+  in
+  let run sizes graphs events gap_rounds csv =
+    let r =
+      Experiments.Figures.fig8 ~sizes ~seeds:(seeds_of graphs) ~events ~gap_rounds ()
+    in
+    let headers = [ "switches"; "proposals/event"; "floodings/event" ] in
+    let rows =
+      List.map
+        (fun (n, p) ->
+          [ string_of_int n; ci p; ci (List.assoc n r.n_floodings.points) ])
+        r.n_proposals.points
+    in
+    Metrics.Table.print ~headers rows;
+    maybe_csv csv ~headers rows;
+    Printf.printf "all runs converged: %b\n" r.n_all_converged
+  in
+  Cmd.v
+    (Cmd.info "fig8" ~doc:"Experiment 3: normal (sparse) traffic periods.")
+    Term.(const run $ sizes_arg $ seeds_arg $ events_arg $ gap_arg $ csv_arg)
+
+(* ------------------------------------------------------------------ *)
+(* compare *)
+
+let compare_cmd =
+  let sources_arg =
+    Arg.(value & opt int 3 & info [ "sources" ] ~doc:"Active MOSPF sources.")
+  in
+  let run sizes graphs members sources =
+    let c =
+      Experiments.Figures.compare_protocols ~sizes ~seeds:(seeds_of graphs)
+        ~members ~sources ()
+    in
+    Metrics.Table.print
+      ~headers:
+        [ "switches"; "dgmc comp/ev"; "brute comp/ev"; "mospf comp/ev" ]
+      (List.map
+         (fun n ->
+           let get (s : Experiments.Figures.series) = ci (List.assoc n s.points) in
+           [
+             string_of_int n;
+             get c.dgmc_computations;
+             get c.brute_computations;
+             get c.mospf_computations;
+           ])
+         c.c_sizes)
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Per-event cost: D-GMC vs brute-force LSR vs MOSPF.")
+    Term.(const run $ sizes_arg $ seeds_arg $ members_arg $ sources_arg)
+
+(* ------------------------------------------------------------------ *)
+(* cbt *)
+
+let cbt_cmd =
+  let n_arg = Arg.(value & opt int 60 & info [ "n" ] ~doc:"Network size.") in
+  let receivers_arg =
+    Arg.(value & opt int 12 & info [ "receivers" ] ~doc:"Receiver count.")
+  in
+  let senders_arg =
+    Arg.(value & opt int 6 & info [ "senders" ] ~doc:"Off-tree sender count.")
+  in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Graph seed.") in
+  let run n receivers senders seed =
+    let rows = Experiments.Figures.cbt_comparison ~seed ~n ~receivers ~senders () in
+    Metrics.Table.print
+      ~align:[ Metrics.Table.Left ]
+      ~headers:
+        [
+          "configuration"; "tree cost"; "max load"; "mean load"; "links";
+          "mean delay"; "ctrl msgs";
+        ]
+      (List.map
+         (fun (r : Experiments.Figures.cbt_row) ->
+           [
+             r.strategy;
+             Metrics.Table.cell_f r.tree_cost;
+             string_of_int r.max_link_load;
+             Metrics.Table.cell_f r.mean_link_load;
+             string_of_int r.links_used;
+             Metrics.Table.cell_f r.mean_delay;
+             string_of_int r.control_messages;
+           ])
+         rows)
+  in
+  Cmd.v
+    (Cmd.info "cbt" ~doc:"CBT trade-off: shared-tree traffic concentration.")
+    Term.(const run $ n_arg $ receivers_arg $ senders_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* hierarchy *)
+
+let hierarchy_cmd =
+  let areas_arg = Arg.(value & opt int 10 & info [ "areas" ] ~doc:"Number of areas.") in
+  let per_area_arg =
+    Arg.(value & opt int 20 & info [ "per-area" ] ~doc:"Switches per area.")
+  in
+  let events_arg =
+    Arg.(value & opt int 20 & info [ "events" ] ~doc:"Membership events.")
+  in
+  let run areas per_area events graphs =
+    let rows =
+      Experiments.Scale.hier_vs_flat ~seeds:(seeds_of graphs) ~areas ~per_area
+        ~events ()
+    in
+    Metrics.Table.print
+      ~align:[ Metrics.Table.Left ]
+      ~headers:
+        [ "protocol"; "switches"; "floodings/ev"; "messages/ev"; "reach/ev"; "ok" ]
+      (List.map
+         (fun (r : Experiments.Scale.row) ->
+           [
+             r.protocol;
+             string_of_int r.n;
+             Metrics.Table.cell_f r.floodings_per_event;
+             Metrics.Table.cell_f r.messages_per_event;
+             Metrics.Table.cell_f r.reach_per_event;
+             string_of_bool r.converged;
+           ])
+         rows)
+  in
+  Cmd.v
+    (Cmd.info "hierarchy"
+       ~doc:"Hierarchical vs flat D-GMC signaling scope on clustered topologies.")
+    Term.(const run $ areas_arg $ per_area_arg $ events_arg $ seeds_arg)
+
+(* ------------------------------------------------------------------ *)
+(* run: one scenario, verbose *)
+
+let run_cmd =
+  let n_arg = Arg.(value & opt int 40 & info [ "n" ] ~doc:"Network size.") in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  let members_arg =
+    Arg.(value & opt int 10 & info [ "members" ] ~doc:"Burst size.")
+  in
+  let regime_arg =
+    Arg.(
+      value
+      & opt (enum [ ("atm", `Atm); ("wan", `Wan) ]) `Atm
+      & info [ "regime" ] ~doc:"Timing regime: atm (Tc >> t_hop) or wan.")
+  in
+  let workload_arg =
+    Arg.(
+      value
+      & opt (enum [ ("bursty", `Bursty); ("normal", `Normal) ]) `Bursty
+      & info [ "workload" ] ~doc:"Event pattern.")
+  in
+  let run n seed members regime workload =
+    let config =
+      match regime with `Atm -> Dgmc.Config.atm_lan | `Wan -> Dgmc.Config.wan
+    in
+    let r =
+      match workload with
+      | `Bursty -> Experiments.Harness.bursty_run ~seed ~n ~config ~members
+      | `Normal ->
+        Experiments.Harness.poisson_run ~seed ~n ~config ~events:40
+          ~gap_rounds:50.0
+    in
+    Printf.printf "switches:            %d\n" r.n;
+    Printf.printf "events:              %d\n" r.events;
+    Printf.printf "computations/event:  %.3f\n" r.computations_per_event;
+    Printf.printf "floodings/event:     %.3f\n" r.floodings_per_event;
+    Printf.printf "messages/event:      %.1f\n" r.messages_per_event;
+    (match r.convergence_rounds with
+    | Some c -> Printf.printf "convergence:         %.2f rounds\n" c
+    | None -> Printf.printf "convergence:         n/a\n");
+    Printf.printf "network-wide agreement: %b\n" r.converged;
+    if not r.converged then exit 1
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"One D-GMC simulation run, reported in detail.")
+    Term.(const run $ n_arg $ seed_arg $ members_arg $ regime_arg $ workload_arg)
+
+(* ------------------------------------------------------------------ *)
+(* script: run a scenario file *)
+
+let script_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Scenario script.")
+  in
+  let trace_arg =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print the protocol event timeline.")
+  in
+  let dot_arg =
+    Arg.(
+      value & flag
+      & info [ "dot" ] ~doc:"Emit the final topology of the first MC as DOT.")
+  in
+  let run file trace_flag dot =
+    match Workload.Script.load file with
+    | Error msg ->
+      Printf.eprintf "%s: %s\n" file msg;
+      exit 2
+    | Ok script ->
+      let trace = if trace_flag then Sim.Trace.create () else Sim.Trace.disabled in
+      let net = Workload.Script.run ~trace script in
+      if trace_flag then
+        List.iter
+          (fun e -> Format.printf "%a@." Sim.Trace.pp_entry e)
+          (Sim.Trace.entries trace);
+      List.iter
+        (fun mc ->
+          Format.printf "%a: %s@." Dgmc.Mc_id.pp mc
+            (match Dgmc.Protocol.divergence net mc with
+            | [] -> "converged"
+            | reasons -> "DIVERGED: " ^ String.concat "; " reasons);
+          match Dgmc.Protocol.agreed_topology net mc with
+          | Some tree ->
+            Format.printf "  topology: %a@." Mctree.Tree.pp tree;
+            if dot then
+              print_string
+                (Net.Dot.graph
+                   ~highlight:(Mctree.Tree.edges tree)
+                   ~mark:
+                     (Mctree.Tree.Int_set.elements (Mctree.Tree.terminals tree))
+                   (Dgmc.Protocol.graph net))
+          | None -> Format.printf "  (no agreed topology)@.")
+        script.mcs;
+      let t = Dgmc.Protocol.totals net in
+      Format.printf
+        "events %d, computations %d (%d withdrawn), MC floodings %d, link          floodings %d, messages %d@."
+        t.events t.computations t.computations_withdrawn t.mc_floodings
+        t.link_floodings t.messages;
+      if
+        List.exists
+          (fun mc -> Dgmc.Protocol.divergence net mc <> [])
+          script.mcs
+      then exit 1
+  in
+  Cmd.v
+    (Cmd.info "script"
+       ~doc:"Run a scenario file (see lib/workload/script.mli for the format).")
+    Term.(const run $ file_arg $ trace_arg $ dot_arg)
+
+(* ------------------------------------------------------------------ *)
+(* topo: inspect generated topologies *)
+
+let topo_cmd =
+  let n_arg = Arg.(value & opt int 40 & info [ "n" ] ~doc:"Network size.") in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  let dump_arg =
+    Arg.(value & flag & info [ "edges" ] ~doc:"Also dump the edge list.")
+  in
+  let dot_arg =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz DOT instead of stats.")
+  in
+  let run n seed dump dot =
+    let g = Experiments.Harness.graph_for ~seed ~n in
+    if dot then print_string (Net.Dot.graph g)
+    else begin
+      Printf.printf "switches:     %d\n" (Net.Graph.n_nodes g);
+      Printf.printf "links:        %d\n" (Net.Graph.n_edges g);
+      Printf.printf "mean degree:  %.2f\n"
+        (2.0 *. float_of_int (Net.Graph.n_edges g) /. float_of_int n);
+      Printf.printf "hop diameter: %d\n" (Net.Bfs.hop_diameter g);
+      Printf.printf "connected:    %b\n" (Net.Bfs.is_connected g);
+      if dump then Format.printf "%a@." Net.Graph.pp g
+    end
+  in
+  Cmd.v
+    (Cmd.info "topo" ~doc:"Inspect the experiment topology for a seed/size.")
+    Term.(const run $ n_arg $ seed_arg $ dump_arg $ dot_arg)
+
+let () =
+  let doc = "D-GMC multipoint-connection protocol simulation study" in
+  let info = Cmd.info "dgmc_sim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            fig6_cmd; fig7_cmd; fig8_cmd; compare_cmd; cbt_cmd; hierarchy_cmd;
+            run_cmd; script_cmd; topo_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/hierarchical.ml: Array Dgmc Format Hierarchy List Mctree Net Option Sim String

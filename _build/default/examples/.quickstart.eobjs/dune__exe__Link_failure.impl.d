@@ -1,0 +1,1 @@
+examples/link_failure.ml: Dgmc Experiments Format List Mctree Net Option Sim

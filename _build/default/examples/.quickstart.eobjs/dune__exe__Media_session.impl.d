@@ -1,0 +1,1 @@
+examples/media_session.ml: Dataplane Dgmc Format List Mctree Net Option Printf Sim

@@ -1,0 +1,1 @@
+examples/qos_admission.ml: Dgmc Format List Mctree Net Qos Sim

@@ -1,0 +1,1 @@
+examples/qos_admission.mli:

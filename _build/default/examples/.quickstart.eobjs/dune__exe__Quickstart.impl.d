@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dgmc Format List Mctree Net Sim

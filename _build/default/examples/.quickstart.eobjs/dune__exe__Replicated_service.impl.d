@@ -1,0 +1,1 @@
+examples/replicated_service.ml: Baselines Dgmc Experiments Float Format Hashtbl List Mctree Metrics Option Sim String

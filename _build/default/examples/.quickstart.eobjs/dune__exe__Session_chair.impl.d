@@ -1,0 +1,1 @@
+examples/session_chair.ml: Dgmc Election Format List Net

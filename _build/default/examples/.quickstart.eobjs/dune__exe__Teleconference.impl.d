@@ -1,0 +1,1 @@
+examples/teleconference.ml: Dgmc Experiments Format List Mctree Net Sim Workload

@@ -1,0 +1,1 @@
+examples/video_broadcast.ml: Dgmc Experiments Float Format List Mctree Metrics Option Sim

@@ -1,0 +1,77 @@
+(* Hierarchical D-GMC: the scalability extension sketched in the paper's
+   §2 ("its extension to hierarchical networks is part of our ongoing
+   work").  A 6x12 = 72-switch internetwork of areas; a conference
+   spans three areas; membership events flood only their own area and,
+   when an area's membership flips, the 6-node logical level.
+
+     dune exec examples/hierarchical.exe *)
+
+let mc = Dgmc.Mc_id.make Dgmc.Mc_id.Symmetric 1
+
+let () =
+  let rng = Sim.Rng.create 21 in
+  let graph, partition = Net.Topo_gen.clustered rng ~areas:6 ~per_area:12 () in
+  Format.printf
+    "internetwork: %d switches in %d areas, %d links (%d inter-area)@.@."
+    (Net.Graph.n_nodes graph) (Array.length partition) (Net.Graph.n_edges graph)
+    (List.length
+       (List.filter
+          (fun (e : Net.Graph.edge) -> e.u / 12 <> e.v / 12)
+          (Net.Graph.edges graph)));
+
+  let h = Hierarchy.Hmc.create ~graph ~partition ~config:Dgmc.Config.atm_lan () in
+
+  (* A conference with participants in areas 0, 2 and 4. *)
+  let members = [ 2; 5; 26; 29; 50 ] in
+  Format.printf "participants: %s (areas %s)@."
+    (String.concat ", " (List.map string_of_int members))
+    (String.concat ", "
+       (List.sort_uniq compare
+          (List.map (fun s -> string_of_int (Hierarchy.Hmc.area_of h s)) members)));
+  List.iter (fun s -> Hierarchy.Hmc.join h ~switch:s mc Dgmc.Member.Both) members;
+  Hierarchy.Hmc.run h;
+  assert (Hierarchy.Hmc.converged h mc);
+
+  let tree = Option.get (Hierarchy.Hmc.global_tree h mc) in
+  Format.printf "@.stitched global tree: %d links, cost %.2f, valid %b@."
+    (Mctree.Tree.n_edges tree)
+    (Mctree.Tree.cost graph tree)
+    (Mctree.Tree.is_valid_mc_topology graph tree);
+  let totals = Hierarchy.Hmc.totals h in
+  Format.printf
+    "setup signaling: %d intra floods + %d logical floods, %d gateway \
+     instructions@."
+    totals.intra_floodings totals.logical_floodings totals.gateway_instructions;
+
+  (* The scalability effect: one more participant in area 0. *)
+  Hierarchy.Hmc.reset_counters h;
+  Hierarchy.Hmc.join h ~switch:7 mc Dgmc.Member.Both;
+  Hierarchy.Hmc.run h;
+  assert (Hierarchy.Hmc.converged h mc);
+  let totals = Hierarchy.Hmc.totals h in
+  Format.printf
+    "@.one intra-area join afterwards: %d intra floods, %d logical floods, \
+     ~%d switches touched (of %d)@."
+    totals.intra_floodings totals.logical_floodings totals.switches_touched
+    (Net.Graph.n_nodes graph);
+
+  (* Area 4's only member hangs up: the area retires from the logical
+     tree and its gateways withdraw. *)
+  Hierarchy.Hmc.reset_counters h;
+  Hierarchy.Hmc.leave h ~switch:50 mc;
+  Hierarchy.Hmc.run h;
+  assert (Hierarchy.Hmc.converged h mc);
+  let tree' = Option.get (Hierarchy.Hmc.global_tree h mc) in
+  Format.printf
+    "@.area 4 retires: global tree now %d links (%d before), logical floods %d@."
+    (Mctree.Tree.n_edges tree') (Mctree.Tree.n_edges tree)
+    (Hierarchy.Hmc.totals h).logical_floodings;
+
+  (* Everyone leaves; the whole structure evaporates. *)
+  List.iter
+    (fun s -> Hierarchy.Hmc.leave h ~switch:s mc)
+    [ 2; 5; 7; 26; 29 ];
+  Hierarchy.Hmc.run h;
+  assert (Hierarchy.Hmc.converged h mc);
+  assert (Hierarchy.Hmc.global_tree h mc = None);
+  Format.printf "@.conference over; all state cleaned up across both levels.@."

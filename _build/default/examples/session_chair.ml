@@ -1,0 +1,68 @@
+(* Session chair election: a conference needs a distinguished member
+   (floor control, mixing, sequencing).  Built on D-GMC's
+   complete-knowledge model as in Huang & McKinley's companion work on
+   group leader election: every switch derives the chair locally from
+   the agreed member list and its link-state image, so no extra election
+   rounds are needed — and when the network partitions, each side
+   deterministically picks its own chair and re-merges after healing.
+
+     dune exec examples/session_chair.exe *)
+
+let mc = Dgmc.Mc_id.make Dgmc.Mc_id.Symmetric 11
+
+let show_chair net label =
+  match Election.Leader.agreed_leader net mc with
+  | Some l -> Format.printf "%-28s chair = switch %d@." label l
+  | None -> Format.printf "%-28s no network-wide agreement on a chair@." label
+
+let () =
+  (* Two campuses joined by one long link. *)
+  let graph =
+    Net.Graph.of_edges 8
+      [
+        (0, 1, 1.0); (1, 2, 1.0); (2, 3, 1.0); (0, 3, 1.0);
+        (4, 5, 1.0); (5, 6, 1.0); (6, 7, 1.0); (4, 7, 1.0);
+        (3, 4, 8.0);
+      ]
+  in
+  let net = Dgmc.Protocol.create ~graph ~config:Dgmc.Config.atm_lan () in
+  let observer = Election.Leader.monitor net ~switch:6 mc in
+
+  Format.printf "conference: participants 2, 5, 7 (campuses joined by link 3-4)@.@.";
+  List.iter
+    (fun s -> Dgmc.Protocol.join net ~switch:s mc Dgmc.Member.Both)
+    [ 5; 7; 2 ];
+  Dgmc.Protocol.run net;
+  show_chair net "after everyone joined:";
+
+  (* The chair hangs up. *)
+  Dgmc.Protocol.leave net ~switch:2 mc;
+  Dgmc.Protocol.run net;
+  show_chair net "chair left:";
+
+  (* A participant with a smaller id dials in. *)
+  Dgmc.Protocol.join net ~switch:1 mc Dgmc.Member.Both;
+  Dgmc.Protocol.run net;
+  show_chair net "switch 1 joined:";
+
+  (* The inter-campus link dies: each side keeps a working chair. *)
+  Dgmc.Protocol.link_down net 3 4;
+  Dgmc.Protocol.run net;
+  show_chair net "inter-campus link down:";
+  List.iter
+    (fun s ->
+      Format.printf "  switch %d sees chair %s@." s
+        (match Election.Leader.leader_at net ~switch:s mc with
+        | Some l -> string_of_int l
+        | None -> "-"))
+    [ 1; 5 ];
+
+  (* The link heals; D-GMC resynchronises and the chairs merge. *)
+  Dgmc.Protocol.link_up net 3 4;
+  Dgmc.Protocol.run net;
+  show_chair net "link restored:";
+
+  Format.printf "@.what an application at switch 6 observed:@.";
+  List.iter
+    (fun tr -> Format.printf "  %a@." Election.Leader.pp_transition tr)
+    (Election.Leader.transitions observer)

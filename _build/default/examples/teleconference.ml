@@ -1,0 +1,68 @@
+(* A full teleconference lifecycle on a 40-switch network: everyone dials
+   in within a second (bursty arrivals), membership churns during the
+   call, then the call drains.  Demonstrates the Session workload
+   generator and per-phase signaling accounting.
+
+     dune exec examples/teleconference.exe *)
+
+let phase_report net mc label =
+  let totals = Dgmc.Protocol.totals net in
+  let per ev x = if ev = 0 then 0.0 else float_of_int x /. float_of_int ev in
+  Format.printf
+    "%-12s %3d events  %5.2f computations/event  %5.2f floodings/event  %s@."
+    label totals.events
+    (per totals.events totals.computations)
+    (per totals.events totals.mc_floodings)
+    (if Dgmc.Protocol.converged net mc then "converged" else "NOT CONVERGED");
+  Dgmc.Protocol.reset_counters net
+
+let () =
+  let seed = 7 in
+  let n = 40 in
+  let graph = Experiments.Harness.graph_for ~seed ~n in
+  let config = Dgmc.Config.atm_lan in
+  let net = Dgmc.Protocol.create ~graph ~config () in
+  let mc = Dgmc.Mc_id.make Dgmc.Mc_id.Symmetric 42 in
+  let rng = Sim.Rng.create seed in
+
+  Format.printf "teleconference on %d switches (%d links)@.@." n
+    (Net.Graph.n_edges graph);
+
+  let phases =
+    Workload.Session.lifecycle rng ~n ~mc ~participants:12
+      ~arrival_window:(Dgmc.Config.round_length config ~graph)
+      ~churn_events:20
+      ~churn_mean_gap:(20.0 *. Dgmc.Config.round_length config ~graph)
+      ~departure_window:(Dgmc.Config.round_length config ~graph)
+      ()
+  in
+
+  (* Phase 1: arrival burst. *)
+  Workload.Events.apply_dgmc net phases.arrivals;
+  Dgmc.Protocol.run net;
+  (match Dgmc.Protocol.agreed_topology net mc with
+  | Some tree ->
+    Format.printf "call established: %d participants, tree cost %.2f@.@."
+      (Mctree.Tree.Int_set.cardinal (Mctree.Tree.terminals tree))
+      (Mctree.Tree.cost graph tree)
+  | None -> ());
+  phase_report net mc "arrivals";
+
+  (* Phase 2: churn — people joining and dropping during the call. *)
+  Workload.Events.apply_dgmc net phases.churn;
+  Dgmc.Protocol.run net;
+  phase_report net mc "churn";
+
+  (* Phase 3: the call winds down. *)
+  Workload.Events.apply_dgmc net phases.departures;
+  Dgmc.Protocol.run net;
+  phase_report net mc "departures";
+
+  let survivors =
+    List.filter
+      (fun i -> Dgmc.Switch.members (Dgmc.Protocol.switch net i) mc <> None)
+      (List.init n (fun i -> i))
+  in
+  Format.printf "@.MC state remaining after everyone left: %d switches@."
+    (List.length survivors);
+  assert (survivors = [])

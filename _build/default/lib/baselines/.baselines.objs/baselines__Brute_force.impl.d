@@ -1,0 +1,1 @@
+lib/baselines/brute_force.ml: Array Dgmc Hashtbl Lsr Mctree Net Option Sim

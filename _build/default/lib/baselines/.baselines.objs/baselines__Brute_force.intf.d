@@ -1,0 +1,1 @@
+lib/baselines/brute_force.mli: Dgmc Mctree Net Sim

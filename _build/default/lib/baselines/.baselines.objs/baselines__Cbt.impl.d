@@ -1,0 +1,1 @@
+lib/baselines/cbt.ml: Int List Mctree Net Set

@@ -1,0 +1,1 @@
+lib/baselines/cbt.mli: Mctree Net

@@ -1,0 +1,1 @@
+lib/baselines/core_select.ml: Array Float List Net Sim

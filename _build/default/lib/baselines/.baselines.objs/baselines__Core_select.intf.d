@@ -1,0 +1,1 @@
+lib/baselines/core_select.mli: Net Sim

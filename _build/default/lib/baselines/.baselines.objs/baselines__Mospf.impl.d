@@ -1,0 +1,1 @@
+lib/baselines/mospf.ml: Array Dgmc Hashtbl Int List Lsr Mctree Net Option Set Sim

@@ -1,0 +1,1 @@
+lib/baselines/mospf.mli: Dgmc Net Sim

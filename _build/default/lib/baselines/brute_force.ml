@@ -1,0 +1,151 @@
+module Mc_table = Hashtbl.Make (struct
+  type t = Dgmc.Mc_id.t
+
+  let equal = Dgmc.Mc_id.equal
+
+  let hash = Dgmc.Mc_id.hash
+end)
+
+type membership_lsa = {
+  src : int;
+  mc : Dgmc.Mc_id.t;
+  change : [ `Join of Dgmc.Member.role | `Leave ];
+}
+
+type mc_state = {
+  mutable members : Dgmc.Member.t;
+  mutable topology : Mctree.Tree.t;
+}
+
+type totals = {
+  events : int;
+  computations : int;
+  floodings : int;
+  messages : int;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  graph : Net.Graph.t;
+  config : Dgmc.Config.t;
+  flooding : membership_lsa Lsr.Flooding.t;
+  seqs : Lsr.Lsa.Seq.counter array;
+  states : mc_state Mc_table.t array;  (** Per switch. *)
+  mutable events : int;
+  mutable computations : int;
+}
+
+let state_of t switch mc =
+  match Mc_table.find_opt t.states.(switch) mc with
+  | Some st -> st
+  | None ->
+    let st = { members = Dgmc.Member.empty; topology = Mctree.Tree.empty } in
+    Mc_table.replace t.states.(switch) mc st;
+    st
+
+(* Every switch recomputes from scratch on every membership LSA: this is
+   precisely the redundancy D-GMC removes, so no incremental shortcuts
+   here. *)
+let recompute t switch mc (st : mc_state) =
+  ignore
+    (Sim.Engine.schedule t.engine ~delay:t.config.Dgmc.Config.tc (fun () ->
+         t.computations <- t.computations + 1;
+         st.topology <-
+           Dgmc.Compute.topology
+             { t.config with Dgmc.Config.incremental = false }
+             mc.Dgmc.Mc_id.kind t.graph st.members ~self:switch ~current:None))
+
+let apply_change st change src =
+  match change with
+  | `Join role -> st.members <- Dgmc.Member.join st.members src role
+  | `Leave -> st.members <- Dgmc.Member.leave st.members src
+
+let create ~graph ~config ?(trace = Sim.Trace.disabled) () =
+  ignore trace;
+  let n = Net.Graph.n_nodes graph in
+  if n < 2 then invalid_arg "Brute_force.create: need at least 2 switches";
+  let engine = Sim.Engine.create () in
+  let states = Array.init n (fun _ -> Mc_table.create 4) in
+  let holder = ref None in
+  let deliver ~switch (lsa : membership_lsa Lsr.Lsa.t) =
+    match !holder with
+    | None -> assert false
+    | Some t ->
+      let { src; mc; change } = lsa.payload in
+      let st = state_of t switch mc in
+      apply_change st change src;
+      recompute t switch mc st
+  in
+  let flooding =
+    Lsr.Flooding.create ~engine ~graph ~t_hop:config.Dgmc.Config.t_hop
+      ~mode:config.Dgmc.Config.flood_mode ~deliver ()
+  in
+  let t =
+    {
+      engine;
+      graph;
+      config;
+      flooding;
+      seqs = Array.init n (fun _ -> Lsr.Lsa.Seq.create ());
+      states;
+      events = 0;
+      computations = 0;
+    }
+  in
+  holder := Some t;
+  t
+
+let engine t = t.engine
+
+let local_event t ~switch mc change =
+  t.events <- t.events + 1;
+  let st = state_of t switch mc in
+  apply_change st change switch;
+  recompute t switch mc st;
+  let seq = Lsr.Lsa.Seq.next t.seqs.(switch) in
+  Lsr.Flooding.flood t.flooding
+    (Lsr.Lsa.make ~origin:switch ~seq { src = switch; mc; change })
+
+let join t ~switch mc role = local_event t ~switch mc (`Join role)
+
+let leave t ~switch mc = local_event t ~switch mc `Leave
+
+let schedule_join t ~at ~switch mc role =
+  ignore (Sim.Engine.schedule_at t.engine ~time:at (fun () -> join t ~switch mc role))
+
+let schedule_leave t ~at ~switch mc =
+  ignore (Sim.Engine.schedule_at t.engine ~time:at (fun () -> leave t ~switch mc))
+
+let run ?until ?max_events t = Sim.Engine.run ?until ?max_events t.engine
+
+let totals t =
+  {
+    events = t.events;
+    computations = t.computations;
+    floodings = Lsr.Flooding.floods_started t.flooding;
+    messages = Lsr.Flooding.messages_sent t.flooding;
+  }
+
+let reset_counters t =
+  t.events <- 0;
+  t.computations <- 0;
+  Lsr.Flooding.reset_counters t.flooding
+
+let topology t ~switch mc =
+  Option.map (fun st -> st.topology) (Mc_table.find_opt t.states.(switch) mc)
+
+let converged t mc =
+  let reference = ref None in
+  Array.for_all
+    (fun table ->
+      match Mc_table.find_opt table mc with
+      | None -> true
+      | Some st -> (
+        match !reference with
+        | None ->
+          reference := Some st;
+          true
+        | Some r ->
+          Dgmc.Member.equal r.members st.members
+          && Mctree.Tree.equal r.topology st.topology))
+    t.states

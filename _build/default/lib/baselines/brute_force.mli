@@ -1,0 +1,52 @@
+(** The brute-force LSR-based MC protocol (paper §2).
+
+    The naive way to extend link-state routing to multipoint
+    connections: membership changes are flooded in LSAs and {e every}
+    switch, upon receiving one, recomputes the MC topology against its
+    local database.  The protocol is trivially correct and as general as
+    D-GMC, but "in a network with n switches, a single event could
+    trigger n redundant computations for every existing MC" — the
+    overhead D-GMC is designed to eliminate.  This implementation exists
+    to reproduce that comparison.
+
+    The same simulation engine, flooding substrate and topology
+    algorithms as D-GMC are used, so the counters are directly
+    comparable. *)
+
+type t
+
+val create :
+  graph:Net.Graph.t -> config:Dgmc.Config.t -> ?trace:Sim.Trace.t -> unit -> t
+
+val engine : t -> Sim.Engine.t
+
+(** {1 Events} *)
+
+val join : t -> switch:int -> Dgmc.Mc_id.t -> Dgmc.Member.role -> unit
+
+val leave : t -> switch:int -> Dgmc.Mc_id.t -> unit
+
+val schedule_join :
+  t -> at:float -> switch:int -> Dgmc.Mc_id.t -> Dgmc.Member.role -> unit
+
+val schedule_leave : t -> at:float -> switch:int -> Dgmc.Mc_id.t -> unit
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+
+(** {1 Measurements (same meanings as {!Dgmc.Protocol.totals})} *)
+
+type totals = {
+  events : int;
+  computations : int;
+  floodings : int;
+  messages : int;
+}
+
+val totals : t -> totals
+
+val reset_counters : t -> unit
+
+val converged : t -> Dgmc.Mc_id.t -> bool
+(** All switches agree on members and topology for the MC. *)
+
+val topology : t -> switch:int -> Dgmc.Mc_id.t -> Mctree.Tree.t option

@@ -1,0 +1,27 @@
+let first_member = function
+  | [] -> invalid_arg "Core_select.first_member: no members"
+  | members -> List.fold_left min max_int members
+
+let random rng graph = Sim.Rng.int rng (Net.Graph.n_nodes graph)
+
+let by_objective graph ~members score =
+  if members = [] then invalid_arg "Core_select: no members";
+  let best = ref None in
+  for candidate = 0 to Net.Graph.n_nodes graph - 1 do
+    let dist = (Net.Dijkstra.run graph candidate).dist in
+    let s = score dist in
+    match !best with
+    | Some (_, s') when s' <= s -> ()
+    | _ -> if Float.is_finite s then best := Some (candidate, s)
+  done;
+  match !best with
+  | Some (c, _) -> c
+  | None -> invalid_arg "Core_select: members unreachable"
+
+let center graph ~members =
+  by_objective graph ~members (fun dist ->
+      List.fold_left (fun acc m -> Float.max acc dist.(m)) 0.0 members)
+
+let median graph ~members =
+  by_objective graph ~members (fun dist ->
+      List.fold_left (fun acc m -> acc +. dist.(m)) 0.0 members)

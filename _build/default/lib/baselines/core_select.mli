@@ -1,0 +1,23 @@
+(** Core placement strategies for CBT (paper §5).
+
+    "The selection of the core switch presents another problem: a good
+    choice depends on the locations of connection members … selection of
+    a good core node may be impossible."  These strategies let the
+    benchmarks quantify exactly how much core placement matters — the
+    oracle strategies peek at the full topology (which a real CBT
+    deployment cannot), the blind ones do not. *)
+
+val first_member : int list -> int
+(** The smallest member id — the blind choice CBT realistically makes.
+    Raises [Invalid_argument] on an empty member list. *)
+
+val random : Sim.Rng.t -> Net.Graph.t -> int
+(** Any switch, members ignored. *)
+
+val center : Net.Graph.t -> members:int list -> int
+(** Oracle: the switch minimising the maximum shortest-path distance to
+    the members (graph 1-center restricted to the member set). *)
+
+val median : Net.Graph.t -> members:int list -> int
+(** Oracle: the switch minimising the {e sum} of shortest-path distances
+    to the members. *)

@@ -1,0 +1,1 @@
+lib/core/compute.ml: Array Config List Mc_id Mctree Member Net

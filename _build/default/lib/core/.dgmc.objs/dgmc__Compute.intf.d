@@ -1,0 +1,1 @@
+lib/core/compute.mli: Config Mc_id Mctree Member Net

@@ -1,0 +1,1 @@
+lib/core/mc_id.ml: Format Hashtbl Int Stdlib

@@ -1,0 +1,1 @@
+lib/core/mc_id.mli: Format

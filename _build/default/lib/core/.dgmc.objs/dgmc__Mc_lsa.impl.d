@@ -1,0 +1,1 @@
+lib/core/mc_lsa.ml: Format Mc_id Mctree Member Timestamp

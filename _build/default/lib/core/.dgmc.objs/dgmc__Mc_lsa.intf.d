@@ -1,0 +1,1 @@
+lib/core/mc_lsa.mli: Format Mc_id Mctree Member Timestamp

@@ -1,0 +1,1 @@
+lib/core/mc_state.ml: Array Format List Mc_lsa Mctree Member Queue Sim Timestamp

@@ -1,0 +1,1 @@
+lib/core/mc_state.mli: Format Mc_lsa Mctree Member Queue Sim Timestamp

@@ -1,0 +1,1 @@
+lib/core/member.ml: Format Int List Map

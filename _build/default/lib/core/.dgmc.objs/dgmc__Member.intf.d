@@ -1,0 +1,1 @@
+lib/core/member.mli: Format

@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Array Config Format Hashtbl List Lsr Mc_id Mc_lsa Mctree Member Net Option Printf Sim Switch

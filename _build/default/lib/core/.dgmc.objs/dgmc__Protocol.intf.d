@@ -1,0 +1,1 @@
+lib/core/protocol.mli: Config Lsr Mc_id Mc_lsa Mctree Member Net Sim Switch

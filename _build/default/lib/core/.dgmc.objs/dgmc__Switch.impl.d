@@ -1,0 +1,1 @@
+lib/core/switch.ml: Array Compute Config Format Hashtbl Lazy List Lsr Mc_id Mc_lsa Mc_state Mctree Member Option Queue Sim Timestamp

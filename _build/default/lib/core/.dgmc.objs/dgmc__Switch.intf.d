@@ -1,0 +1,1 @@
+lib/core/switch.mli: Config Mc_id Mc_lsa Mctree Member Net Sim Timestamp

@@ -1,0 +1,1 @@
+lib/core/timestamp.ml: Array Format

@@ -1,0 +1,93 @@
+let last_incremental = ref false
+
+let was_incremental () = !last_incremental
+
+(* Restrict member ids to the image component containing the computing
+   switch, so that a partitioned network still yields a usable topology
+   for the side this switch lives on. *)
+let reachable_subset image ~self ids =
+  let ok = Net.Bfs.reachable image self in
+  List.filter (fun x -> ok.(x)) ids
+
+let steiner config image terminals =
+  match config.Config.steiner with
+  | Config.Kmb -> Mctree.Steiner.kmb image terminals
+  | Config.Sph -> Mctree.Steiner.sph image terminals
+
+let scratch config kind image members ~self =
+  last_incremental := false;
+  let ids = Member.ids members in
+  match ids with
+  | [] -> Mctree.Tree.empty
+  | _ -> (
+    match (kind : Mc_id.kind) with
+    | Symmetric | Receiver_only -> (
+      try steiner config image ids
+      with Failure _ -> (
+        match reachable_subset image ~self ids with
+        | [] -> Mctree.Tree.empty
+        | reachable -> steiner config image reachable))
+    | Asymmetric -> (
+      let root =
+        match Member.senders members with r :: _ -> r | [] -> List.hd ids
+      in
+      let receivers = List.filter (fun x -> x <> root) (Member.receivers members) in
+      try Mctree.Spt.source_rooted image ~root ~receivers
+      with Failure _ -> (
+        (* Partition: root the tree in this switch's component — at the
+           surviving sender if there is one, else the smallest member. *)
+        match reachable_subset image ~self ids with
+        | [] -> Mctree.Tree.empty
+        | reachable ->
+          let local_root =
+            match
+              List.filter (fun x -> List.mem x reachable) (Member.senders members)
+            with
+            | r :: _ -> r
+            | [] -> List.hd reachable
+          in
+          Mctree.Spt.source_rooted image ~root:local_root
+            ~receivers:(List.filter (fun x -> x <> local_root) reachable))))
+
+let incremental config kind image members ~self current =
+  let ids = Member.ids members in
+  let old_ids = Mctree.Tree.Int_set.elements (Mctree.Tree.terminals current) in
+  let leavers = List.filter (fun x -> not (Member.mem members x)) old_ids in
+  let joiners = List.filter (fun x -> not (List.mem x old_ids)) ids in
+  let after_leaves =
+    List.fold_left (fun t x -> Mctree.Incremental.leave image t x) current leavers
+  in
+  match Mctree.Incremental.repair image after_leaves with
+  | None -> scratch config kind image members ~self
+  | Some repaired -> (
+    try
+      let grown =
+        List.fold_left (fun t x -> Mctree.Incremental.join image t x) repaired joiners
+      in
+      if
+        Mctree.Tree.is_valid_mc_topology image grown
+        && not
+             (Mctree.Incremental.needs_recompute
+                ~threshold:config.Config.drift_threshold image grown)
+      then begin
+        last_incremental := true;
+        grown
+      end
+      else scratch config kind image members ~self
+    with Failure _ -> scratch config kind image members ~self)
+
+let topology config kind image members ~self ~current =
+  if Member.is_empty members then begin
+    last_incremental := false;
+    Mctree.Tree.empty
+  end
+  else
+    match (kind : Mc_id.kind) with
+    | Asymmetric -> scratch config kind image members ~self
+    | Symmetric | Receiver_only -> (
+      match current with
+      | Some cur
+        when config.Config.incremental
+             && not (Mctree.Tree.Int_set.is_empty (Mctree.Tree.terminals cur)) ->
+        incremental config kind image members ~self cur
+      | Some _ | None -> scratch config kind image members ~self)

@@ -1,0 +1,34 @@
+type steiner = Kmb | Sph
+
+type t = {
+  tc : float;
+  t_hop : float;
+  flood_mode : Lsr.Flooding.mode;
+  steiner : steiner;
+  incremental : bool;
+  drift_threshold : float;
+}
+
+let atm_lan =
+  {
+    tc = 400e-6;
+    t_hop = 4e-6;
+    flood_mode = Lsr.Flooding.Hop_by_hop;
+    steiner = Sph;
+    incremental = true;
+    drift_threshold = 1.5;
+  }
+
+let wan = { atm_lan with tc = 100e-6; t_hop = 5e-3 }
+
+let default = atm_lan
+
+let round_length t ~graph =
+  Lsr.Flooding.flood_diameter ~graph ~t_hop:t.t_hop +. t.tc
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<h>config(tc=%gs, t_hop=%gs, steiner=%s, incremental=%b, drift=%g)@]"
+    t.tc t.t_hop
+    (match t.steiner with Kmb -> "kmb" | Sph -> "sph")
+    t.incremental t.drift_threshold

@@ -1,0 +1,42 @@
+(** Protocol and simulation parameters.
+
+    The paper's experiments are characterised by the relation between
+    [tc] (time to compute a topology) and [tf] (the flooding diameter,
+    itself [t_hop × hop-diameter]); presets for the two published regimes
+    are provided.  A {e round} is [tf + tc] and is the unit in which
+    convergence time is reported. *)
+
+type steiner = Kmb | Sph
+
+type t = {
+  tc : float;  (** Topology-computation latency at a switch (seconds). *)
+  t_hop : float;  (** Per-hop LSA transmission time (seconds). *)
+  flood_mode : Lsr.Flooding.mode;
+  steiner : steiner;
+      (** From-scratch heuristic for shared trees (symmetric and
+          receiver-only MCs). *)
+  incremental : bool;
+      (** Use incremental branch add/remove when possible (§3.5);
+          [false] forces every computation from scratch. *)
+  drift_threshold : float;
+      (** Incrementally maintained trees are recomputed from scratch
+          when their cost exceeds this multiple of a fresh heuristic
+          tree's cost (§3.5's "deviates significantly"). *)
+}
+
+val default : t
+(** [atm_lan] with hop-by-hop flooding. *)
+
+val atm_lan : t
+(** Experiment-1 regime: computation dominates communication
+    ([t_hop = 4 µs], [tc = 400 µs]), from the authors' ATM testbed
+    measurements. *)
+
+val wan : t
+(** Experiment-2 regime: communication dominates computation
+    ([t_hop = 5 ms], [tc = 100 µs]). *)
+
+val round_length : t -> graph:Net.Graph.t -> float
+(** [tf + tc] for the given network (paper §4.1). *)
+
+val pp : Format.formatter -> t -> unit

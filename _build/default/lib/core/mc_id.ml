@@ -1,0 +1,20 @@
+type kind = Symmetric | Receiver_only | Asymmetric
+
+type t = { id : int; kind : kind }
+
+let make kind id = { id; kind }
+
+let compare a b =
+  let c = Int.compare a.id b.id in
+  if c <> 0 then c else Stdlib.compare a.kind b.kind
+
+let equal a b = compare a b = 0
+
+let hash t = Hashtbl.hash (t.id, t.kind)
+
+let kind_to_string = function
+  | Symmetric -> "symmetric"
+  | Receiver_only -> "receiver-only"
+  | Asymmetric -> "asymmetric"
+
+let pp ppf t = Format.fprintf ppf "mc#%d(%s)" t.id (kind_to_string t.kind)

@@ -1,0 +1,29 @@
+(** Multipoint-connection identities and the three MC types (paper §1).
+
+    An MC identifier travels in every MC LSA (the paper's [G] field) and
+    carries the connection's type, since the type dictates both the
+    membership semantics and the topology-computation strategy:
+
+    - {e Symmetric}: every member both sends and receives (e.g. a
+      teleconference); topology is a Steiner-style shared tree.
+    - {e Receiver-only}: members are receivers of one or more sessions;
+      non-member senders reach the tree through a contact node
+      (two-stage delivery, as in CBT).
+    - {e Asymmetric}: members are senders and/or receivers (e.g. video
+      broadcast); topology is a source-rooted shortest-path tree. *)
+
+type kind = Symmetric | Receiver_only | Asymmetric
+
+type t = { id : int; kind : kind }
+
+val make : kind -> int -> t
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val hash : t -> int
+
+val kind_to_string : kind -> string
+
+val pp : Format.formatter -> t -> unit

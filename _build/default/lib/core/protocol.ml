@@ -1,0 +1,292 @@
+type payload = Mc of Mc_lsa.t | Link of Lsr.Lsdb.link_event
+
+type totals = {
+  events : int;
+  computations : int;
+  computations_withdrawn : int;
+  mc_floodings : int;
+  link_floodings : int;
+  proposals_flooded : int;
+  proposals_accepted : int;
+  messages : int;
+}
+
+module Mc_table = Hashtbl.Make (struct
+  type t = Mc_id.t
+
+  let equal = Mc_id.equal
+
+  let hash = Mc_id.hash
+end)
+
+type t = {
+  engine : Sim.Engine.t;
+  graph : Net.Graph.t;
+  config : Config.t;
+  switches : Switch.t array;
+  flooding : payload Lsr.Flooding.t;
+  seqs : Lsr.Lsa.Seq.counter array;
+  truth : Member.t Mc_table.t;  (** Ground-truth membership per MC. *)
+  mutable events : int;
+  mutable mc_floodings : int;
+  mutable link_floodings : int;
+  mutable first_event : float option;
+  mutable last_change : float option;
+  mutable observers : (unit -> unit) list;
+}
+
+let create ~graph ~config ?(trace = Sim.Trace.disabled) () =
+  let n = Net.Graph.n_nodes graph in
+  if n < 2 then invalid_arg "Protocol.create: need at least 2 switches";
+  let engine = Sim.Engine.create () in
+  let switches =
+    Array.init n (fun id -> Switch.create ~id ~n ~config ~engine ~graph ~trace ())
+  in
+  let deliver ~switch (lsa : payload Lsr.Lsa.t) =
+    match lsa.payload with
+    | Mc mc_lsa -> Switch.receive switches.(switch) mc_lsa
+    | Link ev ->
+      Switch.link_event switches.(switch) ~u:ev.u ~v:ev.v ~up:ev.up
+        ~detector:false
+  in
+  let flooding =
+    Lsr.Flooding.create ~engine ~graph ~t_hop:config.Config.t_hop
+      ~mode:config.Config.flood_mode ~deliver ()
+  in
+  let net =
+    {
+      engine;
+      graph;
+      config;
+      switches;
+      flooding;
+      seqs = Array.init n (fun _ -> Lsr.Lsa.Seq.create ());
+      truth = Mc_table.create 8;
+      events = 0;
+      mc_floodings = 0;
+      link_floodings = 0;
+      first_event = None;
+      last_change = None;
+      observers = [];
+    }
+  in
+  Array.iteri
+    (fun id sw ->
+      Switch.set_flood sw (fun mc_lsa ->
+          net.mc_floodings <- net.mc_floodings + 1;
+          let seq = Lsr.Lsa.Seq.next net.seqs.(id) in
+          Lsr.Flooding.flood net.flooding
+            (Lsr.Lsa.make ~origin:id ~seq (Mc mc_lsa)));
+      Switch.set_on_change sw (fun () ->
+          net.last_change <- Some (Sim.Engine.now engine);
+          List.iter (fun f -> f ()) net.observers))
+    switches;
+  net
+
+let engine t = t.engine
+
+let add_observer t f = t.observers <- t.observers @ [ f ]
+
+let graph t = t.graph
+
+let config t = t.config
+
+let n_switches t = Array.length t.switches
+
+let switch t i = t.switches.(i)
+
+(* ------------------------------------------------------------------ *)
+(* Event injection *)
+
+let note_event t =
+  t.events <- t.events + 1;
+  if t.first_event = None then t.first_event <- Some (Sim.Engine.now t.engine)
+
+let check_switch t i =
+  if i < 0 || i >= Array.length t.switches then
+    invalid_arg (Printf.sprintf "Protocol: switch %d out of range" i)
+
+let truth_members t mc =
+  Option.value ~default:Member.empty (Mc_table.find_opt t.truth mc)
+
+let join t ~switch:i mc role =
+  check_switch t i;
+  note_event t;
+  Mc_table.replace t.truth mc (Member.join (truth_members t mc) i role);
+  Switch.host_join t.switches.(i) mc role
+
+let leave t ~switch:i mc =
+  check_switch t i;
+  note_event t;
+  Mc_table.replace t.truth mc (Member.leave (truth_members t mc) i);
+  Switch.host_leave t.switches.(i) mc
+
+let flood_link_event t ~from ev =
+  t.link_floodings <- t.link_floodings + 1;
+  let seq = Lsr.Lsa.Seq.next t.seqs.(from) in
+  Lsr.Flooding.flood t.flooding (Lsr.Lsa.make ~origin:from ~seq (Link ev))
+
+let link_change t u v ~up =
+  if not (Net.Graph.has_edge t.graph u v) then
+    invalid_arg (Printf.sprintf "Protocol: no link (%d, %d)" u v);
+  note_event t;
+  Net.Graph.set_link t.graph u v ~up;
+  let ev = { Lsr.Lsdb.u; v; up } in
+  (* Both endpoints detect the change: each updates its image, floods a
+     non-MC LSA, and raises the MC link events for the connections whose
+     topology used the link (the paper's Figure 2 draws one detecting
+     switch; detection at both ends is what keeps BOTH sides of the cut
+     repairing when the failure splits the network). *)
+  let lo, hi = if u < v then (u, v) else (v, u) in
+  Switch.link_event t.switches.(hi) ~u ~v ~up ~detector:true;
+  flood_link_event t ~from:hi ev;
+  Switch.link_event t.switches.(lo) ~u ~v ~up ~detector:true;
+  flood_link_event t ~from:lo ev;
+  (* A recovered adjacency triggers an MC database exchange between its
+     endpoints (one hop of delay), so the two sides of a healed
+     partition reconcile — see Switch.resync. *)
+  if up then
+    ignore
+      (Sim.Engine.schedule t.engine ~delay:t.config.Config.t_hop (fun () ->
+           Switch.resync t.switches.(lo) ~peer:t.switches.(hi);
+           Switch.resync t.switches.(hi) ~peer:t.switches.(lo)))
+
+let link_down t u v = link_change t u v ~up:false
+
+let link_up t u v = link_change t u v ~up:true
+
+let schedule_join t ~at ~switch:i mc role =
+  ignore (Sim.Engine.schedule_at t.engine ~time:at (fun () -> join t ~switch:i mc role))
+
+let schedule_leave t ~at ~switch:i mc =
+  ignore (Sim.Engine.schedule_at t.engine ~time:at (fun () -> leave t ~switch:i mc))
+
+let schedule_link_down t ~at u v =
+  ignore (Sim.Engine.schedule_at t.engine ~time:at (fun () -> link_down t u v))
+
+let schedule_link_up t ~at u v =
+  ignore (Sim.Engine.schedule_at t.engine ~time:at (fun () -> link_up t u v))
+
+(* ------------------------------------------------------------------ *)
+(* Running and measurements *)
+
+let run ?until ?max_events t = Sim.Engine.run ?until ?max_events t.engine
+
+let totals t =
+  let computations = ref 0
+  and withdrawn = ref 0
+  and proposals_flooded = ref 0
+  and proposals_accepted = ref 0 in
+  Array.iter
+    (fun sw ->
+      let s = Switch.stats sw in
+      computations := !computations + s.Switch.computations;
+      withdrawn := !withdrawn + s.Switch.computations_withdrawn;
+      proposals_flooded := !proposals_flooded + s.Switch.proposals_flooded;
+      proposals_accepted := !proposals_accepted + s.Switch.proposals_accepted)
+    t.switches;
+  {
+    events = t.events;
+    computations = !computations;
+    computations_withdrawn = !withdrawn;
+    mc_floodings = t.mc_floodings;
+    link_floodings = t.link_floodings;
+    proposals_flooded = !proposals_flooded;
+    proposals_accepted = !proposals_accepted;
+    messages = Lsr.Flooding.messages_sent t.flooding;
+  }
+
+let reset_counters t =
+  Array.iter
+    (fun sw ->
+      let s = Switch.stats sw in
+      s.Switch.computations <- 0;
+      s.Switch.computations_withdrawn <- 0;
+      s.Switch.proposals_flooded <- 0;
+      s.Switch.event_lsas_flooded <- 0;
+      s.Switch.proposals_accepted <- 0;
+      s.Switch.lsas_received <- 0)
+    t.switches;
+  Lsr.Flooding.reset_counters t.flooding;
+  t.events <- 0;
+  t.mc_floodings <- 0;
+  t.link_floodings <- 0;
+  t.first_event <- None;
+  t.last_change <- None
+
+let first_event_time t = t.first_event
+
+let last_change_time t = t.last_change
+
+let convergence_rounds t =
+  match (t.first_event, t.last_change) with
+  | Some first, Some last ->
+    let round = Config.round_length t.config ~graph:t.graph in
+    if round <= 0.0 then None else Some ((last -. first) /. round)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Agreement *)
+
+let states t mc =
+  Array.to_list t.switches
+  |> List.filter_map (fun sw ->
+         match (Switch.members sw mc, Switch.topology sw mc) with
+         | Some m, Some tree -> Some (Switch.id sw, m, tree)
+         | _ -> None)
+
+let divergence t mc =
+  let problems = ref [] in
+  let report fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
+  (match states t mc with
+  | [] -> ()
+  | (ref_id, ref_members, ref_tree) :: rest ->
+    List.iter
+      (fun (id, m, tree) ->
+        if not (Member.equal m ref_members) then
+          report "switch %d member list differs from switch %d" id ref_id;
+        if not (Mctree.Tree.equal tree ref_tree) then
+          report "switch %d topology differs from switch %d" id ref_id)
+      rest;
+    let truth = truth_members t mc in
+    if not (Member.equal ref_members truth) then
+      report "member lists do not match injected ground truth";
+    if not (Member.is_empty truth) then begin
+      if not (Mctree.Tree.is_valid_mc_topology t.graph ref_tree) then
+        report "agreed topology is not a valid embedded tree";
+      let terminals = Mctree.Tree.Int_set.elements (Mctree.Tree.terminals ref_tree) in
+      if terminals <> Member.ids truth then
+        report "agreed topology terminals do not match the member set"
+    end);
+  Array.iter
+    (fun sw ->
+      if not (Switch.quiescent sw mc) then
+        report "switch %d still has pending work" (Switch.id sw))
+    t.switches;
+  List.rev !problems
+
+let converged t mc = divergence t mc = []
+
+let agreed_topology t mc =
+  match states t mc with
+  | (_, _, tree) :: _ when converged t mc -> Some tree
+  | _ -> None
+
+let converged_among t mc ids =
+  let sub =
+    List.filter_map
+      (fun i ->
+        let sw = t.switches.(i) in
+        match (Switch.members sw mc, Switch.topology sw mc) with
+        | Some m, Some tree -> Some (m, tree)
+        | _ -> None)
+      ids
+  in
+  List.for_all (fun i -> Switch.quiescent t.switches.(i) mc) ids
+  &&
+  match sub with
+  | [] -> true
+  | (m0, t0) :: rest ->
+    List.for_all
+      (fun (m, tree) -> Member.equal m m0 && Mctree.Tree.equal tree t0)
+      rest

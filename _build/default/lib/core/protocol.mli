@@ -1,0 +1,131 @@
+(** A D-GMC network: all switches, the shared flooding substrate, event
+    injection, and the measurements the paper's evaluation reports.
+
+    This is the top-level façade of the library.  Typical use:
+
+    {[
+      let rng = Sim.Rng.create 42 in
+      let g = Net.Topo_gen.waxman rng ~n:40 () in
+      let net = Protocol.create ~graph:g ~config:Config.default () in
+      let mc = Mc_id.make Symmetric 1 in
+      Protocol.schedule_join net ~at:0.0 ~switch:3 mc Member.Both;
+      Protocol.schedule_join net ~at:0.0 ~switch:17 mc Member.Both;
+      Protocol.run net;
+      assert (Protocol.converged net mc)
+    ]} *)
+
+type payload =
+  | Mc of Mc_lsa.t  (** An MC LSA ([F = mc]). *)
+  | Link of Lsr.Lsdb.link_event  (** A non-MC LSA ([F = ¬mc]). *)
+
+type totals = {
+  events : int;  (** Local events injected (join/leave/link per MC). *)
+  computations : int;  (** Topology computations completed, network-wide. *)
+  computations_withdrawn : int;
+  mc_floodings : int;  (** MC LSA flooding operations. *)
+  link_floodings : int;  (** Non-MC (link event) flooding operations. *)
+  proposals_flooded : int;
+  proposals_accepted : int;
+  messages : int;  (** Per-link LSA transmissions. *)
+}
+
+type t
+
+val create :
+  graph:Net.Graph.t -> config:Config.t -> ?trace:Sim.Trace.t -> unit -> t
+(** Build a network of [Net.Graph.n_nodes graph] switches, each booted
+    with a converged link-state image of [graph]. *)
+
+val engine : t -> Sim.Engine.t
+
+val add_observer : t -> (unit -> unit) -> unit
+(** Register a callback invoked after every protocol state change at any
+    switch (member list or topology installed, state deleted).  Used by
+    layers built on the protocol's complete-knowledge model, e.g.
+    {!Election.Leader} monitors.  Observers must not inject events
+    synchronously; schedule through the engine instead. *)
+
+val graph : t -> Net.Graph.t
+(** The real (ground-truth) topology. *)
+
+val config : t -> Config.t
+
+val n_switches : t -> int
+
+val switch : t -> int -> Switch.t
+
+(** {1 Event injection} *)
+
+val join : t -> switch:int -> Mc_id.t -> Member.role -> unit
+(** Host join at the given ingress switch, {e now} (at the engine's
+    current time). *)
+
+val leave : t -> switch:int -> Mc_id.t -> unit
+
+val link_down : t -> int -> int -> unit
+(** Take a live link down now: the real graph changes, both endpoint
+    switches detect it, flood a non-MC LSA each, and run [EventHandler]
+    for the MCs whose local topology used the link. *)
+
+val link_up : t -> int -> int -> unit
+(** Restore a link; endpoints flood non-MC LSAs (no MC LSAs: an MC
+    topology is never improved reactively by a link recovery). *)
+
+val schedule_join :
+  t -> at:float -> switch:int -> Mc_id.t -> Member.role -> unit
+
+val schedule_leave : t -> at:float -> switch:int -> Mc_id.t -> unit
+
+val schedule_link_down : t -> at:float -> int -> int -> unit
+
+val schedule_link_up : t -> at:float -> int -> int -> unit
+
+(** {1 Running} *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Advance the simulation until quiescence (or the given bounds). *)
+
+(** {1 Measurements} *)
+
+val totals : t -> totals
+(** Aggregated counters since creation (or the last {!reset_counters}). *)
+
+val reset_counters : t -> unit
+(** Zero all counters and the activity clock, and set the measurement
+    epoch to the current simulated time.  Call between workload phases. *)
+
+val first_event_time : t -> float option
+(** Time of the first injected event since the last reset. *)
+
+val last_change_time : t -> float option
+(** Time of the last member-list or topology change at any switch since
+    the last reset. *)
+
+val convergence_rounds : t -> float option
+(** [(last_change - first_event) / round_length] — the paper's
+    convergence time in rounds (Figure 6(c)).  [None] until an event and
+    a change have happened. *)
+
+(** {1 Agreement} *)
+
+val converged : t -> Mc_id.t -> bool
+(** Every switch holding state for the MC agrees on the member list and
+    the topology, every such topology is valid for the real graph and
+    the real member set, and no mailbox or computation is pending.
+    Vacuously true when no switch holds state. *)
+
+val divergence : t -> Mc_id.t -> string list
+(** Human-readable reasons why {!converged} is false (empty when true) —
+    for tests and debugging. *)
+
+val agreed_topology : t -> Mc_id.t -> Mctree.Tree.t option
+(** The common topology when {!converged} holds and at least one switch
+    has state. *)
+
+val converged_among : t -> Mc_id.t -> int list -> bool
+(** Mutual agreement (member lists, topologies, quiescence) restricted
+    to the given switches, without the ground-truth and validity checks.
+    This is the meaningful property when the network has partitioned —
+    global agreement is unattainable then (the paper leaves partitions
+    to future work), but every switch {e within} one partition side must
+    still agree. *)

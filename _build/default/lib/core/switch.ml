@@ -1,0 +1,480 @@
+module Mc_table = Hashtbl.Make (struct
+  type t = Mc_id.t
+
+  let equal = Mc_id.equal
+
+  let hash = Mc_id.hash
+end)
+
+type stats = {
+  mutable computations : int;
+  mutable computations_withdrawn : int;
+  mutable proposals_flooded : int;
+  mutable event_lsas_flooded : int;
+  mutable proposals_accepted : int;
+  mutable lsas_received : int;
+}
+
+type t = {
+  id : int;
+  n : int;
+  config : Config.t;
+  engine : Sim.Engine.t;
+  lsdb : Lsr.Lsdb.t;
+  mcs : Mc_state.t Mc_table.t;
+  tombstones : (Timestamp.t * Timestamp.t * int array) Mc_table.t;
+      (** (R, E, membership_seen) captured when an MC's state is deleted.
+          Deletion frees the member list and topology, but event
+          numbering must survive: a leave racing with a remote join can
+          delete state while the MC lives on, and if a recreated state
+          restarted its counters from zero, its events would read as
+          stale (and merged E promises could never be met).  Recreation
+          resumes from the tombstone. *)
+  mutable flood : Mc_lsa.t -> unit;
+  mutable on_change : unit -> unit;
+  stats : stats;
+  trace : Sim.Trace.t;
+}
+
+let create ~id ~n ~config ~engine ~graph ?(trace = Sim.Trace.disabled) () =
+  {
+    id;
+    n;
+    config;
+    engine;
+    lsdb = Lsr.Lsdb.create graph;
+    mcs = Mc_table.create 8;
+    tombstones = Mc_table.create 8;
+    flood = (fun _ -> failwith "Switch: flood callback not installed");
+    on_change = (fun () -> ());
+    stats =
+      {
+        computations = 0;
+        computations_withdrawn = 0;
+        proposals_flooded = 0;
+        event_lsas_flooded = 0;
+        proposals_accepted = 0;
+        lsas_received = 0;
+      };
+    trace;
+  }
+
+let id t = t.id
+
+let stats t = t.stats
+
+let image t = Lsr.Lsdb.graph t.lsdb
+
+let set_flood t f = t.flood <- f
+
+let set_on_change t f = t.on_change <- f
+
+let tracef t category fmt =
+  Sim.Trace.recordf t.trace ~time:(Sim.Engine.now t.engine) ~category fmt
+
+(* ------------------------------------------------------------------ *)
+(* State table *)
+
+let get_state t mc = Mc_table.find_opt t.mcs mc
+
+let get_or_create t mc =
+  match Mc_table.find_opt t.mcs mc with
+  | Some st -> st
+  | None ->
+    let st = Mc_state.create ~n:t.n in
+    (* Resume event numbering where the previous incarnation left off. *)
+    (match Mc_table.find_opt t.tombstones mc with
+    | Some (r, e, seen) ->
+      st.r <- r;
+      st.e <- Timestamp.merge e r;
+      Array.blit seen 0 st.membership_seen 0 t.n
+    | None -> ());
+    Mc_table.replace t.mcs mc st;
+    st
+
+(* A completion callback may fire after its state was deleted (and
+   possibly recreated); physical equality identifies the incarnation. *)
+let state_current t mc st =
+  match Mc_table.find_opt t.mcs mc with Some s -> s == st | None -> false
+
+(* MC destruction (paper §3.4): drop the state once the member list is
+   empty — guarded so that no promised LSAs, queued LSAs or in-flight
+   computations are abandoned, which keeps the timestamp accounting of
+   the remaining switches sound. *)
+let maybe_delete t mc (st : Mc_state.t) =
+  if
+    state_current t mc st
+    && Member.is_empty st.members
+    && Timestamp.geq st.r st.e
+    && Queue.is_empty st.mailbox
+    && st.event_computations = []
+    && st.triggered = None
+  then begin
+    tracef t "mc-delete" "%a deleted" Mc_id.pp mc;
+    Mc_table.replace t.tombstones mc
+      (st.r, st.e, Array.copy st.membership_seen);
+    Mc_table.remove t.mcs mc;
+    (* Deletion is a state change observers care about (e.g. hierarchy
+       leaders watching the logical level). *)
+    t.on_change ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Flooding and installation *)
+
+let flood_lsa t mc ~event ~proposal ?members ~stamp () =
+  (match proposal with
+  | Some _ -> t.stats.proposals_flooded <- t.stats.proposals_flooded + 1
+  | None -> t.stats.event_lsas_flooded <- t.stats.event_lsas_flooded + 1);
+  tracef t "flood" "%a %s %s" Mc_id.pp mc
+    (Mc_lsa.event_to_string event)
+    (match proposal with Some _ -> "with proposal" | None -> "event-only");
+  t.flood (Mc_lsa.make ~src:t.id ~event ~mc ?proposal ?members ~stamp ())
+
+let install t (st : Mc_state.t) ~stamp ~tree =
+  st.c <- stamp;
+  st.topology <- tree;
+  t.on_change ()
+
+let compute_proposal t (st : Mc_state.t) (mc : Mc_id.t) =
+  Compute.topology t.config mc.kind (Lsr.Lsdb.graph t.lsdb) st.members
+    ~self:t.id ~current:(Some st.topology)
+
+(* ------------------------------------------------------------------ *)
+(* EventHandler (Figure 4) *)
+
+let remove_computation (st : Mc_state.t) comp =
+  st.event_computations <- List.filter (fun c -> c != comp) st.event_computations
+
+let rec event_handler t mc event =
+  let st = get_or_create t mc in
+  (* The switch's own membership change applies immediately; received
+     LSAs apply it at the other switches (Figure 5 line 8). *)
+  (match event with
+  | Mc_lsa.Join role ->
+    st.members <- Member.join st.members t.id role;
+    t.on_change ()
+  | Mc_lsa.Leave ->
+    st.members <- Member.leave st.members t.id;
+    t.on_change ()
+  | Mc_lsa.Link | Mc_lsa.No_event -> ());
+  (* Line 1: R[x]++, E[x]++ — numbering is continuous across state
+     incarnations because recreation resumes from the tombstone. *)
+  st.r <- Timestamp.bump st.r t.id;
+  st.e <- Timestamp.bump st.e t.id;
+  st.membership_seen.(t.id) <- Timestamp.get st.r t.id;
+  if Timestamp.geq st.r st.e then begin
+    (* Lines 3-5: no outstanding LSAs — compute a proposal.  The result
+       is fixed by the inputs now; validity is re-checked at +Tc. *)
+    let old_r = st.r in
+    let proposal = compute_proposal t st mc in
+    let rec comp =
+      lazy
+        ({
+           old_r;
+           event;
+           proposal;
+           handle =
+             Sim.Engine.schedule t.engine ~delay:t.config.tc (fun () ->
+                 event_completion t mc st (Lazy.force comp));
+         }
+          : Mc_state.computation)
+    in
+    let comp = Lazy.force comp in
+    st.event_computations <- st.event_computations @ [ comp ];
+    tracef t "compute" "%a event %s: started" Mc_id.pp mc
+      (Mc_lsa.event_to_string event)
+  end
+  else begin
+    (* Lines 15-17: outstanding LSAs — flood the bare event and defer the
+       proposal decision to ReceiveLSA. *)
+    flood_lsa t mc ~event ~proposal:None ~stamp:st.r ();
+    st.flag <- true
+  end;
+  maybe_delete t mc st
+
+(* Lines 6-14, run at computation completion. *)
+and event_completion t mc (st : Mc_state.t) (comp : Mc_state.computation) =
+  remove_computation st comp;
+  if state_current t mc st then begin
+    t.stats.computations <- t.stats.computations + 1;
+    if Timestamp.equal comp.old_r st.r then begin
+      (* Line 7-10: proposal still valid — flood it and adopt it.  The
+         member snapshot corresponds to [old_r] (= R, no events arrived
+         during the computation). *)
+      flood_lsa t mc ~event:comp.event ~proposal:(Some comp.proposal)
+        ~members:st.members ~stamp:comp.old_r ();
+      st.c <- comp.old_r;
+      st.flag <- false;
+      st.topology <- comp.proposal;
+      t.on_change ()
+    end
+    else begin
+      (* Lines 11-13: R advanced during the computation — withdraw, but
+         the event itself must still be advertised. *)
+      t.stats.computations_withdrawn <- t.stats.computations_withdrawn + 1;
+      flood_lsa t mc ~event:comp.event ~proposal:None ~stamp:comp.old_r ();
+      st.flag <- true
+    end;
+    maybe_delete t mc st
+  end
+
+(* ------------------------------------------------------------------ *)
+(* ReceiveLSA (Figure 5) *)
+
+(* Lines 4-17: consume one LSA. *)
+let process_lsa t (st : Mc_state.t) (lsa : Mc_lsa.t) candidate =
+  let s = lsa.src in
+  if Mc_lsa.is_event lsa then begin
+    (* Line 7: count the event.  The stamp's own component carries the
+       event's index at its source, so "raise to" rather than increment —
+       equivalent on in-order floods, and robust when knowledge arrived
+       in aggregated form (post-partition resynchronisation). *)
+    st.r <- Timestamp.raise_to st.r s (Timestamp.get lsa.stamp s);
+    (* Line 8: apply membership changes.  T[S] sequences the events of
+       switch S, so a reordered stale membership LSA is counted but not
+       applied over a newer one. *)
+    if Mc_lsa.is_membership_event lsa then begin
+      let seq = Timestamp.get lsa.stamp s in
+      if seq > st.membership_seen.(s) then begin
+        st.membership_seen.(s) <- seq;
+        tracef t "member" "sw%d applies %s from %d seq %d" t.id
+          (Mc_lsa.event_to_string lsa.event) s seq;
+        (match lsa.event with
+        | Mc_lsa.Join role -> st.members <- Member.join st.members s role
+        | Mc_lsa.Leave -> st.members <- Member.leave st.members s
+        | Mc_lsa.Link | Mc_lsa.No_event -> ());
+        t.on_change ()
+      end
+      else
+        tracef t "member" "sw%d SKIPS stale %s from %d seq %d (seen %d)" t.id
+          (Mc_lsa.event_to_string lsa.event) s seq st.membership_seen.(s)
+    end
+  end;
+  (* Line 10: learn what to expect. *)
+  st.e <- Timestamp.merge st.e lsa.stamp;
+  (* Resynchronisation extension: an up-to-date proposal's member-list
+     snapshot is authoritative for everything its stamp covers.  This is
+     how a switch that missed events across a healed partition catches
+     up without replaying them. *)
+  (match lsa.members with
+  | Some snapshot when Timestamp.geq lsa.stamp st.e ->
+    if not (Member.equal st.members snapshot) then begin
+      tracef t "adopt" "sw%d adopts snapshot %s from src %d stamp %s E=%s R=%s (was %s)"
+        t.id (Format.asprintf "%a" Member.pp snapshot) lsa.src
+        (Format.asprintf "%a" Timestamp.pp lsa.stamp)
+        (Format.asprintf "%a" Timestamp.pp st.e)
+        (Format.asprintf "%a" Timestamp.pp st.r)
+        (Format.asprintf "%a" Member.pp st.members);
+      st.members <- snapshot;
+      t.on_change ()
+    end;
+    Array.iteri
+      (fun i seen ->
+        let promised = Timestamp.get lsa.stamp i in
+        if promised > seen then st.membership_seen.(i) <- promised)
+      st.membership_seen;
+    st.r <- Timestamp.merge st.r lsa.stamp
+  | Some _ | None -> ());
+  (* Lines 11-17: accept an up-to-date proposal, or detect that the
+     sender did not know all our local events.
+
+     Tie-break extension: two switches holding the same event knowledge
+     can legitimately flood different trees under the SAME stamp, because
+     incremental updates (§3.5) are history-dependent.  The paper
+     implicitly assumes deterministic computation; with incremental
+     updates we restore network-wide determinism by preferring, among
+     equal-stamp proposals, the Tree.compare-minimal one — every switch
+     sees every flooded proposal, so every switch settles on the same
+     winner regardless of arrival order. *)
+  match lsa.proposal with
+  | Some tree when Timestamp.geq lsa.stamp st.e ->
+    let replaces =
+      match !candidate with
+      | None -> true
+      | Some (cur_tree, cur_stamp) ->
+        Timestamp.gt lsa.stamp cur_stamp
+        || (Timestamp.equal lsa.stamp cur_stamp
+            && Mctree.Tree.compare tree cur_tree < 0)
+    in
+    if replaces then candidate := Some (tree, lsa.stamp);
+    st.flag <- false
+  | Some _ | None ->
+    if Timestamp.get st.r t.id > Timestamp.get lsa.stamp t.id then
+      st.flag <- true
+
+let rec run_invocation t mc (st : Mc_state.t) =
+  (* Lines 1-2: candidate proposal local to this invocation. *)
+  let candidate = ref None in
+  (* Lines 3-18: drain the mailbox. *)
+  while not (Queue.is_empty st.mailbox) do
+    process_lsa t st (Queue.pop st.mailbox) candidate
+  done;
+  (* Line 19: decide whether to compute. *)
+  if st.flag && Timestamp.geq st.r st.e && Timestamp.gt st.r st.c then
+    start_triggered t mc st
+  else begin
+    (* Lines 32-35: adopt an accepted proposal.  A candidate whose stamp
+       only ties the installed topology's C replaces it solely when it
+       wins the deterministic tie-break (see process_lsa). *)
+    match !candidate with
+    | Some (tree, stamp) ->
+      let replaces =
+        Timestamp.gt stamp st.c
+        || (Timestamp.equal stamp st.c
+            && Mctree.Tree.compare tree st.topology < 0)
+      in
+      if replaces then begin
+        t.stats.proposals_accepted <- t.stats.proposals_accepted + 1;
+        install t st ~stamp ~tree
+      end
+    | None -> ()
+  end;
+  maybe_delete t mc st
+
+and start_triggered t mc (st : Mc_state.t) =
+  let old_r = st.r in
+  let proposal = compute_proposal t st mc in
+  let rec comp =
+    lazy
+      ({
+         old_r;
+         event = Mc_lsa.No_event;
+         proposal;
+         handle =
+           Sim.Engine.schedule t.engine ~delay:t.config.tc (fun () ->
+               triggered_completion t mc st (Lazy.force comp));
+       }
+        : Mc_state.computation)
+  in
+  st.triggered <- Some (Lazy.force comp);
+  tracef t "compute" "%a triggered: started" Mc_id.pp mc
+
+(* Lines 22-31, run at computation completion. *)
+and triggered_completion t mc (st : Mc_state.t) (comp : Mc_state.computation) =
+  if st.triggered <> None then begin
+    st.triggered <- None;
+    if state_current t mc st then begin
+      t.stats.computations <- t.stats.computations + 1;
+      if Queue.is_empty st.mailbox && Timestamp.equal comp.old_r st.r then begin
+        (* Lines 23-27: still up to date — flood, install, expect no
+           more. *)
+        flood_lsa t mc ~event:Mc_lsa.No_event ~proposal:(Some comp.proposal)
+          ~members:st.members ~stamp:comp.old_r ();
+        st.e <- comp.old_r;
+        st.flag <- false;
+        install t st ~stamp:comp.old_r ~tree:comp.proposal
+      end
+      else
+        (* Lines 28-30: obsolete — withdraw silently. *)
+        t.stats.computations_withdrawn <- t.stats.computations_withdrawn + 1;
+      if not (Queue.is_empty st.mailbox) then run_invocation t mc st
+      else maybe_delete t mc st
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Database resynchronisation (extension; see mli) *)
+
+let resync t ~peer =
+  Mc_table.iter
+    (fun mc (pst : Mc_state.t) ->
+      let st = get_or_create t mc in
+      let merged_r = Timestamp.merge st.r pst.r in
+      let learned = not (Timestamp.equal merged_r st.r) in
+      st.e <- Timestamp.merge st.e pst.e;
+      if learned then begin
+        (* Adopt the peer's per-source membership knowledge where it is
+           newer; its member entry for source [s] reflects all of [s]'s
+           events up to pst.membership_seen.(s). *)
+        Array.iteri
+          (fun src peer_seen ->
+            if peer_seen > st.membership_seen.(src) then begin
+              st.membership_seen.(src) <- peer_seen;
+              (match Member.role pst.members src with
+              | Some role -> st.members <- Member.join st.members src role
+              | None -> st.members <- Member.leave st.members src);
+              t.on_change ()
+            end)
+          pst.membership_seen;
+        st.r <- merged_r;
+        (* Adopt the peer's installed topology when based on newer state
+           (same acceptance rule as for received proposals). *)
+        if
+          Timestamp.gt pst.c st.c
+          || (Timestamp.equal pst.c st.c
+             && Mctree.Tree.compare pst.topology st.topology < 0)
+        then install t st ~stamp:pst.c ~tree:pst.topology;
+        st.flag <- true;
+        tracef t "resync" "%a pulled newer state from switch %d" Mc_id.pp mc
+          peer.id;
+        if
+          st.triggered = None
+          && Timestamp.geq st.r st.e
+          && Timestamp.gt st.r st.c
+        then start_triggered t mc st
+      end)
+    peer.mcs
+
+(* ------------------------------------------------------------------ *)
+(* Public entry points *)
+
+let host_join t mc role = event_handler t mc (Mc_lsa.Join role)
+
+let host_leave t mc = event_handler t mc Mc_lsa.Leave
+
+let link_event t ~u ~v ~up ~detector =
+  Lsr.Lsdb.apply t.lsdb { u; v; up };
+  if detector && not up then begin
+    let affected =
+      Mc_table.fold
+        (fun mc (st : Mc_state.t) acc ->
+          if Mctree.Tree.mem_edge st.topology u v then mc :: acc else acc)
+        t.mcs []
+    in
+    (* One MC LSA per affected connection (paper Figure 2). *)
+    List.iter (fun mc -> event_handler t mc Mc_lsa.Link) affected
+  end
+
+let receive t lsa =
+  t.stats.lsas_received <- t.stats.lsas_received + 1;
+  match get_state t lsa.Mc_lsa.mc with
+  | None when not (Mc_lsa.is_event lsa) ->
+    (* A bare proposal for an MC this switch holds no state for: the MC
+       is already destroyed locally; ignore rather than resurrect. *)
+    ()
+  | maybe_state ->
+    let st =
+      match maybe_state with
+      | Some st -> st
+      | None -> get_or_create t lsa.Mc_lsa.mc
+    in
+    Queue.push lsa st.mailbox;
+    (* ReceiveLSA is activated whenever LSAs are present — unless its
+       single process is mid-computation, in which case the mailbox
+       accumulates until the completion handler re-invokes it. *)
+    if st.triggered = None then run_invocation t lsa.Mc_lsa.mc st
+
+(* ------------------------------------------------------------------ *)
+(* Introspection *)
+
+let mc_ids t =
+  Mc_table.fold (fun mc _ acc -> mc :: acc) t.mcs []
+  |> List.sort Mc_id.compare
+
+let members t mc =
+  Option.map (fun (st : Mc_state.t) -> st.members) (get_state t mc)
+
+let topology t mc =
+  Option.map (fun (st : Mc_state.t) -> st.topology) (get_state t mc)
+
+let stamps t mc =
+  Option.map (fun (st : Mc_state.t) -> (st.r, st.e, st.c)) (get_state t mc)
+
+let quiescent t mc =
+  match get_state t mc with
+  | None -> true
+  | Some st ->
+    Queue.is_empty st.mailbox
+    && st.event_computations = []
+    && st.triggered = None

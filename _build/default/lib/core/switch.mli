@@ -1,0 +1,100 @@
+(** A D-GMC protocol switch: the two protocol entities of paper §3.3.
+
+    [EventHandler()] (Figure 4) runs when a local event — a host
+    join/leave through this ingress switch, or an incident link event
+    affecting an MC — occurs.  [ReceiveLSA()] (Figure 5) runs whenever MC
+    LSAs are present in the switch's mailbox.  Topology computations take
+    [Config.tc] of simulated time; both entities re-validate their saved
+    [old_R] against the live [R] at completion and withdraw proposals that
+    became stale, exactly as the paper prescribes.
+
+    A switch never floods LSAs itself: it calls the [flood] callback
+    installed by {!Protocol}, which wraps the payload in an {!Lsr.Lsa.t}
+    envelope and runs the shared flooding machinery. *)
+
+type stats = {
+  mutable computations : int;
+      (** Topology computations completed (proposals per event metric). *)
+  mutable computations_withdrawn : int;
+      (** Completed computations whose proposal was withdrawn. *)
+  mutable proposals_flooded : int;
+  mutable event_lsas_flooded : int;  (** MC LSAs flooded without proposal. *)
+  mutable proposals_accepted : int;  (** Received proposals installed. *)
+  mutable lsas_received : int;
+}
+
+type t
+
+val create :
+  id:int ->
+  n:int ->
+  config:Config.t ->
+  engine:Sim.Engine.t ->
+  graph:Net.Graph.t ->
+  ?trace:Sim.Trace.t ->
+  unit ->
+  t
+(** [graph] seeds the switch's private link-state image (a deep copy). *)
+
+val id : t -> int
+
+val stats : t -> stats
+
+val image : t -> Net.Graph.t
+(** The switch's current link-state image. *)
+
+val set_flood : t -> (Mc_lsa.t -> unit) -> unit
+(** Install the flooding callback.  Must be called before any event. *)
+
+val set_on_change : t -> (unit -> unit) -> unit
+(** Hook invoked whenever this switch installs a topology or updates a
+    member list — used for convergence-time measurement. *)
+
+(** {1 Local events (EventHandler)} *)
+
+val host_join : t -> Mc_id.t -> Member.role -> unit
+(** A host attached to this switch joins the MC. *)
+
+val host_leave : t -> Mc_id.t -> unit
+(** The switch's last interested host leaves. *)
+
+val link_event : t -> u:int -> v:int -> up:bool -> detector:bool -> unit
+(** Apply a link status change to the local image.  When [detector] is
+    true (the link is incident to this switch, which noticed the change)
+    and the link went down, [EventHandler] runs for every MC whose
+    current local topology uses the link (paper Figure 2). *)
+
+(** {1 LSA reception (ReceiveLSA)} *)
+
+val receive : t -> Mc_lsa.t -> unit
+(** Deliver one MC LSA into the mailbox; triggers a [ReceiveLSA()]
+    invocation unless one is mid-computation. *)
+
+(** {1 Database resynchronisation (extension)} *)
+
+val resync : t -> peer:t -> unit
+(** Pull the peer switch's MC knowledge into this switch — the MC-level
+    analogue of an OSPF database exchange when an adjacency forms.  For
+    every MC the peer tracks, merge its [R]/[E] vectors, adopt its
+    per-source membership knowledge where newer, adopt its topology where
+    based on newer state, and — when anything new was learned — schedule
+    a topology computation whose proposal refloods the reconciled state.
+    The paper leaves network partitioning "for further study"; this is
+    the missing piece that lets the two sides of a healed partition
+    reconverge (see DESIGN.md). *)
+
+(** {1 Introspection} *)
+
+val mc_ids : t -> Mc_id.t list
+(** MCs this switch currently holds state for, sorted. *)
+
+val members : t -> Mc_id.t -> Member.t option
+
+val topology : t -> Mc_id.t -> Mctree.Tree.t option
+
+val stamps : t -> Mc_id.t -> (Timestamp.t * Timestamp.t * Timestamp.t) option
+(** [(R, E, C)]. *)
+
+val quiescent : t -> Mc_id.t -> bool
+(** No pending computations and an empty mailbox for the MC (vacuously
+    true when no state exists). *)

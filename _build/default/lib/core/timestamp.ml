@@ -1,0 +1,71 @@
+type t = int array
+(* Never mutated after construction; every operation returns a copy. *)
+
+let zero n =
+  if n <= 0 then invalid_arg "Timestamp.zero: size must be positive";
+  Array.make n 0
+
+let size = Array.length
+
+let get t x =
+  if x < 0 || x >= Array.length t then invalid_arg "Timestamp.get: out of range";
+  t.(x)
+
+let bump t x =
+  if x < 0 || x >= Array.length t then invalid_arg "Timestamp.bump: out of range";
+  let copy = Array.copy t in
+  copy.(x) <- copy.(x) + 1;
+  copy
+
+let raise_to t x v =
+  if x < 0 || x >= Array.length t then
+    invalid_arg "Timestamp.raise_to: out of range";
+  if v <= t.(x) then t
+  else begin
+    let copy = Array.copy t in
+    copy.(x) <- v;
+    copy
+  end
+
+let check_sizes a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Timestamp: size mismatch"
+
+let merge a b =
+  check_sizes a b;
+  Array.mapi (fun i ai -> max ai b.(i)) a
+
+let geq a b =
+  check_sizes a b;
+  let ok = ref true in
+  Array.iteri (fun i ai -> if ai < b.(i) then ok := false) a;
+  !ok
+
+let equal a b =
+  check_sizes a b;
+  a = b
+
+let gt a b = geq a b && not (equal a b)
+
+let order a b =
+  match (geq a b, geq b a) with
+  | true, true -> `Eq
+  | true, false -> `Gt
+  | false, true -> `Lt
+  | false, false -> `Concurrent
+
+let sum t = Array.fold_left ( + ) 0 t
+
+let of_array a =
+  Array.iter (fun x -> if x < 0 then invalid_arg "Timestamp.of_array: negative") a;
+  if Array.length a = 0 then invalid_arg "Timestamp.of_array: empty";
+  Array.copy a
+
+let to_array t = Array.copy t
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_seq
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    (Array.to_seq t)

@@ -1,0 +1,56 @@
+(** Vector timestamps (paper §3).
+
+    A timestamp is an n-tuple of natural numbers, where n is the number
+    of switches; component [x] counts how many events have been heard
+    from switch [x] for a given MC.  Timestamps are partially ordered
+    componentwise; D-GMC uses them to detect topology proposals based on
+    incomplete or obsolete information.
+
+    Values are immutable: protocol state updates replace whole
+    timestamps, which makes the saved-[old_R]-versus-current-[R]
+    comparisons of the paper's algorithms trivially safe. *)
+
+type t
+
+val zero : int -> t
+(** [zero n] is the n-component all-zero timestamp. *)
+
+val size : t -> int
+
+val get : t -> int -> int
+(** Component access; raises [Invalid_argument] when out of range. *)
+
+val bump : t -> int -> t
+(** [bump t x] increments component [x]. *)
+
+val raise_to : t -> int -> int -> t
+(** [raise_to t x v] sets component [x] to [max (get t x) v] — used when
+    an LSA's stamp conveys how many events its source had produced,
+    which supersedes counting arrivals one by one. *)
+
+val merge : t -> t -> t
+(** Componentwise maximum — the least upper bound.  This is the paper's
+    "E\[i\] = max(E\[i\], T\[i\])" update.  Sizes must agree. *)
+
+val geq : t -> t -> bool
+(** [geq a b] is the paper's [a >= b]: every component of [a] is at least
+    the corresponding component of [b]. *)
+
+val gt : t -> t -> bool
+(** Strict: [geq a b] and [a <> b]. *)
+
+val equal : t -> t -> bool
+
+val order : t -> t -> [ `Eq | `Lt | `Gt | `Concurrent ]
+(** Full classification under the partial order. *)
+
+val sum : t -> int
+(** Total number of events counted — handy in tests and traces. *)
+
+val of_array : int array -> t
+(** Copies; components must be non-negative. *)
+
+val to_array : t -> int array
+(** Fresh copy. *)
+
+val pp : Format.formatter -> t -> unit

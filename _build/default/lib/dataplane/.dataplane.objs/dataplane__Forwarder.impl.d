@@ -1,0 +1,1 @@
+lib/dataplane/forwarder.ml: Float Hashtbl List Mctree Metrics Net Sim

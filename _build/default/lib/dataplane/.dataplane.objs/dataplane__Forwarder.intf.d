@@ -1,0 +1,1 @@
+lib/dataplane/forwarder.mli: Mctree Net Sim

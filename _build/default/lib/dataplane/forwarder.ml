@@ -1,0 +1,137 @@
+type port = { mutable busy_until : float; mutable queued : int }
+
+type t = {
+  engine : Sim.Engine.t;
+  graph : Net.Graph.t;
+  bandwidth : float;
+  queue_capacity : int;
+  prop_of_weight : float -> float;
+  ports : (int * int, port) Hashtbl.t;  (** keyed by (from, to): directed. *)
+  mutable sent : int;
+  mutable dropped : int;
+}
+
+let create ~engine ~graph ?(bandwidth = 100e6) ?(queue_capacity = 64)
+    ?(prop_of_weight = fun w -> w *. 1e-4) () =
+  if bandwidth <= 0.0 then invalid_arg "Forwarder.create: bandwidth <= 0";
+  if queue_capacity < 1 then invalid_arg "Forwarder.create: queue_capacity < 1";
+  {
+    engine;
+    graph;
+    bandwidth;
+    queue_capacity;
+    prop_of_weight;
+    ports = Hashtbl.create 64;
+    sent = 0;
+    dropped = 0;
+  }
+
+let port t u v =
+  match Hashtbl.find_opt t.ports (u, v) with
+  | Some p -> p
+  | None ->
+    let p = { busy_until = 0.0; queued = 0 } in
+    Hashtbl.replace t.ports (u, v) p;
+    p
+
+(* Transmit one packet from [u] to [v]; [k] runs at arrival time (or
+   never, if the packet is dropped or the link is down). *)
+let transmit t ~u ~v ~size_bits k =
+  t.sent <- t.sent + 1;
+  if not (Net.Graph.link_is_up t.graph u v) then t.dropped <- t.dropped + 1
+  else begin
+    let p = port t u v in
+    if p.queued >= t.queue_capacity then t.dropped <- t.dropped + 1
+    else begin
+      let now = Sim.Engine.now t.engine in
+      let tx_time = size_bits /. t.bandwidth in
+      let start = Float.max now p.busy_until in
+      p.busy_until <- start +. tx_time;
+      p.queued <- p.queued + 1;
+      let done_at = start +. tx_time in
+      ignore
+        (Sim.Engine.schedule_at t.engine ~time:done_at (fun () ->
+             p.queued <- p.queued - 1));
+      let arrival = done_at +. t.prop_of_weight (Net.Graph.weight t.graph u v) in
+      ignore (Sim.Engine.schedule_at t.engine ~time:arrival (fun () -> k ()))
+    end
+  end
+
+let multicast t ~tree ~src ~size_bits ~on_deliver =
+  if not (Mctree.Tree.mem_node tree src) then
+    invalid_arg "Forwarder.multicast: source not on tree";
+  let rec forward ~at_node ~from =
+    if Mctree.Tree.is_terminal tree at_node && at_node <> src then
+      on_deliver ~receiver:at_node ~at:(Sim.Engine.now t.engine);
+    Mctree.Tree.Int_set.iter
+      (fun next ->
+        if Some next <> from then
+          transmit t ~u:at_node ~v:next ~size_bits (fun () ->
+              forward ~at_node:next ~from:(Some at_node)))
+      (Mctree.Tree.neighbors tree at_node)
+  in
+  forward ~at_node:src ~from:None
+
+let unicast t ~path ~size_bits ~on_deliver =
+  match path with
+  | [] -> invalid_arg "Forwarder.unicast: empty path"
+  | [ _ ] -> on_deliver ~at:(Sim.Engine.now t.engine)
+  | first :: _ ->
+    let rec hop = function
+      | u :: (v :: _ as rest) ->
+        transmit t ~u ~v ~size_bits (fun () -> hop rest)
+      | [ _ ] | [] -> on_deliver ~at:(Sim.Engine.now t.engine)
+    in
+    ignore first;
+    hop path
+
+let packets_sent t = t.sent
+
+let packets_dropped t = t.dropped
+
+let reset_counters t =
+  t.sent <- 0;
+  t.dropped <- 0
+
+module Sink = struct
+  type sink = { mutable arrivals : float list }
+
+  let create () = { arrivals = [] }
+
+  let record s ~at = s.arrivals <- at :: s.arrivals
+
+  let received s = List.length s.arrivals
+
+  let gaps s =
+    let sorted = List.sort compare (List.rev s.arrivals) in
+    let rec pairwise = function
+      | a :: (b :: _ as rest) -> (b -. a) :: pairwise rest
+      | [ _ ] | [] -> []
+    in
+    pairwise sorted
+
+  let mean_gap s =
+    match gaps s with [] -> 0.0 | gs -> Metrics.Stats.mean gs
+
+  let jitter s =
+    match gaps s with
+    | [] -> 0.0
+    | gs ->
+      let m = Metrics.Stats.mean gs in
+      Metrics.Stats.mean (List.map (fun g -> Float.abs (g -. m)) gs)
+end
+
+let cbr t ~tree ~src ~rate_pps ~size_bits ~count ~sinks =
+  if rate_pps <= 0.0 then invalid_arg "Forwarder.cbr: rate <= 0";
+  let interval = 1.0 /. rate_pps in
+  let deliver ~receiver ~at =
+    match List.assoc_opt receiver sinks with
+    | Some sink -> Sink.record sink ~at
+    | None -> ()
+  in
+  for i = 0 to count - 1 do
+    ignore
+      (Sim.Engine.schedule t.engine
+         ~delay:(float_of_int i *. interval)
+         (fun () -> multicast t ~tree ~src ~size_bits ~on_deliver:deliver))
+  done

@@ -1,0 +1,94 @@
+(** Packet-level data plane: timed forwarding over MC topologies.
+
+    The protocol layer decides {e which} tree carries a connection; this
+    module answers {e how the tree behaves under load}, with the
+    store-and-forward link model the paper's ATM motivation implies:
+
+    - each direction of a link is a transmitter with a bandwidth, a
+      propagation delay (derived from the link weight), and a bounded
+      FIFO queue;
+    - a packet occupies the transmitter for [size / bandwidth], waits
+      behind queued packets, and is dropped when it arrives at a full
+      queue;
+    - multicast duplicates the packet at tree fan-out, exactly as a
+      switch fabric would.
+
+    Used by the media-session example and the jitter/loss tests; the
+    signaling experiments do not depend on it (the paper measures
+    signaling cost analytically, as do we). *)
+
+type t
+
+val create :
+  engine:Sim.Engine.t ->
+  graph:Net.Graph.t ->
+  ?bandwidth:float ->
+  ?queue_capacity:int ->
+  ?prop_of_weight:(float -> float) ->
+  unit ->
+  t
+(** [bandwidth] is in bits per second of each link direction (default
+    [100e6]); [queue_capacity] in packets per direction (default [64]);
+    [prop_of_weight] maps a link weight to propagation seconds (default
+    [fun w -> w *. 1e-4], i.e. a weight-10 link ≈ 1 ms). *)
+
+val multicast :
+  t ->
+  tree:Mctree.Tree.t ->
+  src:int ->
+  size_bits:float ->
+  on_deliver:(receiver:int -> at:float -> unit) ->
+  unit
+(** Inject one packet at [src] (which must be on the tree) now; it is
+    forwarded along tree edges with full timing, [on_deliver] firing for
+    every terminal reached (excluding [src]).  Drops are counted, not
+    reported per packet. *)
+
+val unicast :
+  t ->
+  path:int list ->
+  size_bits:float ->
+  on_deliver:(at:float -> unit) ->
+  unit
+(** Send one packet along an explicit node path. *)
+
+val packets_sent : t -> int
+(** Link transmissions attempted (per hop, per copy). *)
+
+val packets_dropped : t -> int
+(** Transmissions refused because a queue was full. *)
+
+val reset_counters : t -> unit
+
+(** {1 Constant-bit-rate sources and receiver statistics} *)
+
+module Sink : sig
+  type sink
+
+  val create : unit -> sink
+
+  val record : sink -> at:float -> unit
+  (** Feed from an [on_deliver] callback. *)
+
+  val received : sink -> int
+
+  val mean_gap : sink -> float
+  (** Mean inter-arrival gap (0 with fewer than two packets). *)
+
+  val jitter : sink -> float
+  (** Mean absolute deviation of inter-arrival gaps from their mean —
+      0 for a perfectly paced stream. *)
+end
+
+val cbr :
+  t ->
+  tree:Mctree.Tree.t ->
+  src:int ->
+  rate_pps:float ->
+  size_bits:float ->
+  count:int ->
+  sinks:(int * Sink.sink) list ->
+  unit
+(** Schedule [count] packets at fixed [1 / rate_pps] intervals starting
+    now, delivering into the per-receiver sinks (receivers without a
+    sink are delivered silently). *)

@@ -1,0 +1,1 @@
+lib/election/leader.ml: Array Dgmc Format List Net Sim

@@ -1,0 +1,1 @@
+lib/election/leader.mli: Dgmc Format

@@ -1,0 +1,52 @@
+let leader_at net ~switch mc =
+  let sw = Dgmc.Protocol.switch net switch in
+  match Dgmc.Switch.members sw mc with
+  | None -> None
+  | Some members ->
+    let image = Dgmc.Switch.image sw in
+    let reachable = Net.Bfs.reachable image switch in
+    List.find_opt (fun m -> reachable.(m)) (Dgmc.Member.ids members)
+
+let leaders_by_view net mc =
+  List.init (Dgmc.Protocol.n_switches net) (fun s ->
+      (s, leader_at net ~switch:s mc))
+
+let agreed_leader net mc =
+  match leaders_by_view net mc with
+  | [] -> None
+  | (_, first) :: rest ->
+    if first <> None && List.for_all (fun (_, l) -> l = first) rest then first
+    else None
+
+type transition = { at : float; previous : int option; current : int option }
+
+type monitor = {
+  net : Dgmc.Protocol.t;
+  switch : int;
+  mc : Dgmc.Mc_id.t;
+  mutable cur : int option;
+  mutable log : transition list;
+}
+
+let monitor net ~switch mc =
+  let m = { net; switch; mc; cur = leader_at net ~switch mc; log = [] } in
+  Dgmc.Protocol.add_observer net (fun () ->
+      let l = leader_at m.net ~switch:m.switch m.mc in
+      if l <> m.cur then begin
+        m.log <-
+          { at = Sim.Engine.now (Dgmc.Protocol.engine m.net); previous = m.cur; current = l }
+          :: m.log;
+        m.cur <- l
+      end);
+  m
+
+let current m = m.cur
+
+let transitions m = List.rev m.log
+
+let pp_transition ppf { at; previous; current } =
+  let pp_leader ppf = function
+    | Some l -> Format.fprintf ppf "switch %d" l
+    | None -> Format.pp_print_string ppf "none"
+  in
+  Format.fprintf ppf "[%g] leader %a -> %a" at pp_leader previous pp_leader current

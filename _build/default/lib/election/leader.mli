@@ -1,0 +1,61 @@
+(** Group leader election on top of D-GMC membership.
+
+    Many group applications need a distinguished member — a session
+    chair, a sequencer, the core of a shared structure.  Huang &
+    McKinley's companion work ("Group Leader Election under Link-State
+    Routing") builds election on the same foundation as D-GMC: every
+    switch holds complete knowledge (the agreed member list and the
+    link-state image), so leadership can be {e computed locally} by a
+    deterministic rule instead of negotiated with extra message rounds —
+    consensus on the inputs gives consensus on the leader.
+
+    This module implements that model.  The rule: the leader of an MC,
+    as seen from switch [s], is the smallest member switch reachable
+    from [s] on [s]'s link-state image.  Under normal operation every
+    switch sees the same members and a connected image, so all agree;
+    when the network partitions, each side deterministically elects its
+    smallest {e reachable} member — the "leader unreachable → new
+    consensus" transition of the companion paper's leadership consensus
+    machine — and re-merges to a single leader when D-GMC's state
+    reconciles after healing.
+
+    A {!monitor} watches one switch's view and records leadership
+    transitions, which is what an application process sitting on that
+    switch would observe. *)
+
+val leader_at : Dgmc.Protocol.t -> switch:int -> Dgmc.Mc_id.t -> int option
+(** The leader as computed by the given switch from its own MC state and
+    link-state image; [None] if the switch has no members recorded. *)
+
+val agreed_leader : Dgmc.Protocol.t -> Dgmc.Mc_id.t -> int option
+(** The network-wide leader when every switch's computation agrees;
+    [None] when views differ (convergence in progress or partition) or
+    no members exist. *)
+
+val leaders_by_view : Dgmc.Protocol.t -> Dgmc.Mc_id.t -> (int * int option) list
+(** [(switch, leader-as-seen-by-switch)] for every switch, ascending —
+    the raw data behind {!agreed_leader}, useful for asserting per-side
+    agreement under partition. *)
+
+(** {1 Observing transitions} *)
+
+type transition = {
+  at : float;  (** Simulated time. *)
+  previous : int option;
+  current : int option;
+}
+
+type monitor
+
+val monitor : Dgmc.Protocol.t -> switch:int -> Dgmc.Mc_id.t -> monitor
+(** Attach to a switch: every subsequent protocol state change at any
+    switch re-evaluates this switch's leader and records a transition
+    when it moved.  (Piggy-backs on the protocol's change notifications;
+    multiple monitors compose.) *)
+
+val current : monitor -> int option
+
+val transitions : monitor -> transition list
+(** Oldest first. *)
+
+val pp_transition : Format.formatter -> transition -> unit

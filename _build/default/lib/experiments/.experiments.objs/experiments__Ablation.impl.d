@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Dgmc Figures Harness List Lsr Mctree Metrics Option Sim Sys Workload

@@ -1,0 +1,1 @@
+lib/experiments/extra.ml: Dgmc Figures Float Harness List Lsr Metrics Option Sim Workload

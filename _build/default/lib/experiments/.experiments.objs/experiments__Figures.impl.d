@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Baselines Dgmc Harness Hashtbl List Mctree Metrics Option Sim

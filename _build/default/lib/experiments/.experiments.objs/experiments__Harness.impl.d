@@ -1,0 +1,1 @@
+lib/experiments/harness.ml: Baselines Dgmc Float List Lsr Net Sim Workload

@@ -1,0 +1,229 @@
+type series = {
+  label : string;
+  points : (int * Metrics.Stats.summary) list;
+}
+
+type bursty_result = {
+  proposals : series;
+  floodings : series;
+  convergence : series;
+  all_converged : bool;
+}
+
+let default_sizes = [ 20; 40; 60; 80; 100 ]
+
+let default_seeds = List.init 10 (fun i -> i + 1)
+
+let bursty config ~sizes ~seeds ~members =
+  let runs =
+    List.map
+      (fun n ->
+        (n, List.map (fun seed -> Harness.bursty_run ~seed ~n ~config ~members) seeds))
+      sizes
+  in
+  let series label extract =
+    {
+      label;
+      points =
+        List.map
+          (fun (n, rs) -> (n, Metrics.Stats.summarize (List.map extract rs)))
+          runs;
+    }
+  in
+  {
+    proposals = series "proposals/event" (fun r -> r.Harness.computations_per_event);
+    floodings = series "floodings/event" (fun r -> r.Harness.floodings_per_event);
+    convergence =
+      series "convergence (rounds)" (fun r ->
+          Option.value ~default:0.0 r.Harness.convergence_rounds);
+    all_converged =
+      List.for_all
+        (fun (_, rs) -> List.for_all (fun r -> r.Harness.converged) rs)
+        runs;
+  }
+
+let fig6 ?(sizes = default_sizes) ?(seeds = default_seeds) ?(members = 10) () =
+  bursty Dgmc.Config.atm_lan ~sizes ~seeds ~members
+
+let fig7 ?(sizes = default_sizes) ?(seeds = default_seeds) ?(members = 10) () =
+  bursty Dgmc.Config.wan ~sizes ~seeds ~members
+
+type normal_result = {
+  n_proposals : series;
+  n_floodings : series;
+  n_all_converged : bool;
+}
+
+let fig8 ?(sizes = default_sizes) ?(seeds = default_seeds) ?(events = 40)
+    ?(gap_rounds = 50.0) () =
+  let config = Dgmc.Config.atm_lan in
+  let runs =
+    List.map
+      (fun n ->
+        ( n,
+          List.map
+            (fun seed -> Harness.poisson_run ~seed ~n ~config ~events ~gap_rounds)
+            seeds ))
+      sizes
+  in
+  let series label extract =
+    {
+      label;
+      points =
+        List.map
+          (fun (n, rs) -> (n, Metrics.Stats.summarize (List.map extract rs)))
+          runs;
+    }
+  in
+  {
+    n_proposals = series "proposals/event" (fun r -> r.Harness.computations_per_event);
+    n_floodings = series "floodings/event" (fun r -> r.Harness.floodings_per_event);
+    n_all_converged =
+      List.for_all
+        (fun (_, rs) -> List.for_all (fun r -> r.Harness.converged) rs)
+        runs;
+  }
+
+type comparison = {
+  c_sizes : int list;
+  dgmc_computations : series;
+  brute_computations : series;
+  mospf_computations : series;
+  dgmc_floodings : series;
+  brute_floodings : series;
+  mospf_floodings : series;
+}
+
+let compare_protocols ?(sizes = default_sizes) ?(seeds = default_seeds)
+    ?(members = 10) ?(sources = 3) () =
+  let config = Dgmc.Config.atm_lan in
+  let sweep label runner =
+    let per_size =
+      List.map (fun n -> (n, List.map (fun seed -> runner ~seed ~n) seeds)) sizes
+    in
+    let reduce extract =
+      {
+        label;
+        points =
+          List.map
+            (fun (n, rs) -> (n, Metrics.Stats.summarize (List.map extract rs)))
+            per_size;
+      }
+    in
+    ( reduce (fun r -> r.Harness.computations_per_event),
+      reduce (fun r -> r.Harness.floodings_per_event) )
+  in
+  let dgmc_c, dgmc_f =
+    sweep "dgmc" (fun ~seed ~n -> Harness.bursty_run ~seed ~n ~config ~members)
+  in
+  let brute_c, brute_f =
+    sweep "brute-force" (fun ~seed ~n ->
+        Harness.brute_force_bursty_run ~seed ~n ~config ~members)
+  in
+  let mospf_c, mospf_f =
+    sweep "mospf" (fun ~seed ~n ->
+        Harness.mospf_bursty_run ~seed ~n ~config ~members ~sources)
+  in
+  {
+    c_sizes = sizes;
+    dgmc_computations = dgmc_c;
+    brute_computations = brute_c;
+    mospf_computations = mospf_c;
+    dgmc_floodings = dgmc_f;
+    brute_floodings = brute_f;
+    mospf_floodings = mospf_f;
+  }
+
+type cbt_row = {
+  strategy : string;
+  tree_cost : float;
+  max_link_load : int;
+  mean_link_load : float;
+  links_used : int;
+  mean_delay : float;
+  control_messages : int;
+}
+
+let cbt_comparison ?(seed = 1) ?(n = 60) ?(receivers = 12) ?(senders = 6)
+    ?(packets_per_sender = 5) () =
+  let graph = Harness.graph_for ~seed ~n in
+  let rng = Sim.Rng.create (seed lxor 0x9e3779b9) in
+  let all = List.init n (fun i -> i) in
+  let receiver_set = Sim.Rng.sample rng receivers all in
+  let sender_pool = List.filter (fun x -> not (List.mem x receiver_set)) all in
+  let sender_set = Sim.Rng.sample rng senders sender_pool in
+  let load_run tree ~deliver ~control ~strategy =
+    let loads = Hashtbl.create 64 in
+    let delays = ref [] in
+    List.iter
+      (fun src ->
+        for _ = 1 to packets_per_sender do
+          let report = deliver ~src in
+          Mctree.Delivery.accumulate_loads loads report;
+          List.iter
+            (fun (d : Mctree.Delivery.delivery) -> delays := d.delay :: !delays)
+            report.Mctree.Delivery.deliveries
+        done)
+      sender_set;
+    let link_loads = Hashtbl.fold (fun _ l acc -> float_of_int l :: acc) loads [] in
+    {
+      strategy;
+      tree_cost = Mctree.Tree.cost graph tree;
+      max_link_load = Mctree.Delivery.max_load loads;
+      mean_link_load =
+        (if link_loads = [] then 0.0 else Metrics.Stats.mean link_loads);
+      links_used = Hashtbl.length loads;
+      mean_delay = (if !delays = [] then 0.0 else Metrics.Stats.mean !delays);
+      control_messages = control;
+    }
+  in
+  (* D-GMC receiver-only MC: Steiner tree over the receivers, any node
+     can be the contact (nearest tree node). *)
+  let dgmc_tree = Mctree.Steiner.kmb graph receiver_set in
+  let dgmc_row =
+    load_run dgmc_tree
+      ~deliver:(fun ~src -> Mctree.Delivery.two_stage graph dgmc_tree ~src)
+      ~control:0 ~strategy:"dgmc shared (kmb, any contact)"
+  in
+  (* D-GMC asymmetric MCs: one source-rooted tree per sender.  This is
+     the configuration that spreads load — the shared-tree rows below
+     necessarily funnel every packet over every tree link, which is the
+     traffic concentration the paper attributes to CBT. *)
+  let spt_row =
+    let trees =
+      List.map
+        (fun src ->
+          (src, Mctree.Spt.source_rooted graph ~root:src ~receivers:receiver_set))
+        sender_set
+    in
+    let total_cost =
+      List.fold_left (fun acc (_, t) -> acc +. Mctree.Tree.cost graph t) 0.0 trees
+    in
+    let row =
+      load_run Mctree.Tree.empty
+        ~deliver:(fun ~src ->
+          Mctree.Delivery.multicast graph (List.assoc src trees) ~src)
+        ~control:0 ~strategy:"dgmc per-source (spt)"
+    in
+    { row with tree_cost = total_cost }
+  in
+  let cbt_with core strategy =
+    let cbt = Baselines.Cbt.create ~graph ~core () in
+    List.iter (Baselines.Cbt.join cbt) receiver_set;
+    load_run (Baselines.Cbt.tree cbt)
+      ~deliver:(fun ~src -> Baselines.Cbt.deliver cbt ~src)
+      ~control:(Baselines.Cbt.control_messages cbt)
+      ~strategy
+  in
+  [
+    spt_row;
+    dgmc_row;
+    cbt_with (Baselines.Core_select.median graph ~members:receiver_set)
+      "cbt (median core)";
+    cbt_with (Baselines.Core_select.center graph ~members:receiver_set)
+      "cbt (center core)";
+    cbt_with (Baselines.Core_select.first_member receiver_set)
+      "cbt (first-member core)";
+    cbt_with (Baselines.Core_select.random (Sim.Rng.create (seed + 77)) graph)
+      "cbt (random core)";
+  ]

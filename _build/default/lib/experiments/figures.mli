@@ -1,0 +1,88 @@
+(** Figure and table regeneration (paper §4 and §5).
+
+    Each function reproduces one evaluation artifact as data series —
+    mean ± 95% CI over the seed set at each network size, exactly the
+    reduction the paper plots.  Rendering to text tables is left to the
+    callers (bench harness and CLI).
+
+    Defaults follow DESIGN.md's reconstruction of the paper's setup:
+    sizes 20–100 step 20, 10 random graphs per size, 10-member bursts. *)
+
+type series = {
+  label : string;
+  points : (int * Metrics.Stats.summary) list;  (** (network size, summary). *)
+}
+
+type bursty_result = {
+  proposals : series;  (** Figure (a): topology computations per event. *)
+  floodings : series;  (** Figure (b): flooding operations per event. *)
+  convergence : series;  (** Figure (c): convergence time in rounds. *)
+  all_converged : bool;  (** Every run reached network-wide agreement. *)
+}
+
+val default_sizes : int list
+
+val default_seeds : int list
+
+val fig6 :
+  ?sizes:int list -> ?seeds:int list -> ?members:int -> unit -> bursty_result
+(** Experiment 1: bursty joins, computation-dominated regime
+    ({!Dgmc.Config.atm_lan}). *)
+
+val fig7 :
+  ?sizes:int list -> ?seeds:int list -> ?members:int -> unit -> bursty_result
+(** Experiment 2: bursty joins, communication-dominated regime
+    ({!Dgmc.Config.wan}). *)
+
+type normal_result = {
+  n_proposals : series;  (** Figure 8(a). *)
+  n_floodings : series;  (** Figure 8(b). *)
+  n_all_converged : bool;
+}
+
+val fig8 :
+  ?sizes:int list ->
+  ?seeds:int list ->
+  ?events:int ->
+  ?gap_rounds:float ->
+  unit ->
+  normal_result
+(** Experiment 3: sparse Poisson membership events (default 40 events,
+    mean gap 50 rounds). *)
+
+type comparison = {
+  c_sizes : int list;
+  dgmc_computations : series;
+  brute_computations : series;
+  mospf_computations : series;
+  dgmc_floodings : series;
+  brute_floodings : series;
+  mospf_floodings : series;
+}
+
+val compare_protocols :
+  ?sizes:int list -> ?seeds:int list -> ?members:int -> ?sources:int -> unit -> comparison
+(** §4's claim quantified: per-event topology computations and floodings
+    for D-GMC vs. the brute-force LSR protocol vs. MOSPF (with the given
+    number of active sources) on identical bursty workloads. *)
+
+type cbt_row = {
+  strategy : string;  (** Core selection strategy, or "dgmc" row. *)
+  tree_cost : float;
+  max_link_load : int;  (** Heaviest-loaded link over the packet batch. *)
+  mean_link_load : float;
+      (** Mean load over the links that carried traffic — shared trees
+          drive this toward [max_link_load] (every tree link carries
+          every packet: traffic concentration), per-source trees spread
+          it out. *)
+  links_used : int;  (** Distinct links that carried at least one packet. *)
+  mean_delay : float;  (** Mean sender-to-receiver delivery delay. *)
+  control_messages : int;
+}
+
+val cbt_comparison :
+  ?seed:int -> ?n:int -> ?receivers:int -> ?senders:int -> ?packets_per_sender:int ->
+  unit -> cbt_row list
+(** §5's CBT trade-off: the D-GMC receiver-only shared tree vs. CBT
+    trees under different core placements, loaded with the same packet
+    batch from off-tree senders. *)

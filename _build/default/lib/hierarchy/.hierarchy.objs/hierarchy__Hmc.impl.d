@@ -1,0 +1,1 @@
+lib/hierarchy/hmc.ml: Array Dgmc Format Hashtbl Int List Lsr Mctree Net Option Printf Set Sim

@@ -1,0 +1,1 @@
+lib/hierarchy/hmc.mli: Dgmc Mctree Net Sim

@@ -1,0 +1,589 @@
+module Int_set = Set.Make (Int)
+
+module Mc_table = Hashtbl.Make (struct
+  type t = Dgmc.Mc_id.t
+
+  let equal = Dgmc.Mc_id.equal
+
+  let hash = Dgmc.Mc_id.hash
+end)
+
+type totals = {
+  events : int;
+  intra_floodings : int;
+  logical_floodings : int;
+  intra_messages : int;
+  logical_messages : int;
+  computations : int;
+  gateway_instructions : int;
+  switches_touched : int;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  graph : Net.Graph.t;
+  config : Dgmc.Config.t;
+  partition : int list array;
+  area_of : int array;
+  leaders : int array;
+  (* Intra level: one D-GMC flooding scope per area, full switch set. *)
+  area_graphs : Net.Graph.t array;
+  switches : Dgmc.Switch.t array;
+  area_floodings : Dgmc.Mc_lsa.t Lsr.Flooding.t array;
+  seqs : Lsr.Lsa.Seq.counter array;
+  (* Logical level: one D-GMC node per area. *)
+  logical_graph : Net.Graph.t;
+  logical_switches : Dgmc.Switch.t array;
+  logical_flooding : Dgmc.Mc_lsa.t Lsr.Flooding.t;
+  logical_seqs : Lsr.Lsa.Seq.counter array;
+  edge_map : (int * int, int * int) Hashtbl.t;
+      (** logical (a, b) with a < b → cheapest real link (u, v), u ∈ a. *)
+  (* Leader bookkeeping. *)
+  registry : unit Mc_table.t;  (** every MC id ever seen *)
+  host_members : Int_set.t Mc_table.t array;  (** per area: real members *)
+  logical_joined : bool Mc_table.t array;
+  gateways : Int_set.t Mc_table.t array;  (** per area: instructed gateways *)
+  check_pending : bool array;
+  mutable events : int;
+  mutable intra_flood_count : int;
+  mutable logical_flood_count : int;
+  mutable gateway_instructions : int;
+}
+
+let engine t = t.engine
+
+let n_areas t = Array.length t.partition
+
+let area_of t s = t.area_of.(s)
+
+let leader t a = t.leaders.(a)
+
+let logical_graph t = t.logical_graph
+
+(* ------------------------------------------------------------------ *)
+(* Construction *)
+
+let validate_partition graph partition =
+  let n = Net.Graph.n_nodes graph in
+  let seen = Array.make n false in
+  Array.iteri
+    (fun a members ->
+      if members = [] then
+        invalid_arg (Printf.sprintf "Hmc: area %d is empty" a);
+      List.iter
+        (fun s ->
+          if s < 0 || s >= n then invalid_arg "Hmc: switch out of range";
+          if seen.(s) then
+            invalid_arg (Printf.sprintf "Hmc: switch %d in two areas" s);
+          seen.(s) <- true)
+        members)
+    partition;
+  if not (Array.for_all (fun b -> b) seen) then
+    invalid_arg "Hmc: partition does not cover the graph"
+
+let build_area_graph graph area_of a =
+  let n = Net.Graph.n_nodes graph in
+  let g = Net.Graph.create n in
+  List.iter
+    (fun (e : Net.Graph.edge) ->
+      if area_of.(e.u) = a && area_of.(e.v) = a then
+        Net.Graph.add_edge g e.u e.v ~weight:e.weight)
+    (Net.Graph.edges graph);
+  g
+
+let build_logical graph area_of k =
+  let edge_map = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Net.Graph.edge) ->
+      let a = area_of.(e.u) and b = area_of.(e.v) in
+      if a <> b then begin
+        let key = (min a b, max a b) in
+        let better =
+          match Hashtbl.find_opt edge_map key with
+          | None -> true
+          | Some (u', v') -> e.weight < Net.Graph.weight graph u' v'
+        in
+        if better then
+          (* Store with the first endpoint in the lower-numbered area. *)
+          Hashtbl.replace edge_map key (if a < b then (e.u, e.v) else (e.v, e.u))
+      end)
+    (Net.Graph.edges graph);
+  let logical = Net.Graph.create k in
+  Hashtbl.iter
+    (fun (a, b) (u, v) ->
+      Net.Graph.add_edge logical a b ~weight:(Net.Graph.weight graph u v))
+    edge_map;
+  (logical, edge_map)
+
+let rec create ~graph ~partition ~config ?logical_t_hop () =
+  validate_partition graph partition;
+  let n = Net.Graph.n_nodes graph in
+  let k = Array.length partition in
+  if k < 2 then invalid_arg "Hmc: need at least 2 areas";
+  let area_of = Array.make n (-1) in
+  Array.iteri
+    (fun a members -> List.iter (fun s -> area_of.(s) <- a) members)
+    partition;
+  let area_graphs = Array.init k (build_area_graph graph area_of) in
+  Array.iteri
+    (fun a g ->
+      (* Connectivity check restricted to the area's switches. *)
+      let seed = List.hd partition.(a) in
+      let reach = Net.Bfs.reachable g seed in
+      List.iter
+        (fun s ->
+          if not reach.(s) then
+            invalid_arg (Printf.sprintf "Hmc: area %d is not connected" a))
+        partition.(a))
+    area_graphs;
+  let logical_graph, edge_map = build_logical graph area_of k in
+  let logical_t_hop =
+    match logical_t_hop with Some x -> x | None -> 3.0 *. config.Dgmc.Config.t_hop
+  in
+  let engine = Sim.Engine.create () in
+  let switches =
+    Array.init n (fun id ->
+        Dgmc.Switch.create ~id ~n ~config ~engine ~graph:area_graphs.(area_of.(id)) ())
+  in
+  let logical_switches =
+    Array.init k (fun id ->
+        Dgmc.Switch.create ~id ~n:k ~config ~engine ~graph:logical_graph ())
+  in
+  let area_floodings =
+    Array.init k (fun a ->
+        Lsr.Flooding.create ~engine ~graph:area_graphs.(a)
+          ~t_hop:config.Dgmc.Config.t_hop ~mode:config.Dgmc.Config.flood_mode
+          ~deliver:(fun ~switch lsa -> Dgmc.Switch.receive switches.(switch) lsa.payload)
+          ())
+  in
+  let logical_flooding =
+    Lsr.Flooding.create ~engine ~graph:logical_graph ~t_hop:logical_t_hop
+      ~mode:config.Dgmc.Config.flood_mode
+      ~deliver:(fun ~switch lsa ->
+        Dgmc.Switch.receive logical_switches.(switch) lsa.payload)
+      ()
+  in
+  let t =
+    {
+      engine;
+      graph;
+      config;
+      partition;
+      area_of;
+      leaders = Array.map (fun members -> List.fold_left min max_int members) partition;
+      area_graphs;
+      switches;
+      area_floodings;
+      seqs = Array.init n (fun _ -> Lsr.Lsa.Seq.create ());
+      logical_graph;
+      logical_switches;
+      logical_flooding;
+      logical_seqs = Array.init k (fun _ -> Lsr.Lsa.Seq.create ());
+      edge_map;
+      registry = Mc_table.create 4;
+      host_members = Array.init k (fun _ -> Mc_table.create 4);
+      logical_joined = Array.init k (fun _ -> Mc_table.create 4);
+      gateways = Array.init k (fun _ -> Mc_table.create 4);
+      check_pending = Array.make k false;
+      events = 0;
+      intra_flood_count = 0;
+      logical_flood_count = 0;
+      gateway_instructions = 0;
+    }
+  in
+  (* Wire intra-area flooding. *)
+  Array.iteri
+    (fun id sw ->
+      Dgmc.Switch.set_flood sw (fun mc_lsa ->
+          t.intra_flood_count <- t.intra_flood_count + 1;
+          let a = t.area_of.(id) in
+          let seq = Lsr.Lsa.Seq.next t.seqs.(id) in
+          Lsr.Flooding.flood t.area_floodings.(a)
+            (Lsr.Lsa.make ~origin:id ~seq mc_lsa)))
+    switches;
+  (* Wire the logical level; any logical state change wakes the area's
+     leader to re-derive gateways. *)
+  Array.iteri
+    (fun a sw ->
+      Dgmc.Switch.set_flood sw (fun mc_lsa ->
+          t.logical_flood_count <- t.logical_flood_count + 1;
+          let seq = Lsr.Lsa.Seq.next t.logical_seqs.(a) in
+          Lsr.Flooding.flood t.logical_flooding (Lsr.Lsa.make ~origin:a ~seq mc_lsa));
+      Dgmc.Switch.set_on_change sw (fun () -> schedule_leader_check t a))
+    logical_switches;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Leader behaviour *)
+
+and schedule_leader_check t a =
+  if not t.check_pending.(a) then begin
+    t.check_pending.(a) <- true;
+    ignore
+      (Sim.Engine.schedule t.engine ~delay:t.config.Dgmc.Config.t_hop (fun () ->
+           leader_check t a))
+  end
+
+(* Derive the gateway switches area [a] owes to the given logical tree:
+   for every logical tree edge incident to [a], the local endpoint of
+   the mapped real link. *)
+and derive_gateways t a ltree =
+  List.fold_left
+    (fun acc (x, y) ->
+      if x = a || y = a then begin
+        match Hashtbl.find_opt t.edge_map (min x y, max x y) with
+        | Some (u, v) ->
+          let local = if t.area_of.(u) = a then u else v in
+          Int_set.add local acc
+        | None -> acc
+      end
+      else acc)
+    Int_set.empty (Mctree.Tree.edges ltree)
+
+and leader_check t a =
+  t.check_pending.(a) <- false;
+  Mc_table.iter
+    (fun mc () ->
+      let wanted =
+        match Dgmc.Switch.topology t.logical_switches.(a) mc with
+        | Some ltree -> derive_gateways t a ltree
+        | None -> Int_set.empty
+      in
+      let current =
+        Option.value ~default:Int_set.empty
+          (Mc_table.find_opt t.gateways.(a) mc)
+      in
+      if not (Int_set.equal wanted current) then begin
+        Mc_table.replace t.gateways.(a) mc wanted;
+        (* Leader → gateway control messages, one hop of delay each. *)
+        Int_set.iter
+          (fun g ->
+            t.gateway_instructions <- t.gateway_instructions + 1;
+            ignore
+              (Sim.Engine.schedule t.engine ~delay:t.config.Dgmc.Config.t_hop
+                 (fun () -> Dgmc.Switch.host_join t.switches.(g) mc Dgmc.Member.Both)))
+          (Int_set.diff wanted current);
+        Int_set.iter
+          (fun g ->
+            t.gateway_instructions <- t.gateway_instructions + 1;
+            ignore
+              (Sim.Engine.schedule t.engine ~delay:t.config.Dgmc.Config.t_hop
+                 (fun () ->
+                   (* Only withdraw the gateway role if no host at [g] is
+                      a real member. *)
+                   let real =
+                     Option.value ~default:Int_set.empty
+                       (Mc_table.find_opt t.host_members.(a) mc)
+                   in
+                   if not (Int_set.mem g real) then
+                     Dgmc.Switch.host_leave t.switches.(g) mc)))
+          (Int_set.diff current wanted)
+      end)
+    t.registry
+
+(* ------------------------------------------------------------------ *)
+(* Host events *)
+
+let logical_membership_update t a mc =
+  let real =
+    Option.value ~default:Int_set.empty (Mc_table.find_opt t.host_members.(a) mc)
+  in
+  let joined =
+    Option.value ~default:false (Mc_table.find_opt t.logical_joined.(a) mc)
+  in
+  if (not (Int_set.is_empty real)) && not joined then begin
+    Mc_table.replace t.logical_joined.(a) mc true;
+    Dgmc.Switch.host_join t.logical_switches.(a) mc Dgmc.Member.Both
+  end
+  else if Int_set.is_empty real && joined then begin
+    Mc_table.replace t.logical_joined.(a) mc false;
+    Dgmc.Switch.host_leave t.logical_switches.(a) mc
+  end
+
+let join t ~switch mc role =
+  if switch < 0 || switch >= Array.length t.switches then
+    invalid_arg "Hmc.join: switch out of range";
+  t.events <- t.events + 1;
+  Mc_table.replace t.registry mc ();
+  let a = t.area_of.(switch) in
+  let real =
+    Option.value ~default:Int_set.empty (Mc_table.find_opt t.host_members.(a) mc)
+  in
+  Mc_table.replace t.host_members.(a) mc (Int_set.add switch real);
+  Dgmc.Switch.host_join t.switches.(switch) mc role;
+  (* The ingress switch notifies its leader (one hop). *)
+  ignore
+    (Sim.Engine.schedule t.engine ~delay:t.config.Dgmc.Config.t_hop (fun () ->
+         logical_membership_update t a mc))
+
+let leave t ~switch mc =
+  if switch < 0 || switch >= Array.length t.switches then
+    invalid_arg "Hmc.leave: switch out of range";
+  t.events <- t.events + 1;
+  let a = t.area_of.(switch) in
+  let real =
+    Option.value ~default:Int_set.empty (Mc_table.find_opt t.host_members.(a) mc)
+  in
+  Mc_table.replace t.host_members.(a) mc (Int_set.remove switch real);
+  (* The switch stays in the MC if it still serves as a gateway. *)
+  let gw =
+    Option.value ~default:Int_set.empty (Mc_table.find_opt t.gateways.(a) mc)
+  in
+  if not (Int_set.mem switch gw) then Dgmc.Switch.host_leave t.switches.(switch) mc;
+  ignore
+    (Sim.Engine.schedule t.engine ~delay:t.config.Dgmc.Config.t_hop (fun () ->
+         logical_membership_update t a mc))
+
+let schedule_join t ~at ~switch mc role =
+  ignore (Sim.Engine.schedule_at t.engine ~time:at (fun () -> join t ~switch mc role))
+
+let schedule_leave t ~at ~switch mc =
+  ignore (Sim.Engine.schedule_at t.engine ~time:at (fun () -> leave t ~switch mc))
+
+let run ?until ?max_events t = Sim.Engine.run ?until ?max_events t.engine
+
+(* ------------------------------------------------------------------ *)
+(* Measurements *)
+
+let totals t =
+  let computations = ref 0 in
+  Array.iter
+    (fun sw -> computations := !computations + (Dgmc.Switch.stats sw).computations)
+    t.switches;
+  Array.iter
+    (fun sw -> computations := !computations + (Dgmc.Switch.stats sw).computations)
+    t.logical_switches;
+  let intra_messages =
+    Array.fold_left (fun acc f -> acc + Lsr.Flooding.messages_sent f) 0 t.area_floodings
+  in
+  let touched = ref 0 in
+  Array.iteri
+    (fun a f ->
+      if Lsr.Flooding.floods_started f > 0 then
+        touched := !touched + List.length t.partition.(a))
+    t.area_floodings;
+  if Lsr.Flooding.floods_started t.logical_flooding > 0 then
+    touched := !touched + Array.length t.logical_switches;
+  {
+    events = t.events;
+    intra_floodings = t.intra_flood_count;
+    logical_floodings = t.logical_flood_count;
+    intra_messages;
+    logical_messages = Lsr.Flooding.messages_sent t.logical_flooding;
+    computations = !computations;
+    gateway_instructions = t.gateway_instructions;
+    switches_touched = !touched;
+  }
+
+let reset_counters t =
+  let reset_switch sw =
+    let s = Dgmc.Switch.stats sw in
+    s.Dgmc.Switch.computations <- 0;
+    s.Dgmc.Switch.computations_withdrawn <- 0;
+    s.Dgmc.Switch.proposals_flooded <- 0;
+    s.Dgmc.Switch.event_lsas_flooded <- 0;
+    s.Dgmc.Switch.proposals_accepted <- 0;
+    s.Dgmc.Switch.lsas_received <- 0
+  in
+  Array.iter reset_switch t.switches;
+  Array.iter reset_switch t.logical_switches;
+  Array.iter Lsr.Flooding.reset_counters t.area_floodings;
+  Lsr.Flooding.reset_counters t.logical_flooding;
+  t.events <- 0;
+  t.intra_flood_count <- 0;
+  t.logical_flood_count <- 0;
+  t.gateway_instructions <- 0
+
+(* ------------------------------------------------------------------ *)
+(* Agreement *)
+
+let divergence t mc =
+  let problems = ref [] in
+  let report fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
+  let member_areas =
+    List.filter
+      (fun a ->
+        not
+          (Int_set.is_empty
+             (Option.value ~default:Int_set.empty
+                (Mc_table.find_opt t.host_members.(a) mc))))
+      (List.init (n_areas t) (fun a -> a))
+  in
+  (* Logical level agreement. *)
+  let logical_states =
+    Array.to_list t.logical_switches
+    |> List.filter_map (fun sw ->
+           match (Dgmc.Switch.members sw mc, Dgmc.Switch.topology sw mc) with
+           | Some m, Some tree -> Some (Dgmc.Switch.id sw, m, tree)
+           | _ -> None)
+  in
+  let logical_tree =
+    match logical_states with
+    | [] ->
+      if member_areas <> [] then report "no logical state but areas have members";
+      None
+    | (a0, m0, t0) :: rest ->
+      List.iter
+        (fun (a, m, tree) ->
+          if not (Dgmc.Member.equal m m0) then
+            report "logical members differ between areas %d and %d" a a0;
+          if not (Mctree.Tree.equal tree t0) then
+            report "logical topology differs between areas %d and %d" a a0)
+        rest;
+      if Dgmc.Member.ids m0 <> member_areas then
+        report "logical membership does not match the areas holding members";
+      if member_areas <> [] && not (Mctree.Tree.is_valid_mc_topology t.logical_graph t0)
+      then report "logical topology is not a valid tree of areas";
+      Some t0
+  in
+  Array.iter
+    (fun sw ->
+      if not (Dgmc.Switch.quiescent sw mc) then
+        report "logical node %d has pending work" (Dgmc.Switch.id sw))
+    t.logical_switches;
+  (* Per-area agreement and expected member sets. *)
+  let area_trees = Array.make (n_areas t) None in
+  Array.iteri
+    (fun a members ->
+      let states =
+        List.filter_map
+          (fun s ->
+            match
+              ( Dgmc.Switch.members t.switches.(s) mc,
+                Dgmc.Switch.topology t.switches.(s) mc )
+            with
+            | Some m, Some tree -> Some (s, m, tree)
+            | _ -> None)
+          members
+      in
+      List.iter
+        (fun s ->
+          if not (Dgmc.Switch.quiescent t.switches.(s) mc) then
+            report "switch %d has pending work" s)
+        members;
+      match states with
+      | [] -> ()
+      | (s0, m0, t0) :: rest ->
+        List.iter
+          (fun (s, m, tree) ->
+            if not (Dgmc.Member.equal m m0) then
+              report "area %d: members differ at switches %d and %d" a s s0;
+            if not (Mctree.Tree.equal tree t0) then
+              report "area %d: topology differs at switches %d and %d" a s s0)
+          rest;
+        let real =
+          Option.value ~default:Int_set.empty
+            (Mc_table.find_opt t.host_members.(a) mc)
+        in
+        let gw =
+          Option.value ~default:Int_set.empty (Mc_table.find_opt t.gateways.(a) mc)
+        in
+        let expected = Int_set.elements (Int_set.union real gw) in
+        if Dgmc.Member.ids m0 <> expected then
+          report "area %d: member list does not match hosts + gateways" a;
+        if expected <> [] then begin
+          if not (Mctree.Tree.is_valid_mc_topology t.area_graphs.(a) t0) then
+            report "area %d: invalid intra-area topology" a;
+          area_trees.(a) <- Some t0
+        end)
+    t.partition;
+  (* Gateways must match the agreed logical tree. *)
+  (match logical_tree with
+  | Some ltree ->
+    Array.iteri
+      (fun a _ ->
+        let wanted = derive_gateways t a ltree in
+        let current =
+          Option.value ~default:Int_set.empty (Mc_table.find_opt t.gateways.(a) mc)
+        in
+        if not (Int_set.equal wanted current) then
+          report "area %d: gateway set does not match the logical tree" a)
+      t.partition
+  | None ->
+    Array.iteri
+      (fun a _ ->
+        let current =
+          Option.value ~default:Int_set.empty (Mc_table.find_opt t.gateways.(a) mc)
+        in
+        if not (Int_set.is_empty current) then
+          report "area %d: stale gateways with no logical MC" a)
+      t.partition);
+  (* Stitch and validate the global tree. *)
+  (if member_areas <> [] then
+     match logical_tree with
+     | None -> ()
+     | Some ltree ->
+       let union = ref (Mctree.Tree.empty) in
+       Array.iter
+         (fun tree_opt ->
+           match tree_opt with
+           | Some tree ->
+             List.iter
+               (fun (u, v) -> union := Mctree.Tree.add_edge !union u v)
+               (Mctree.Tree.edges tree)
+           | None -> ())
+         area_trees;
+       List.iter
+         (fun (x, y) ->
+           match Hashtbl.find_opt t.edge_map (min x y, max x y) with
+           | Some (u, v) -> union := Mctree.Tree.add_edge !union u v
+           | None -> report "logical edge (%d, %d) has no mapped link" x y)
+         (Mctree.Tree.edges ltree);
+       let all_members =
+         List.concat_map
+           (fun a ->
+             Int_set.elements
+               (Option.value ~default:Int_set.empty
+                  (Mc_table.find_opt t.host_members.(a) mc)))
+           member_areas
+         |> List.sort compare
+       in
+       let global = Mctree.Tree.with_terminals !union all_members in
+       if not (Mctree.Tree.is_tree global) then report "stitched global graph has a cycle";
+       if not (Mctree.Tree.spans_terminals global) then
+         report "stitched global tree does not span all members";
+       if not (Mctree.Tree.is_embedded t.graph global) then
+         report "stitched global tree uses dead links");
+  List.rev !problems
+
+let converged t mc = divergence t mc = []
+
+let global_tree t mc =
+  if not (converged t mc) then None
+  else begin
+    let union = ref Mctree.Tree.empty in
+    Array.iteri
+      (fun a members ->
+        ignore a;
+        match members with
+        | s :: _ -> (
+          match Dgmc.Switch.topology t.switches.(s) mc with
+          | Some tree ->
+            List.iter
+              (fun (u, v) -> union := Mctree.Tree.add_edge !union u v)
+              (Mctree.Tree.edges tree)
+          | None -> ())
+        | [] -> ())
+      t.partition;
+    (match
+       Array.to_list t.logical_switches
+       |> List.find_map (fun sw -> Dgmc.Switch.topology sw mc)
+     with
+    | Some ltree ->
+      List.iter
+        (fun (x, y) ->
+          match Hashtbl.find_opt t.edge_map (min x y, max x y) with
+          | Some (u, v) -> union := Mctree.Tree.add_edge !union u v
+          | None -> ())
+        (Mctree.Tree.edges ltree)
+    | None -> ());
+    let members =
+      Array.to_list t.host_members
+      |> List.concat_map (fun table ->
+             match Mc_table.find_opt table mc with
+             | Some set -> Int_set.elements set
+             | None -> [])
+      |> List.sort compare
+    in
+    if members = [] then None else Some (Mctree.Tree.with_terminals !union members)
+  end

@@ -1,0 +1,1 @@
+lib/lsr/flooding.ml: Array Hashtbl List Lsa Net Sim

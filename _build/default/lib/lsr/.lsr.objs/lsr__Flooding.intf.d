@@ -1,0 +1,1 @@
+lib/lsr/flooding.mli: Lsa Net Sim

@@ -1,0 +1,1 @@
+lib/lsr/lsa.ml: Format

@@ -1,0 +1,1 @@
+lib/lsr/lsdb.ml: Format Net

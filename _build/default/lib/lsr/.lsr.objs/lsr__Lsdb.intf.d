@@ -1,0 +1,1 @@
+lib/lsr/lsdb.mli: Format Net

@@ -1,0 +1,1 @@
+lib/lsr/unicast.ml: Array Net

@@ -1,0 +1,1 @@
+lib/lsr/unicast.mli: Net

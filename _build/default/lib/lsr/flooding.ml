@@ -1,0 +1,84 @@
+type mode = Hop_by_hop | Ideal
+
+type 'a t = {
+  engine : Sim.Engine.t;
+  graph : Net.Graph.t;
+  t_hop : float;
+  mode : mode;
+  deliver : switch:int -> 'a Lsa.t -> unit;
+  seen : (int * int, unit) Hashtbl.t array;
+      (** Per switch: (origin, seq) pairs already received. *)
+  mutable floods : int;
+  mutable messages : int;
+}
+
+let create ~engine ~graph ~t_hop ?(mode = Hop_by_hop) ~deliver () =
+  if t_hop <= 0.0 then invalid_arg "Flooding.create: t_hop must be positive";
+  {
+    engine;
+    graph;
+    t_hop;
+    mode;
+    deliver;
+    seen = Array.init (Net.Graph.n_nodes graph) (fun _ -> Hashtbl.create 64);
+    floods = 0;
+    messages = 0;
+  }
+
+let rec receive t lsa ~at:switch ~from =
+  let key = Lsa.id lsa in
+  if not (Hashtbl.mem t.seen.(switch) key) then begin
+    Hashtbl.replace t.seen.(switch) key ();
+    t.deliver ~switch lsa;
+    (* Forward on every live link except the arrival link.  Link state is
+       re-checked at arrival time, so an LSA in flight over a link that
+       fails is lost, as on a real wire. *)
+    List.iter
+      (fun (next, _) ->
+        if next <> from then begin
+          t.messages <- t.messages + 1;
+          ignore
+            (Sim.Engine.schedule t.engine ~delay:t.t_hop (fun () ->
+                 if Net.Graph.link_is_up t.graph switch next then
+                   receive t lsa ~at:next ~from:switch))
+        end)
+      (Net.Graph.neighbors t.graph switch)
+  end
+
+let flood t lsa =
+  t.floods <- t.floods + 1;
+  let origin = lsa.Lsa.origin in
+  match t.mode with
+  | Hop_by_hop ->
+    Hashtbl.replace t.seen.(origin) (Lsa.id lsa) ();
+    List.iter
+      (fun (next, _) ->
+        t.messages <- t.messages + 1;
+        ignore
+          (Sim.Engine.schedule t.engine ~delay:t.t_hop (fun () ->
+               if Net.Graph.link_is_up t.graph origin next then
+                 receive t lsa ~at:next ~from:origin)))
+      (Net.Graph.neighbors t.graph origin)
+  | Ideal ->
+    let hops = Net.Bfs.hops t.graph origin in
+    Array.iteri
+      (fun switch h ->
+        if switch <> origin && h <> max_int then begin
+          t.messages <- t.messages + 1;
+          ignore
+            (Sim.Engine.schedule t.engine
+               ~delay:(float_of_int h *. t.t_hop)
+               (fun () -> t.deliver ~switch lsa))
+        end)
+      hops
+
+let floods_started t = t.floods
+
+let messages_sent t = t.messages
+
+let reset_counters t =
+  t.floods <- 0;
+  t.messages <- 0
+
+let flood_diameter ~graph ~t_hop =
+  float_of_int (Net.Bfs.hop_diameter graph) *. t_hop

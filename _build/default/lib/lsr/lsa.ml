@@ -1,0 +1,22 @@
+type 'a t = { origin : int; seq : int; payload : 'a }
+
+let make ~origin ~seq payload = { origin; seq; payload }
+
+let id t = (t.origin, t.seq)
+
+let map f t = { origin = t.origin; seq = t.seq; payload = f t.payload }
+
+let pp pp_payload ppf t =
+  Format.fprintf ppf "@[<h>lsa(origin=%d, seq=%d, %a)@]" t.origin t.seq
+    pp_payload t.payload
+
+module Seq = struct
+  type counter = { mutable next_value : int }
+
+  let create () = { next_value = 0 }
+
+  let next c =
+    let v = c.next_value in
+    c.next_value <- v + 1;
+    v
+end

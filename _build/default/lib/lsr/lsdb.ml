@@ -1,0 +1,13 @@
+type link_event = { u : int; v : int; up : bool }
+
+type t = { image : Net.Graph.t }
+
+let create g = { image = Net.Graph.copy g }
+
+let graph t = t.image
+
+let apply t { u; v; up } =
+  if Net.Graph.has_edge t.image u v then Net.Graph.set_link t.image u v ~up
+
+let pp_link_event ppf { u; v; up } =
+  Format.fprintf ppf "link(%d, %d) %s" u v (if up then "up" else "down")

@@ -1,0 +1,27 @@
+(** Per-switch link-state database: the switch's local image of the
+    network.
+
+    Under link-state routing every switch maintains a complete picture of
+    the topology, learned from flooded link-event LSAs (paper §1).  A
+    switch's D-GMC topology computations run against {e its own} image —
+    which may briefly lag reality while link events propagate — so each
+    simulated switch owns an independent copy of the graph. *)
+
+type link_event = { u : int; v : int; up : bool }
+(** Payload of a non-MC LSA: the operational state change of one link
+    (the paper's event description [D]). *)
+
+type t
+
+val create : Net.Graph.t -> t
+(** [create g] — local image initialised to a deep copy of [g] (switches
+    boot with a converged unicast database). *)
+
+val graph : t -> Net.Graph.t
+(** The switch's current image.  Callers must not mutate it. *)
+
+val apply : t -> link_event -> unit
+(** Update the image.  Unknown links are ignored (robustness against
+    reordered information about links this image never had). *)
+
+val pp_link_event : Format.formatter -> link_event -> unit

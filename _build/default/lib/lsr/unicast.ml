@@ -1,0 +1,15 @@
+type t = { results : Net.Dijkstra.result array }
+
+let compute g =
+  { results = Array.init (Net.Graph.n_nodes g) (fun src -> Net.Dijkstra.run g src) }
+
+let distance t ~src ~dst = t.results.(src).dist.(dst)
+
+let route t ~src ~dst = Net.Dijkstra.path_of_result t.results.(src) ~src ~dst
+
+let next_hop t ~src ~dst =
+  if src = dst then None
+  else
+    match route t ~src ~dst with
+    | Some (_ :: hop :: _) -> Some hop
+    | Some _ | None -> None

@@ -1,0 +1,21 @@
+(** Unicast routing tables computed from a link-state image.
+
+    This is the OSPF-style forwarding state the MC protocols lean on:
+    MOSPF routes datagrams toward groups, CBT forwards join requests
+    hop-by-hop toward the core, and receiver-only delivery unicasts to a
+    contact node.  Tables are plain shortest-path next-hops. *)
+
+type t
+
+val compute : Net.Graph.t -> t
+(** Routing tables for every source at once (n Dijkstra runs). *)
+
+val next_hop : t -> src:int -> dst:int -> int option
+(** First hop on a shortest path from [src] to [dst]; [None] when
+    unreachable or [src = dst]. *)
+
+val route : t -> src:int -> dst:int -> int list option
+(** Full node path [src; ...; dst] obtained by chaining next hops. *)
+
+val distance : t -> src:int -> dst:int -> float
+(** Shortest-path cost; [infinity] when unreachable. *)

@@ -1,0 +1,1 @@
+lib/mctree/algo.ml: Format List Net Spt Steiner String Tree

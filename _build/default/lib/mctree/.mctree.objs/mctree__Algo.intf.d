@@ -1,0 +1,1 @@
+lib/mctree/algo.mli: Format Net Tree

@@ -1,0 +1,1 @@
+lib/mctree/delivery.ml: Array Float Hashtbl List Net Option Tree

@@ -1,0 +1,1 @@
+lib/mctree/delivery.mli: Hashtbl Net Tree

@@ -1,0 +1,1 @@
+lib/mctree/forest.ml: Delivery Hashtbl Int List Map Option Spt Tree

@@ -1,0 +1,1 @@
+lib/mctree/forest.mli: Delivery Net Tree

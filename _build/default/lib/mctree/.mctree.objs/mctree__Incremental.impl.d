@@ -1,0 +1,1 @@
+lib/mctree/incremental.ml: Array Float List Net Steiner Tree

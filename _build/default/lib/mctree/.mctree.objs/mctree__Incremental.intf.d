@@ -1,0 +1,1 @@
+lib/mctree/incremental.mli: Net Tree

@@ -1,0 +1,1 @@
+lib/mctree/spt.ml: List Net Printf Tree

@@ -1,0 +1,1 @@
+lib/mctree/spt.mli: Net Tree

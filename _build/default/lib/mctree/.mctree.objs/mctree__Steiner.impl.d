@@ -1,0 +1,1 @@
+lib/mctree/steiner.ml: Array Float List Net Printf Tree

@@ -1,0 +1,1 @@
+lib/mctree/steiner.mli: Net Tree

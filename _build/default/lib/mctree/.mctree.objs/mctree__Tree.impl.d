@@ -1,0 +1,1 @@
+lib/mctree/tree.ml: Format Int List Map Net Option Set Stdlib

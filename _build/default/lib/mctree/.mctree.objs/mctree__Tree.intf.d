@@ -1,0 +1,1 @@
+lib/mctree/tree.mli: Format Map Net Set

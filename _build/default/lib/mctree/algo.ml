@@ -1,0 +1,19 @@
+type t = { name : string; compute : Net.Graph.t -> int list -> Tree.t }
+
+let kmb = { name = "kmb"; compute = Steiner.kmb }
+
+let sph = { name = "sph"; compute = Steiner.sph }
+
+let spt =
+  let compute g members =
+    match List.sort_uniq compare members with
+    | [] -> failwith "Algo.spt: empty member set"
+    | root :: receivers -> Spt.source_rooted g ~root ~receivers
+  in
+  { name = "spt"; compute }
+
+let all = [ kmb; sph; spt ]
+
+let of_string name = List.find_opt (fun a -> String.equal a.name name) all
+
+let pp ppf a = Format.pp_print_string ppf a.name

@@ -1,0 +1,32 @@
+(** Named topology-computation algorithms.
+
+    The D-GMC protocol is deliberately independent of how MC topologies
+    are computed (paper §3.5); a switch just calls {e some} function from
+    members to a tree.  This registry gives those functions stable names
+    so configurations, the CLI and benchmark tables can refer to them. *)
+
+type t = {
+  name : string;
+  compute : Net.Graph.t -> int list -> Tree.t;
+      (** From-scratch computation over the (sorted, duplicate-free)
+          member list. *)
+}
+
+val kmb : t
+(** {!Steiner.kmb}. *)
+
+val sph : t
+(** {!Steiner.sph}. *)
+
+val spt : t
+(** Source-rooted shortest-path tree rooted at the smallest member id —
+    models single-source asymmetric MCs where the root is the
+    distinguished sender. *)
+
+val all : t list
+(** Every registered algorithm. *)
+
+val of_string : string -> t option
+(** Look up by {!field-name}. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,42 @@
+(** Data-plane simulation: forwarding packets over an MC topology.
+
+    Used by the examples and the CBT comparison: given a topology and a
+    sender, compute who receives the packet, when, and which links carry
+    it.  For receiver-only MCs the paper's two-stage delivery applies —
+    the packet is first unicast to a {e contact node} on the tree, then
+    forwarded along the tree (Figure 1(b)). *)
+
+type delivery = {
+  receiver : int;
+  delay : float;  (** Accumulated link weight from the sender. *)
+  hops : int;     (** Links traversed from the sender. *)
+}
+
+type report = {
+  deliveries : delivery list;  (** One entry per terminal reached,
+                                   excluding the sender; sorted by id. *)
+  links_used : (int * int) list;  (** Each link that carried the packet,
+                                      [(u, v)] with [u < v], sorted. *)
+  contact : int option;
+      (** Two-stage only: the tree node the sender's unicast reached. *)
+}
+
+val multicast : Net.Graph.t -> Tree.t -> src:int -> report
+(** Flood from [src] (which must be a tree node) along tree edges to all
+    terminals.  Raises [Failure] if [src] is not on the tree. *)
+
+val two_stage : Net.Graph.t -> Tree.t -> src:int -> report
+(** Receiver-only delivery: unicast from [src] to the nearest tree node
+    (the contact), then {!multicast} from there.  Delays and hops include
+    the unicast stage.  If [src] is already on the tree this equals
+    {!multicast} with [contact = Some src].
+    Raises [Failure] if the tree is unreachable from [src]. *)
+
+val accumulate_loads :
+  (int * int, int) Hashtbl.t -> report -> unit
+(** Add each link of [report.links_used] into a load table (creating
+    entries as needed); used to measure traffic concentration across many
+    packets. *)
+
+val max_load : (int * int, int) Hashtbl.t -> int
+(** Largest accumulated per-link load (0 when empty). *)

@@ -1,0 +1,76 @@
+module Int_map = Map.Make (Int)
+
+type t = { trees : Tree.t Int_map.t; receivers : int list }
+
+let spt g ~root ~receivers =
+  Spt.source_rooted g ~root ~receivers:(List.filter (fun r -> r <> root) receivers)
+
+let build g ~senders ~receivers =
+  let senders = List.sort_uniq compare senders in
+  let receivers = List.sort_uniq compare receivers in
+  if senders = [] then failwith "Forest.build: no senders";
+  {
+    trees =
+      List.fold_left
+        (fun acc s -> Int_map.add s (spt g ~root:s ~receivers) acc)
+        Int_map.empty senders;
+    receivers;
+  }
+
+let senders t = List.map fst (Int_map.bindings t.trees)
+
+let receivers t = t.receivers
+
+let tree_of t ~sender = Int_map.find sender t.trees
+
+let add_receiver g t r =
+  if List.mem r t.receivers then t
+  else begin
+    (* Recompute each sender's tree: a greedy graft onto the old tree
+       would break the SPT invariant (tree delay = shortest-path
+       distance); the recomputation is one Dijkstra per sender. *)
+    let receivers = List.sort compare (r :: t.receivers) in
+    {
+      trees = Int_map.mapi (fun sender _ -> spt g ~root:sender ~receivers) t.trees;
+      receivers;
+    }
+  end
+
+let remove_receiver g t r =
+  ignore g;
+  if not (List.mem r t.receivers) then t
+  else
+    let receivers = List.filter (fun x -> x <> r) t.receivers in
+    {
+      trees =
+        Int_map.mapi
+          (fun sender tree ->
+            if sender = r then tree
+            else Tree.prune (Tree.remove_terminal tree r))
+          t.trees;
+      receivers;
+    }
+
+let add_sender g t s =
+  if Int_map.mem s t.trees then t
+  else { t with trees = Int_map.add s (spt g ~root:s ~receivers:t.receivers) t.trees }
+
+let remove_sender t s = { t with trees = Int_map.remove s t.trees }
+
+let total_cost g t =
+  Int_map.fold (fun _ tree acc -> acc +. Tree.cost g tree) t.trees 0.0
+
+let link_occurrences t =
+  let table = Hashtbl.create 64 in
+  Int_map.iter
+    (fun _ tree ->
+      List.iter
+        (fun link ->
+          Hashtbl.replace table link
+            (1 + Option.value ~default:0 (Hashtbl.find_opt table link)))
+        (Tree.edges tree))
+    t.trees;
+  Hashtbl.fold (fun link n acc -> (link, n) :: acc) table []
+  |> List.sort compare
+
+let deliver g t ~sender = Delivery.multicast g (tree_of t ~sender) ~src:sender

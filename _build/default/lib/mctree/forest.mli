@@ -1,0 +1,48 @@
+(** Per-source tree sets for multi-sender asymmetric connections.
+
+    The paper's asymmetric example is MOSPF: "source-rooted
+    shortest-path trees destined for a common IP multicast address …
+    form a typical asymmetric MC" — i.e. the connection's topology is
+    one tree {e per sender}, all reaching the same receivers.  The D-GMC
+    protocol proper carries a single shared tree per proposal (its
+    single-sender asymmetric mode); this module provides the
+    multi-sender structure for analysis and data-plane use: building,
+    updating, and measuring a family of SPTs over one receiver set. *)
+
+type t
+
+val build : Net.Graph.t -> senders:int list -> receivers:int list -> t
+(** One source-rooted shortest-path tree per sender, each spanning the
+    receivers.  Senders and receivers may overlap.  Raises [Failure]
+    when a receiver is unreachable from some sender. *)
+
+val senders : t -> int list
+
+val receivers : t -> int list
+
+val tree_of : t -> sender:int -> Tree.t
+(** Raises [Not_found] for a non-sender. *)
+
+val add_receiver : Net.Graph.t -> t -> int -> t
+(** Extend every sender's tree to the new receiver (incremental
+    graft). *)
+
+val remove_receiver : Net.Graph.t -> t -> int -> t
+(** Drop the receiver and prune every tree. *)
+
+val add_sender : Net.Graph.t -> t -> int -> t
+(** Compute the new sender's tree. *)
+
+val remove_sender : t -> int -> t
+
+val total_cost : Net.Graph.t -> t -> float
+(** Sum of the trees' costs — the state the network must carry, the
+    quantity the paper's §5 holds against ATM's one-connection-per-
+    sender model. *)
+
+val link_occurrences : t -> ((int * int) * int) list
+(** Each link used by at least one tree with the number of trees using
+    it, sorted — the load-spreading picture versus a shared tree. *)
+
+val deliver : Net.Graph.t -> t -> sender:int -> Delivery.report
+(** Multicast from a sender over {e its own} tree. *)

@@ -1,0 +1,35 @@
+(** Incremental topology maintenance (paper §3.5).
+
+    Full Steiner recomputation per membership change is too expensive, so
+    an implementation "should invoke an incremental update algorithm,
+    which adds a tree branch to reach a new member or removes a branch
+    from a leaving member", recomputing from scratch only "when the
+    network configuration changes adversely and/or the present topology
+    deviates significantly from an optimal one".  This module provides
+    exactly those operations. *)
+
+val join : Net.Graph.t -> Tree.t -> int -> Tree.t
+(** [join g tree x] — add terminal [x], grafted onto the existing tree by
+    the cheapest live path from [x] to any current tree node (greedy
+    dynamic-Steiner step of Imase & Waxman).  If the tree has no nodes
+    yet, the result is the single-terminal tree.  Raises [Failure] when
+    [x] cannot reach the tree. *)
+
+val leave : Net.Graph.t -> Tree.t -> int -> Tree.t
+(** [leave g tree x] — remove terminal [x] and prune the now-useless
+    branch (non-terminal leaves). *)
+
+val repair : Net.Graph.t -> Tree.t -> Tree.t option
+(** [repair g tree] — drop tree edges whose links are down, then
+    reconnect the fragments along cheapest live paths.  [None] when the
+    terminals are no longer mutually reachable (network partition). *)
+
+val drift : Net.Graph.t -> Tree.t -> float
+(** [drift g tree] — ratio of the tree's cost to the cost of a fresh
+    {!Steiner.sph} tree over the same terminals ([1.0] = optimal w.r.t.
+    the heuristic, larger = worse).  [1.0] for trees with fewer than two
+    terminals. *)
+
+val needs_recompute : ?threshold:float -> Net.Graph.t -> Tree.t -> bool
+(** [true] when {!drift} exceeds [threshold] (default [1.5]) — the
+    paper's "deviates significantly from an optimal" trigger. *)

@@ -1,0 +1,37 @@
+let source_rooted g ~root ~receivers =
+  let n = Net.Graph.n_nodes g in
+  if root < 0 || root >= n then failwith "Spt: root out of range";
+  List.iter
+    (fun x -> if x < 0 || x >= n then failwith "Spt: receiver out of range")
+    receivers;
+  let r = Net.Dijkstra.run g root in
+  let terminals = List.sort_uniq compare (root :: receivers) in
+  List.fold_left
+    (fun tree dst ->
+      if dst = root then tree
+      else
+        match Net.Dijkstra.path_of_result r ~src:root ~dst with
+        | Some p -> Tree.add_path tree p
+        | None -> failwith (Printf.sprintf "Spt: receiver %d unreachable" dst))
+    (Tree.of_terminals terminals)
+    terminals
+
+let depth t ~root =
+  let rec go u parent d best =
+    Tree.Int_set.fold
+      (fun v best ->
+        if Some v = parent then best else go v (Some u) (d + 1) (max best (d + 1)))
+      (Tree.neighbors t u) best
+  in
+  if Tree.mem_node t root then go root None 0 0 else 0
+
+let receivers_cost g t ~root =
+  Tree.Int_set.fold
+    (fun dst acc ->
+      if dst = root then acc
+      else
+        match Tree.path_between t root dst with
+        | Some p -> (dst, Net.Path.cost g p) :: acc
+        | None -> acc)
+    (Tree.terminals t) []
+  |> List.sort compare

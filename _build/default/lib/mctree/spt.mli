@@ -1,0 +1,19 @@
+(** Source-rooted shortest-path trees, for asymmetric connections.
+
+    This is the topology MOSPF computes per (source, group) pair and the
+    natural choice for single-source asymmetric MCs such as video
+    broadcast: the union of shortest paths from the root to every
+    receiver, pruned to the receivers actually present. *)
+
+val source_rooted : Net.Graph.t -> root:int -> receivers:int list -> Tree.t
+(** [source_rooted g ~root ~receivers] — tree of shortest paths from
+    [root] to each receiver.  The terminal set of the result is
+    [root :: receivers].  Receivers already equal to [root] are allowed.
+    Raises [Failure] if some receiver is unreachable. *)
+
+val depth : Tree.t -> root:int -> int
+(** Longest hop distance from the root to any tree node. *)
+
+val receivers_cost : Net.Graph.t -> Tree.t -> root:int -> (int * float) list
+(** Delay from the root to each terminal along tree paths (terminals
+    other than the root), sorted by node id. *)

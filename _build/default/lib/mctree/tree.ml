@@ -1,0 +1,176 @@
+module Int_set = Set.Make (Int)
+module Int_map = Map.Make (Int)
+
+type t = { terminals : Int_set.t; adj : Int_set.t Int_map.t }
+
+let empty = { terminals = Int_set.empty; adj = Int_map.empty }
+
+let of_terminals ts = { empty with terminals = Int_set.of_list ts }
+
+let neighbors t u = Option.value ~default:Int_set.empty (Int_map.find_opt u t.adj)
+
+let add_edge t u v =
+  if u = v then invalid_arg "Tree.add_edge: self-loop";
+  let attach a b adj = Int_map.add a (Int_set.add b (Option.value ~default:Int_set.empty (Int_map.find_opt a adj))) adj in
+  { t with adj = attach u v (attach v u t.adj) }
+
+let remove_edge t u v =
+  let detach a b adj =
+    match Int_map.find_opt a adj with
+    | None -> adj
+    | Some set ->
+      let set = Int_set.remove b set in
+      if Int_set.is_empty set then Int_map.remove a adj else Int_map.add a set adj
+  in
+  { t with adj = detach u v (detach v u t.adj) }
+
+let rec add_path t = function
+  | [] | [ _ ] -> t
+  | u :: (v :: _ as rest) -> add_path (add_edge t u v) rest
+
+let add_terminal t x = { t with terminals = Int_set.add x t.terminals }
+
+let remove_terminal t x = { t with terminals = Int_set.remove x t.terminals }
+
+let with_terminals t ts = { t with terminals = Int_set.of_list ts }
+
+let of_edges ~terminals edges =
+  List.fold_left
+    (fun t (u, v) -> add_edge t u v)
+    (of_terminals terminals) edges
+
+let terminals t = t.terminals
+
+let nodes t =
+  Int_map.fold (fun u _ acc -> Int_set.add u acc) t.adj t.terminals
+
+let edges t =
+  Int_map.fold
+    (fun u nbrs acc ->
+      Int_set.fold (fun v acc -> if u < v then (u, v) :: acc else acc) nbrs acc)
+    t.adj []
+  |> List.sort compare
+
+let n_edges t = List.length (edges t)
+
+let mem_edge t u v = Int_set.mem v (neighbors t u)
+
+let mem_node t x = Int_map.mem x t.adj || Int_set.mem x t.terminals
+
+let is_terminal t x = Int_set.mem x t.terminals
+
+let degree t u = Int_set.cardinal (neighbors t u)
+
+let cost g t =
+  List.fold_left (fun acc (u, v) -> acc +. Net.Graph.weight g u v) 0.0 (edges t)
+
+(* Nodes incident to at least one edge. *)
+let edge_nodes t = Int_map.fold (fun u _ acc -> Int_set.add u acc) t.adj Int_set.empty
+
+let component_of t start =
+  let rec grow frontier seen =
+    if Int_set.is_empty frontier then seen
+    else begin
+      let next =
+        Int_set.fold
+          (fun u acc -> Int_set.union acc (Int_set.diff (neighbors t u) seen))
+          frontier Int_set.empty
+      in
+      grow next (Int_set.union seen next)
+    end
+  in
+  grow (Int_set.singleton start) (Int_set.singleton start)
+
+let is_tree t =
+  let vs = edge_nodes t in
+  Int_set.is_empty vs
+  ||
+  let n = Int_set.cardinal vs in
+  let e = n_edges t in
+  (* Connected + |E| = |V| - 1 characterises a tree. *)
+  e = n - 1 && Int_set.cardinal (component_of t (Int_set.min_elt vs)) = n
+
+let spans_terminals t =
+  match Int_set.cardinal t.terminals with
+  | 0 | 1 -> true
+  | _ ->
+    let first = Int_set.min_elt t.terminals in
+    Int_map.mem first t.adj
+    && Int_set.subset t.terminals (component_of t first)
+
+let is_embedded g t =
+  List.for_all (fun (u, v) -> Net.Graph.link_is_up g u v) (edges t)
+
+let is_valid_mc_topology g t =
+  is_tree t && spans_terminals t && is_embedded g t
+
+let prune t =
+  let rec go t =
+    let removable =
+      Int_map.fold
+        (fun u nbrs acc ->
+          if Int_set.cardinal nbrs <= 1 && not (Int_set.mem u t.terminals) then
+            u :: acc
+          else acc)
+        t.adj []
+    in
+    if removable = [] then t
+    else
+      go
+        (List.fold_left
+           (fun t u ->
+             Int_set.fold (fun v t -> remove_edge t u v) (neighbors t u) t)
+           t removable)
+  in
+  go t
+
+let path_between t src dst =
+  if not (mem_node t src && mem_node t dst) then None
+  else if src = dst then Some [ src ]
+  else begin
+    (* DFS with parent tracking; the tree path is unique when it exists. *)
+    let rec search u parent path =
+      if u = dst then Some (List.rev (u :: path))
+      else
+        Int_set.fold
+          (fun v found ->
+            match found with
+            | Some _ -> found
+            | None -> if Some v = parent then None else search v (Some u) (u :: path))
+          (neighbors t u) None
+    in
+    search src None []
+  end
+
+let dfs_order t ~root =
+  let visited = ref Int_set.empty in
+  let order = ref [] in
+  let rec visit u =
+    if not (Int_set.mem u !visited) then begin
+      visited := Int_set.add u !visited;
+      order := u :: !order;
+      Int_set.iter visit (neighbors t u)
+    end
+  in
+  visit root;
+  List.rev !order
+
+let compare a b =
+  let c = Int_set.compare a.terminals b.terminals in
+  if c <> 0 then c else Stdlib.compare (edges a) (edges b)
+
+let equal a b = compare a b = 0
+
+let pp ppf t =
+  let pp_set ppf s =
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         Format.pp_print_int)
+      (Int_set.elements s)
+  in
+  Format.fprintf ppf "@[<h>tree terminals=%a edges=[%a]@]" pp_set t.terminals
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       (fun ppf (u, v) -> Format.fprintf ppf "%d-%d" u v))
+    (edges t)

@@ -1,0 +1,112 @@
+(** Multipoint-connection topologies: trees embedded in the network graph.
+
+    A [Tree.t] is the virtual topology of one multipoint connection — a
+    set of undirected edges of the underlying network plus the set of
+    {e terminal} nodes (the connection members it must span).  Values are
+    immutable; protocol code ships them inside LSAs as topology proposals
+    and compares them for equality when checking network-wide agreement.
+
+    A value of this type is not forced to be a valid tree — algorithms
+    build edge sets incrementally — so {!is_tree}, {!spans_terminals} and
+    {!is_embedded} exist to check the invariants tests and the protocol
+    rely on. *)
+
+module Int_set : Set.S with type elt = int
+module Int_map : Map.S with type key = int
+
+type t
+
+val empty : t
+(** No edges, no terminals. *)
+
+val of_terminals : int list -> t
+(** Terminals only (the degenerate connection before any edge exists;
+    also a complete single-member connection). *)
+
+val of_edges : terminals:int list -> (int * int) list -> t
+(** Build from an explicit edge list. *)
+
+(** {1 Construction} *)
+
+val add_edge : t -> int -> int -> t
+(** Idempotent; raises [Invalid_argument] on a self-loop. *)
+
+val remove_edge : t -> int -> int -> t
+
+val add_path : t -> int list -> t
+(** Add every consecutive edge of a node path. *)
+
+val add_terminal : t -> int -> t
+
+val remove_terminal : t -> int -> t
+(** Remove from the terminal set; the node's edges are kept (use
+    {!prune} afterwards to trim the branch). *)
+
+val with_terminals : t -> int list -> t
+(** Replace the terminal set. *)
+
+(** {1 Observation} *)
+
+val terminals : t -> Int_set.t
+
+val nodes : t -> Int_set.t
+(** Every node incident to an edge, plus every terminal. *)
+
+val edges : t -> (int * int) list
+(** Each undirected edge once, as [(u, v)] with [u < v], sorted. *)
+
+val n_edges : t -> int
+
+val mem_edge : t -> int -> int -> bool
+
+val mem_node : t -> int -> bool
+
+val is_terminal : t -> int -> bool
+
+val neighbors : t -> int -> Int_set.t
+
+val degree : t -> int -> int
+
+val cost : Net.Graph.t -> t -> float
+(** Sum of the tree edges' weights in the graph.
+    Raises [Not_found] if an edge is absent from the graph. *)
+
+(** {1 Invariants} *)
+
+val is_tree : t -> bool
+(** The edge set is acyclic and connects all its incident nodes into one
+    component (the empty edge set qualifies). *)
+
+val spans_terminals : t -> bool
+(** Every terminal is a node of the tree, and all terminals lie in one
+    connected component ([true] when there are 0 or 1 terminals and the
+    terminal, if any, may be edge-free). *)
+
+val is_embedded : Net.Graph.t -> t -> bool
+(** Every tree edge is a live link of the graph. *)
+
+val is_valid_mc_topology : Net.Graph.t -> t -> bool
+(** Conjunction of {!is_tree}, {!spans_terminals} and {!is_embedded}:
+    what a correct topology proposal must satisfy. *)
+
+(** {1 Transformation} *)
+
+val prune : t -> t
+(** Repeatedly remove non-terminal leaves, so every remaining leaf is a
+    terminal. *)
+
+val path_between : t -> int -> int -> int list option
+(** The unique tree path between two tree nodes, if both are present and
+    connected. *)
+
+val dfs_order : t -> root:int -> int list
+(** Nodes reachable from [root] through tree edges, in deterministic
+    depth-first order (smallest neighbour first).  [root] itself included. *)
+
+(** {1 Comparison and printing} *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit

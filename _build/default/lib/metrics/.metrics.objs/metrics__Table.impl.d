@@ -1,0 +1,1 @@
+lib/metrics/table.ml: Array List Printf String

@@ -1,0 +1,26 @@
+(** Monospace table rendering for benchmark output.
+
+    The benchmark harness prints every figure of the paper as a plain
+    table (one row per x-axis point, one column per series); this keeps
+    the output greppable and diffable across runs. *)
+
+type align = Left | Right
+
+val render :
+  ?align:align list ->
+  headers:string list ->
+  string list list ->
+  string
+(** [render ~headers rows] lays the rows out in columns sized to the
+    widest cell, with a rule under the header.  Missing cells render
+    empty; [align] defaults to [Right] for every column. *)
+
+val print :
+  ?align:align list -> headers:string list -> string list list -> unit
+(** {!render} to stdout, followed by a newline. *)
+
+val cell_f : float -> string
+(** Format a float compactly ([%.3f] with trailing-zero trim). *)
+
+val cell_ci : mean:float -> ci:float -> string
+(** ["m ± c"] cell. *)

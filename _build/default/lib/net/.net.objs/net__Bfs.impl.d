@@ -1,0 +1,1 @@
+lib/net/bfs.ml: Array Graph List Queue

@@ -1,0 +1,1 @@
+lib/net/bfs.mli: Graph

@@ -1,0 +1,1 @@
+lib/net/dijkstra.ml: Array Float Graph List Sim

@@ -1,0 +1,1 @@
+lib/net/dot.ml: Buffer Graph List Printf String

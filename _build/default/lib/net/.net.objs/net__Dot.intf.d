@@ -1,0 +1,1 @@
+lib/net/dot.mli: Graph

@@ -1,0 +1,1 @@
+lib/net/graph.ml: Array Float Format Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/net/graph.mli: Format

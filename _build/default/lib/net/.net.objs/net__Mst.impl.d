@@ -1,0 +1,1 @@
+lib/net/mst.ml: Array Float Graph List Union_find

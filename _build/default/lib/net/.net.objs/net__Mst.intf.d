@@ -1,0 +1,1 @@
+lib/net/mst.mli: Graph

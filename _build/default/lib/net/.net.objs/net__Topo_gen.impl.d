@@ -1,0 +1,1 @@
+lib/net/topo_gen.ml: Array Bfs Float Graph List Sim

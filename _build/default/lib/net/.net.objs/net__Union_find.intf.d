@@ -1,0 +1,1 @@
+lib/net/union_find.mli:

@@ -1,0 +1,27 @@
+(** Breadth-first search over live links: hop counts and connectivity.
+
+    Hop distances determine flooding propagation times (each LSA hop costs
+    one per-hop delay), as opposed to {!Dijkstra} weights which determine
+    unicast routes. *)
+
+val hops : Graph.t -> int -> int array
+(** [hops g src] gives the hop distance from [src] to every node over live
+    links; unreachable nodes get [max_int]. *)
+
+val reachable : Graph.t -> int -> bool array
+(** Nodes reachable from the source over live links. *)
+
+val is_connected : Graph.t -> bool
+(** [true] iff every node is reachable from node 0 (vacuously true for
+    graphs with fewer than two nodes). *)
+
+val components : Graph.t -> int list list
+(** Connected components over live links, each sorted ascending; the list
+    of components is sorted by smallest member. *)
+
+val eccentricity : Graph.t -> int -> int
+(** Greatest hop distance from the node to any reachable node. *)
+
+val hop_diameter : Graph.t -> int
+(** Greatest hop distance between any two mutually reachable nodes; [0]
+    for graphs with fewer than two nodes. *)

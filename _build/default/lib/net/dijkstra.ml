@@ -1,0 +1,50 @@
+type result = { dist : float array; pred : int option array }
+
+let run g src =
+  let n = Graph.n_nodes g in
+  let dist = Array.make n infinity in
+  let pred = Array.make n None in
+  let settled = Array.make n false in
+  dist.(src) <- 0.0;
+  let heap = Sim.Heap.create ~cmp:(fun (da, _) (db, _) -> compare da db) in
+  Sim.Heap.add heap (0.0, src);
+  let rec loop () =
+    match Sim.Heap.pop heap with
+    | None -> ()
+    | Some (d, u) ->
+      if not settled.(u) then begin
+        settled.(u) <- true;
+        let relax (v, w) =
+          let candidate = d +. w in
+          if candidate < dist.(v) then begin
+            dist.(v) <- candidate;
+            pred.(v) <- Some u;
+            Sim.Heap.add heap (candidate, v)
+          end
+        in
+        List.iter relax (Graph.neighbors g u)
+      end;
+      loop ()
+  in
+  loop ();
+  { dist; pred }
+
+let distance g src dst = (run g src).dist.(dst)
+
+let path_of_result r ~src ~dst =
+  if not (Float.is_finite r.dist.(dst)) then None
+  else begin
+    let rec walk v acc =
+      if v = src then v :: acc
+      else
+        match r.pred.(v) with
+        | Some p -> walk p (v :: acc)
+        | None -> assert false (* finite distance implies a pred chain *)
+    in
+    Some (walk dst [])
+  end
+
+let path g ~src ~dst = path_of_result (run g src) ~src ~dst
+
+let all_pairs g =
+  Array.init (Graph.n_nodes g) (fun src -> (run g src).dist)

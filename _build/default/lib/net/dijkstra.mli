@@ -1,0 +1,31 @@
+(** Single-source shortest paths over live links (Dijkstra's algorithm).
+
+    Weights are the graph's link costs.  This powers the simulated
+    unicast routing tables ({!Lsr.Unicast}) and every multicast tree
+    algorithm in [Mctree]. *)
+
+type result = {
+  dist : float array;  (** [dist.(v)] is the cost from the source to [v];
+                           [infinity] when unreachable. *)
+  pred : int option array;
+      (** [pred.(v)] is [v]'s predecessor on a shortest path from the
+          source; [None] for the source itself and unreachable nodes. *)
+}
+
+val run : Graph.t -> int -> result
+(** [run g src] computes shortest paths from [src] to all nodes.
+    Deterministic: among equal-cost paths the one through the
+    lowest-numbered relaxing edge encountered first is kept. *)
+
+val distance : Graph.t -> int -> int -> float
+(** Cost of a shortest path, [infinity] if unreachable. *)
+
+val path : Graph.t -> src:int -> dst:int -> int list option
+(** Node sequence of a shortest path from [src] to [dst], inclusive of
+    both; [None] when unreachable. *)
+
+val path_of_result : result -> src:int -> dst:int -> int list option
+(** Extract a path from a precomputed {!result}. *)
+
+val all_pairs : Graph.t -> float array array
+(** [all_pairs g] is the full distance matrix ([n] Dijkstra runs). *)

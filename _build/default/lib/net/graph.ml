@@ -1,0 +1,116 @@
+type edge = { u : int; v : int; weight : float }
+
+type link = { w : float; mutable up : bool }
+
+type t = {
+  n : int;
+  (* adj.(u) maps each neighbour v to the shared link record, so flipping
+     a link's state is visible from both endpoints. *)
+  adj : (int, link) Hashtbl.t array;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Graph.create: negative node count";
+  { n; adj = Array.init n (fun _ -> Hashtbl.create 4) }
+
+let n_nodes t = t.n
+
+let check_node t x =
+  if x < 0 || x >= t.n then
+    invalid_arg (Printf.sprintf "Graph: node %d out of range [0, %d)" x t.n)
+
+let add_edge t u v ~weight =
+  check_node t u;
+  check_node t v;
+  if u = v then invalid_arg "Graph.add_edge: self-loop";
+  if weight <= 0.0 || not (Float.is_finite weight) then
+    invalid_arg "Graph.add_edge: weight must be finite and positive";
+  if Hashtbl.mem t.adj.(u) v then
+    invalid_arg (Printf.sprintf "Graph.add_edge: edge (%d, %d) exists" u v);
+  let link = { w = weight; up = true } in
+  Hashtbl.replace t.adj.(u) v link;
+  Hashtbl.replace t.adj.(v) u link
+
+let of_edges n list =
+  let t = create n in
+  List.iter (fun (u, v, w) -> add_edge t u v ~weight:w) list;
+  t
+
+let find_link t u v =
+  check_node t u;
+  check_node t v;
+  Hashtbl.find_opt t.adj.(u) v
+
+let has_edge t u v = find_link t u v <> None
+
+let weight t u v =
+  match find_link t u v with Some l -> l.w | None -> raise Not_found
+
+let link_is_up t u v =
+  match find_link t u v with Some l -> l.up | None -> false
+
+let set_link t u v ~up =
+  match find_link t u v with
+  | Some l -> l.up <- up
+  | None -> raise Not_found
+
+let neighbors t u =
+  check_node t u;
+  Hashtbl.fold (fun v l acc -> if l.up then (v, l.w) :: acc else acc) t.adj.(u) []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let degree t u =
+  check_node t u;
+  Hashtbl.fold (fun _ l acc -> if l.up then acc + 1 else acc) t.adj.(u) 0
+
+let fold_all f t init =
+  let acc = ref init in
+  for u = 0 to t.n - 1 do
+    Hashtbl.iter
+      (fun v l -> if u < v then acc := f { u; v; weight = l.w } l.up !acc)
+      t.adj.(u)
+  done;
+  !acc
+
+let edges t =
+  fold_all (fun e up acc -> if up then e :: acc else acc) t []
+  |> List.sort (fun a b -> compare (a.u, a.v) (b.u, b.v))
+
+let all_edges t =
+  fold_all (fun e up acc -> (e, up) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> compare (a.u, a.v) (b.u, b.v))
+
+let n_edges t = fold_all (fun _ up acc -> if up then acc + 1 else acc) t 0
+
+let fold_edges f t init =
+  fold_all (fun e up acc -> if up then f e acc else acc) t init
+
+let total_weight t = fold_edges (fun e acc -> acc +. e.weight) t 0.0
+
+let copy t =
+  let fresh = create t.n in
+  List.iter
+    (fun (e, up) ->
+      add_edge fresh e.u e.v ~weight:e.weight;
+      if not up then set_link fresh e.u e.v ~up:false)
+    (all_edges t);
+  fresh
+
+let equal a b =
+  a.n = b.n
+  &&
+  let ea = all_edges a and eb = all_edges b in
+  List.length ea = List.length eb
+  && List.for_all2
+       (fun (x, upx) (y, upy) ->
+         x.u = y.u && x.v = y.v && Float.equal x.weight y.weight && upx = upy)
+       ea eb
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>graph %d nodes, %d live edges" t.n (n_edges t);
+  List.iter
+    (fun (e, up) ->
+      Format.fprintf ppf "@,  %d -- %d  w=%.4g%s" e.u e.v e.weight
+        (if up then "" else "  (down)"))
+    (all_edges t);
+  Format.fprintf ppf "@]"

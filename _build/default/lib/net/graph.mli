@@ -1,0 +1,69 @@
+(** Undirected weighted network graph with link up/down state.
+
+    Nodes are switch identifiers [0 .. n_nodes - 1].  Edge weights model
+    the link cost used by routing (e.g. propagation delay); they are
+    strictly positive.  Links can be taken down and brought back up
+    without losing their weight, which models link failures as seen by a
+    link-state routing protocol. *)
+
+type t
+
+type edge = { u : int; v : int; weight : float }
+(** An undirected edge; [u < v] in all values returned by this module. *)
+
+val create : int -> t
+(** [create n] is an edgeless graph on nodes [0 .. n-1]. *)
+
+val of_edges : int -> (int * int * float) list -> t
+(** [of_edges n edges] builds a graph; raises [Invalid_argument] on
+    duplicate edges, self-loops, out-of-range nodes or non-positive
+    weights. *)
+
+val copy : t -> t
+(** Independent deep copy (mutations do not propagate). *)
+
+val n_nodes : t -> int
+
+val add_edge : t -> int -> int -> weight:float -> unit
+(** Adds an (up) edge.  Raises [Invalid_argument] if the edge exists,
+    [u = v], a node is out of range, or [weight <= 0]. *)
+
+val has_edge : t -> int -> int -> bool
+(** [true] iff the edge exists, up {e or} down. *)
+
+val weight : t -> int -> int -> float
+(** Weight of an existing edge (up or down).  Raises [Not_found]. *)
+
+val link_is_up : t -> int -> int -> bool
+(** [true] iff the edge exists and is up. *)
+
+val set_link : t -> int -> int -> up:bool -> unit
+(** Change the operational state of an existing edge.
+    Raises [Not_found] if the edge does not exist. *)
+
+val neighbors : t -> int -> (int * float) list
+(** Live neighbours of a node with the connecting link's weight, in
+    ascending node order. *)
+
+val degree : t -> int -> int
+(** Number of live incident links. *)
+
+val edges : t -> edge list
+(** All live edges, each reported once with [u < v]. *)
+
+val all_edges : t -> (edge * bool) list
+(** All edges with their up/down state. *)
+
+val n_edges : t -> int
+(** Number of live edges. *)
+
+val fold_edges : (edge -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over live edges. *)
+
+val total_weight : t -> float
+(** Sum of live edge weights. *)
+
+val equal : t -> t -> bool
+(** Same node count, same edges with equal weights and states. *)
+
+val pp : Format.formatter -> t -> unit

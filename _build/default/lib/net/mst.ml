@@ -1,0 +1,38 @@
+let sorted_edges edges =
+  List.sort
+    (fun (a : Graph.edge) b ->
+      let c = compare a.weight b.weight in
+      if c <> 0 then c else compare (a.u, a.v) (b.u, b.v))
+    edges
+
+let kruskal g =
+  let uf = Union_find.create (Graph.n_nodes g) in
+  List.filter
+    (fun (e : Graph.edge) -> Union_find.union uf e.u e.v)
+    (sorted_edges (Graph.edges g))
+
+let cost edges =
+  List.fold_left (fun acc (e : Graph.edge) -> acc +. e.weight) 0.0 edges
+
+let spans g edges =
+  let n = Graph.n_nodes g in
+  n <= 1
+  ||
+  let uf = Union_find.create n in
+  List.iter (fun (e : Graph.edge) -> ignore (Union_find.union uf e.u e.v)) edges;
+  Union_find.n_sets uf = 1
+
+let mst_of_matrix m =
+  let n = Array.length m in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Float.is_finite m.(u).(v) then
+        edges := ({ u; v; weight = m.(u).(v) } : Graph.edge) :: !edges
+    done
+  done;
+  let uf = Union_find.create n in
+  List.filter_map
+    (fun (e : Graph.edge) ->
+      if Union_find.union uf e.u e.v then Some (e.u, e.v, e.weight) else None)
+    (sorted_edges !edges)

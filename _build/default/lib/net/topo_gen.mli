@@ -1,0 +1,76 @@
+(** Network topology generators.
+
+    The paper evaluates D-GMC on "randomly generated graphs" of up to 100
+    switches.  We use Waxman graphs — the standard random-topology model
+    of the 1990s multicast-routing literature (cf. the paper's Imase &
+    Waxman reference) — as the default, plus Erdős–Rényi and a family of
+    regular topologies for tests and examples.  All generators return
+    connected graphs and draw exclusively from the supplied {!Sim.Rng.t},
+    so a (generator, seed) pair fully determines the topology. *)
+
+val waxman :
+  Sim.Rng.t ->
+  n:int ->
+  ?alpha:float ->
+  ?beta:float ->
+  ?scale:float ->
+  ?target_degree:float ->
+  unit ->
+  Graph.t
+(** Waxman (1988) random graph: [n] points placed uniformly in the unit
+    square; an edge joins [u] and [v] with probability
+    [alpha * exp (-d(u,v) / (beta * l))] where [d] is Euclidean distance
+    and [l] the maximum pairwise distance.  Edge weight is
+    [scale * d(u,v)].  Components are then connected by their closest
+    node pairs so the result is always connected.
+    Defaults: [alpha = 0.25], [beta = 0.2], [scale = 10.0].
+
+    In the plain model the mean degree grows with [n]; passing
+    [target_degree] overrides [alpha] with the value that makes the
+    {e expected} number of edges equal [n * target_degree / 2] for the
+    drawn node placement, keeping graphs of different sizes comparable —
+    which is what the paper's size sweeps need. *)
+
+val clustered :
+  Sim.Rng.t ->
+  areas:int ->
+  per_area:int ->
+  ?inter_links:int ->
+  ?target_degree:float ->
+  ?inter_weight:float ->
+  unit ->
+  Graph.t * int list array
+(** A two-level topology for hierarchical-routing experiments: [areas]
+    Waxman clusters of [per_area] switches each, joined by
+    [inter_links] (default 2) long links between every pair of adjacent
+    areas on a ring of areas — dense inside, sparse between, like an
+    internetwork of domains.  Node ids are contiguous per area
+    ([area k] owns [k*per_area .. (k+1)*per_area - 1]); the returned
+    array lists each area's switches.  [inter_weight] (default [20.0])
+    is the inter-area link cost. *)
+
+val erdos_renyi :
+  Sim.Rng.t -> n:int -> ?p:float -> ?min_weight:float -> ?max_weight:float -> unit -> Graph.t
+(** G(n, p) with uniform random weights in [[min_weight, max_weight]],
+    made connected the same way.  Defaults: [p = 3.0 /. float n] (mean
+    degree ≈ 3), weights in [[1, 10]]. *)
+
+val ring : ?weight:float -> int -> Graph.t
+(** Cycle on [n >= 3] nodes; every edge has the given weight
+    (default [1.0]). *)
+
+val line : ?weight:float -> int -> Graph.t
+(** Path graph on [n >= 2] nodes. *)
+
+val star : ?weight:float -> int -> Graph.t
+(** Node 0 joined to all others; [n >= 2]. *)
+
+val grid : ?weight:float -> rows:int -> cols:int -> unit -> Graph.t
+(** [rows × cols] mesh; node ids are [row * cols + col]. *)
+
+val complete : ?weight:float -> int -> Graph.t
+(** Complete graph on [n >= 2] nodes. *)
+
+val binary_tree : ?weight:float -> int -> Graph.t
+(** Complete binary tree shape on [n >= 1] nodes (node [i]'s children are
+    [2i+1], [2i+2]). *)

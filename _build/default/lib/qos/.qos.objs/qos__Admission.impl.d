@@ -1,0 +1,1 @@
+lib/qos/admission.ml: Capacity Dgmc Format Mctree Stdlib

@@ -1,0 +1,1 @@
+lib/qos/admission.mli: Capacity Dgmc Format Mctree Stdlib

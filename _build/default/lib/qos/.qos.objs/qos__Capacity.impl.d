@@ -1,0 +1,1 @@
+lib/qos/capacity.ml: Float Hashtbl List Mctree Net Option Printf

@@ -1,0 +1,1 @@
+lib/qos/capacity.mli: Mctree Net

@@ -1,0 +1,45 @@
+type rejection = No_feasible_tree | Already_admitted
+
+type result = (Mctree.Tree.t, rejection) Stdlib.result
+
+let compute_constrained cap ~kind ~bandwidth ~members =
+  let image = Capacity.constrained_image cap ~bandwidth in
+  (* Reuse the protocol's algorithm selection; the partition fallback of
+     Compute.topology is unwanted here — a tree that fails to span the
+     members is a rejection, not a best effort. *)
+  let config = { Dgmc.Config.atm_lan with incremental = false } in
+  match Dgmc.Member.ids members with
+  | [] -> None
+  | first :: _ ->
+    let tree =
+      Dgmc.Compute.topology config kind image members ~self:first ~current:None
+    in
+    let spans =
+      Mctree.Tree.Int_set.elements (Mctree.Tree.terminals tree)
+      = Dgmc.Member.ids members
+      && Mctree.Tree.is_valid_mc_topology image tree
+    in
+    if spans then Some tree else None
+
+let admit cap ~key ~kind ~bandwidth ~members =
+  if Capacity.reservation cap ~key <> None then Error Already_admitted
+  else
+    match compute_constrained cap ~kind ~bandwidth ~members with
+    | None -> Error No_feasible_tree
+    | Some tree ->
+      Capacity.reserve_tree cap ~key ~bandwidth tree;
+      Ok tree
+
+let release cap ~key = Capacity.release cap ~key
+
+let readmit cap ~key ~kind ~bandwidth ~members =
+  release cap ~key;
+  admit cap ~key ~kind ~bandwidth ~members
+
+let feasible cap ~kind ~bandwidth ~members =
+  compute_constrained cap ~kind ~bandwidth ~members <> None
+
+let pp_rejection ppf = function
+  | No_feasible_tree ->
+    Format.pp_print_string ppf "no tree with sufficient residual bandwidth"
+  | Already_admitted -> Format.pp_print_string ppf "key already admitted"

@@ -1,0 +1,54 @@
+(** Bandwidth-aware MC admission — QoS negotiation before data flows.
+
+    "An on-demand approach cannot be applied if quality of service (QoS)
+    negotiation is needed prior to data transmission" (§2): MOSPF only
+    computes when a datagram arrives, so there is nothing to negotiate
+    against; D-GMC computes and agrees a topology first, and that
+    computation can run on a capacity-constrained image of the network.
+    This module is that admission step, usable standalone or as the
+    topology computation a D-GMC switch invokes.
+
+    Admission is all-or-nothing: a connection is admitted with a tree
+    whose every link has the demanded residual bandwidth reserved, or
+    rejected without side effects. *)
+
+type rejection =
+  | No_feasible_tree
+      (** The members cannot be spanned by links with enough residual
+          capacity. *)
+  | Already_admitted  (** The key already holds a reservation. *)
+
+type result = (Mctree.Tree.t, rejection) Stdlib.result
+
+val admit :
+  Capacity.t ->
+  key:int ->
+  kind:Dgmc.Mc_id.kind ->
+  bandwidth:float ->
+  members:Dgmc.Member.t ->
+  result
+(** Compute a topology for the members on the bandwidth-constrained
+    image (same algorithm selection as the protocol: Steiner tree for
+    symmetric/receiver-only, source-rooted tree for asymmetric) and
+    reserve it under [key]. *)
+
+val readmit :
+  Capacity.t ->
+  key:int ->
+  kind:Dgmc.Mc_id.kind ->
+  bandwidth:float ->
+  members:Dgmc.Member.t ->
+  result
+(** Release [key] (if held) and admit the new member set — the
+    membership-change path.  On rejection the old reservation is {e not}
+    restored (the connection was torn down to make the attempt); callers
+    wanting transactional behaviour should check feasibility with
+    {!feasible} first. *)
+
+val release : Capacity.t -> key:int -> unit
+
+val feasible :
+  Capacity.t -> kind:Dgmc.Mc_id.kind -> bandwidth:float -> members:Dgmc.Member.t -> bool
+(** Would {!admit} succeed right now (ignoring [Already_admitted])? *)
+
+val pp_rejection : Format.formatter -> rejection -> unit

@@ -1,0 +1,96 @@
+let norm u v = if u < v then (u, v) else (v, u)
+
+type t = {
+  graph : Net.Graph.t;
+  capacities : (int * int, float) Hashtbl.t;
+  default_capacity : float;
+  reserved : (int * int, float) Hashtbl.t;
+  reservations : (int, float * Mctree.Tree.t) Hashtbl.t;
+}
+
+let create graph ~default_capacity =
+  if default_capacity < 0.0 then
+    invalid_arg "Capacity.create: negative default capacity";
+  {
+    graph;
+    capacities = Hashtbl.create 64;
+    default_capacity;
+    reserved = Hashtbl.create 64;
+    reservations = Hashtbl.create 16;
+  }
+
+let graph t = t.graph
+
+let capacity t u v =
+  if not (Net.Graph.has_edge t.graph u v) then raise Not_found;
+  Option.value ~default:t.default_capacity (Hashtbl.find_opt t.capacities (norm u v))
+
+let reserved t u v =
+  Option.value ~default:0.0 (Hashtbl.find_opt t.reserved (norm u v))
+
+let set_capacity t u v cap =
+  if cap < 0.0 then invalid_arg "Capacity.set_capacity: negative capacity";
+  if not (Net.Graph.has_edge t.graph u v) then raise Not_found;
+  if reserved t u v > cap then
+    invalid_arg "Capacity.set_capacity: below current reservations";
+  Hashtbl.replace t.capacities (norm u v) cap
+
+let residual t u v =
+  if not (Net.Graph.link_is_up t.graph u v) then 0.0
+  else Float.max 0.0 (capacity t u v -. reserved t u v)
+
+let add_reserved t u v amount =
+  let key = norm u v in
+  Hashtbl.replace t.reserved key (reserved t u v +. amount)
+
+let reserve_tree t ~key ~bandwidth tree =
+  if bandwidth <= 0.0 then invalid_arg "Capacity.reserve_tree: bandwidth <= 0";
+  if Hashtbl.mem t.reservations key then
+    invalid_arg "Capacity.reserve_tree: key already reserved";
+  let edges = Mctree.Tree.edges tree in
+  List.iter
+    (fun (u, v) ->
+      if residual t u v +. 1e-9 < bandwidth then
+        failwith
+          (Printf.sprintf "Capacity: link (%d, %d) lacks %.3g of capacity" u v
+             bandwidth))
+    edges;
+  List.iter (fun (u, v) -> add_reserved t u v bandwidth) edges;
+  Hashtbl.replace t.reservations key (bandwidth, tree)
+
+let release t ~key =
+  match Hashtbl.find_opt t.reservations key with
+  | None -> ()
+  | Some (bandwidth, tree) ->
+    List.iter
+      (fun (u, v) -> add_reserved t u v (-.bandwidth))
+      (Mctree.Tree.edges tree);
+    Hashtbl.remove t.reservations key
+
+let reservation t ~key = Hashtbl.find_opt t.reservations key
+
+let constrained_image t ~bandwidth =
+  let n = Net.Graph.n_nodes t.graph in
+  let g = Net.Graph.create n in
+  List.iter
+    (fun (e : Net.Graph.edge) ->
+      if residual t e.u e.v +. 1e-9 >= bandwidth then
+        Net.Graph.add_edge g e.u e.v ~weight:e.weight)
+    (Net.Graph.edges t.graph);
+  g
+
+let totals t =
+  Net.Graph.fold_edges
+    (fun e (cap, res) -> (cap +. capacity t e.u e.v, res +. reserved t e.u e.v))
+    t.graph (0.0, 0.0)
+
+let utilization t =
+  let cap, res = totals t in
+  if cap <= 0.0 then 0.0 else res /. cap
+
+let max_utilization t =
+  Net.Graph.fold_edges
+    (fun e acc ->
+      let cap = capacity t e.u e.v in
+      if cap <= 0.0 then acc else Float.max acc (reserved t e.u e.v /. cap))
+    t.graph 0.0

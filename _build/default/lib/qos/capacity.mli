@@ -1,0 +1,55 @@
+(** Link capacities and bandwidth reservations.
+
+    The paper's §2 argues that data-driven protocols (MOSPF) cannot
+    negotiate quality of service before data flows, whereas D-GMC's
+    proposal-before-data model can: a topology is computed, admitted
+    against link capacities, and agreed network-wide before the first
+    packet.  This module is the capacity substrate: a network whose
+    links carry bandwidth budgets, with per-connection reservations. *)
+
+type t
+
+val create : Net.Graph.t -> default_capacity:float -> t
+(** Wrap a graph; every live link starts with the given capacity.
+    The graph is referenced, not copied: topology changes (link state)
+    are visible; capacities are tracked here. *)
+
+val graph : t -> Net.Graph.t
+
+val set_capacity : t -> int -> int -> float -> unit
+(** Override one link's capacity.  Raises [Not_found] for non-edges,
+    [Invalid_argument] for negative capacity or when the link already
+    has more reserved than the new capacity. *)
+
+val capacity : t -> int -> int -> float
+(** Total capacity of a link.  Raises [Not_found] for non-edges. *)
+
+val reserved : t -> int -> int -> float
+(** Bandwidth currently reserved on a link (0 for non-edges). *)
+
+val residual : t -> int -> int -> float
+(** [capacity - reserved]; 0 for down or absent links. *)
+
+val reserve_tree : t -> key:int -> bandwidth:float -> Mctree.Tree.t -> unit
+(** Reserve [bandwidth] on every link of the tree under the given
+    reservation key.  All-or-nothing: raises [Failure] (reserving
+    nothing) if any link lacks residual capacity, [Invalid_argument] if
+    the key is already present (release first). *)
+
+val release : t -> key:int -> unit
+(** Release a reservation; no-op for unknown keys. *)
+
+val reservation : t -> key:int -> (float * Mctree.Tree.t) option
+(** The bandwidth and tree held under a key. *)
+
+val constrained_image : t -> bandwidth:float -> Net.Graph.t
+(** A copy of the graph containing only live links whose residual
+    capacity is at least [bandwidth] — the image a constrained topology
+    computation runs on. *)
+
+val utilization : t -> float
+(** Total reserved bandwidth divided by total capacity over live links
+    (0 when capacity is 0). *)
+
+val max_utilization : t -> float
+(** The most loaded live link's reserved/capacity ratio. *)

@@ -1,0 +1,51 @@
+type handle = { mutable cancelled : bool }
+
+type 'a entry = { time : float; seq : int; payload : 'a; handle : handle }
+
+type 'a t = { heap : 'a entry Heap.t; mutable next_seq : int }
+
+let compare_entry a b =
+  let c = compare a.time b.time in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create () = { heap = Heap.create ~cmp:compare_entry; next_seq = 0 }
+
+let schedule q ~time payload =
+  if not (Float.is_finite time) then
+    invalid_arg "Event_queue.schedule: non-finite time";
+  let handle = { cancelled = false } in
+  Heap.add q.heap { time; seq = q.next_seq; payload; handle };
+  q.next_seq <- q.next_seq + 1;
+  handle
+
+let cancel handle = handle.cancelled <- true
+
+let is_cancelled handle = handle.cancelled
+
+(* Cancellation is lazy: a cancelled entry stays in the heap and is
+   discarded when it surfaces. *)
+let rec pop q =
+  match Heap.pop q.heap with
+  | None -> None
+  | Some e -> if e.handle.cancelled then pop q else Some (e.time, e.payload)
+
+let rec peek_time q =
+  match Heap.peek q.heap with
+  | None -> None
+  | Some e ->
+    if e.handle.cancelled then begin
+      ignore (Heap.pop q.heap);
+      peek_time q
+    end
+    else Some e.time
+
+let length q =
+  let count = ref 0 in
+  List.iter
+    (fun e -> if not e.handle.cancelled then incr count)
+    (Heap.to_sorted_list q.heap);
+  !count
+
+let is_empty q = peek_time q = None
+
+let clear q = Heap.clear q.heap

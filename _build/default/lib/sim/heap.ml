@@ -1,0 +1,88 @@
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable data : 'a array;
+  mutable size : int;
+}
+
+let create ~cmp = { cmp; data = [||]; size = 0 }
+
+let length h = h.size
+
+let is_empty h = h.size = 0
+
+let grow h x =
+  (* The array slots beyond [size] hold arbitrary previously-stored values;
+     [x] is only used to seed a fresh backing array. *)
+  let capacity = Array.length h.data in
+  if h.size = capacity then
+    if capacity = 0 then h.data <- Array.make 8 x
+    else begin
+      let data = Array.make (2 * capacity) x in
+      Array.blit h.data 0 data 0 capacity;
+      h.data <- data
+    end
+
+let swap h i j =
+  let tmp = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- tmp
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.cmp h.data.(i) h.data.(parent) < 0 then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < h.size && h.cmp h.data.(left) h.data.(!smallest) < 0 then
+    smallest := left;
+  if right < h.size && h.cmp h.data.(right) h.data.(!smallest) < 0 then
+    smallest := right;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let add h x =
+  grow h x;
+  h.data.(h.size) <- x;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let peek h = if h.size = 0 then None else Some h.data.(0)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      sift_down h 0
+    end;
+    Some top
+  end
+
+let pop_exn h =
+  match pop h with
+  | Some x -> x
+  | None -> invalid_arg "Heap.pop_exn: empty heap"
+
+let clear h = h.size <- 0
+
+let to_sorted_list h =
+  let copy = { h with data = Array.sub h.data 0 h.size } in
+  let rec drain acc =
+    match pop copy with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  drain []
+
+let of_list ~cmp xs =
+  let h = create ~cmp in
+  List.iter (add h) xs;
+  h

@@ -1,0 +1,37 @@
+(** Array-backed binary min-heap.
+
+    The heap is polymorphic in its element type; the ordering is fixed at
+    creation time by a [cmp] function ([cmp a b < 0] means [a] is closer to
+    the top).  Used by {!Event_queue} as the simulation calendar, and by
+    {!Net.Dijkstra} / {!Net.Mst} as a priority queue. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty heap ordered by [cmp]. *)
+
+val length : 'a t -> int
+(** Number of elements currently stored. *)
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> 'a -> unit
+(** [add h x] inserts [x].  O(log n). *)
+
+val peek : 'a t -> 'a option
+(** Smallest element, if any, without removing it.  O(1). *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element.  O(log n). *)
+
+val pop_exn : 'a t -> 'a
+(** Like {!pop} but raises [Invalid_argument] on an empty heap. *)
+
+val clear : 'a t -> unit
+(** Remove all elements. *)
+
+val to_sorted_list : 'a t -> 'a list
+(** Non-destructively list all elements in ascending order.  O(n log n);
+    intended for tests and debugging. *)
+
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t

@@ -1,0 +1,38 @@
+type entry = { time : float; category : string; message : string }
+
+type t = { keep : bool; echo : bool; mutable entries : entry list; mutable n : int }
+
+let create ?(keep = true) ?(echo = false) () = { keep; echo; entries = []; n = 0 }
+
+let disabled = { keep = false; echo = false; entries = []; n = 0 }
+
+let enabled t = t.keep || t.echo
+
+let pp_entry ppf e =
+  Format.fprintf ppf "[%12.6f] %-10s %s" e.time e.category e.message
+
+let record t ~time ~category message =
+  if enabled t then begin
+    let e = { time; category; message } in
+    if t.echo then Format.eprintf "%a@." pp_entry e;
+    if t.keep then begin
+      t.entries <- e :: t.entries;
+      t.n <- t.n + 1
+    end
+  end
+
+let recordf t ~time ~category fmt =
+  if enabled t then
+    Format.kasprintf (fun message -> record t ~time ~category message) fmt
+  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let entries t = List.rev t.entries
+
+let count t = t.n
+
+let count_category t category =
+  List.length (List.filter (fun e -> String.equal e.category category) t.entries)
+
+let clear t =
+  t.entries <- [];
+  t.n <- 0

@@ -1,0 +1,42 @@
+(** Lightweight structured trace of simulation activity.
+
+    A trace records (time, category, message) triples in order.  Protocol
+    code emits trace points unconditionally; whether they are retained
+    and/or printed is decided by the trace's configuration, so the hot
+    path costs one branch when tracing is off. *)
+
+type t
+
+type entry = { time : float; category : string; message : string }
+
+val create : ?keep:bool -> ?echo:bool -> unit -> t
+(** [create ~keep ~echo ()] — [keep] retains entries in memory (default
+    [true]); [echo] additionally prints each entry to stderr as it is
+    recorded (default [false]). *)
+
+val disabled : t
+(** A shared trace that drops everything. *)
+
+val enabled : t -> bool
+(** [true] when the trace retains or echoes entries. *)
+
+val record : t -> time:float -> category:string -> string -> unit
+(** Record one entry (if the trace is enabled). *)
+
+val recordf :
+  t -> time:float -> category:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Formatted variant; the format arguments are not evaluated when the
+    trace is disabled. *)
+
+val entries : t -> entry list
+(** All retained entries, oldest first. *)
+
+val count : t -> int
+(** Number of retained entries. *)
+
+val count_category : t -> string -> int
+(** Retained entries in the given category. *)
+
+val clear : t -> unit
+
+val pp_entry : Format.formatter -> entry -> unit

@@ -1,0 +1,1 @@
+lib/workload/bursty.ml: Dgmc Events List Sim

@@ -1,0 +1,1 @@
+lib/workload/bursty.mli: Dgmc Events Sim

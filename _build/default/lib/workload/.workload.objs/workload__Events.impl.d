@@ -1,0 +1,1 @@
+lib/workload/events.ml: Dgmc Float Format List Printf

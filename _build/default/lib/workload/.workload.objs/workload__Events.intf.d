@@ -1,0 +1,1 @@
+lib/workload/events.mli: Dgmc Format

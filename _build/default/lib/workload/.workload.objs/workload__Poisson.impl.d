@@ -1,0 +1,1 @@
+lib/workload/poisson.ml: Dgmc Events List Sim

@@ -1,0 +1,1 @@
+lib/workload/poisson.mli: Dgmc Events Sim

@@ -1,0 +1,1 @@
+lib/workload/script.ml: Dgmc Events List Net Printf Sim String

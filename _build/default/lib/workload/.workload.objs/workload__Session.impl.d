@@ -1,0 +1,1 @@
+lib/workload/session.ml: Bursty Events Float List Poisson Sim

@@ -1,0 +1,1 @@
+lib/workload/session.mli: Dgmc Events Sim

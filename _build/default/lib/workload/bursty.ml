@@ -1,0 +1,57 @@
+let default_role (mc : Dgmc.Mc_id.t) order _switch =
+  match mc.kind with
+  | Dgmc.Mc_id.Symmetric -> Dgmc.Member.Both
+  | Dgmc.Mc_id.Receiver_only -> Dgmc.Member.Receiver
+  | Dgmc.Mc_id.Asymmetric ->
+    if order = 0 then Dgmc.Member.Sender else Dgmc.Member.Receiver
+
+let joins rng ~n ~mc ~members ~window ?role ?(start = 0.0) () =
+  if members < 1 || members > n then invalid_arg "Bursty.joins: bad member count";
+  if window <= 0.0 then invalid_arg "Bursty.joins: window must be positive";
+  let all = List.init n (fun i -> i) in
+  let chosen = Sim.Rng.sample rng members all in
+  List.mapi
+    (fun order switch ->
+      let role =
+        match role with
+        | Some f -> f switch
+        | None -> default_role mc order switch
+      in
+      {
+        Events.time = start +. Sim.Rng.float rng window;
+        action = Events.Join { switch; mc; role };
+      })
+    chosen
+  |> Events.sort
+
+let churn rng ~current ~n ~mc ~joins:n_joins ~leaves:n_leaves ~window ?(start = 0.0)
+    () =
+  if window <= 0.0 then invalid_arg "Bursty.churn: window must be positive";
+  if n_leaves > List.length current then
+    invalid_arg "Bursty.churn: more leaves than members";
+  let outsiders =
+    List.filter (fun x -> not (List.mem x current)) (List.init n (fun i -> i))
+  in
+  if n_joins > List.length outsiders then
+    invalid_arg "Bursty.churn: more joins than non-members";
+  let leavers = Sim.Rng.sample rng n_leaves current in
+  let joiners = Sim.Rng.sample rng n_joins outsiders in
+  let leave_events =
+    List.map
+      (fun switch ->
+        {
+          Events.time = start +. Sim.Rng.float rng window;
+          action = Events.Leave { switch; mc };
+        })
+      leavers
+  in
+  let join_events =
+    List.mapi
+      (fun order switch ->
+        {
+          Events.time = start +. Sim.Rng.float rng window;
+          action = Events.Join { switch; mc; role = default_role mc (order + 1) switch };
+        })
+      joiners
+  in
+  Events.sort (leave_events @ join_events)

@@ -1,0 +1,189 @@
+type t = {
+  graph : Net.Graph.t;
+  config : Dgmc.Config.t;
+  mcs : Dgmc.Mc_id.t list;
+  events : Events.t list;
+}
+
+exception Parse_error of int * string
+
+let fail line fmt = Printf.ksprintf (fun m -> raise (Parse_error (line, m))) fmt
+
+let tokens line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+(* key=value option lookup within a directive's trailing tokens. *)
+let opt_value opts key =
+  List.find_map
+    (fun tok ->
+      match String.index_opt tok '=' with
+      | Some i when String.sub tok 0 i = key ->
+        Some (String.sub tok (i + 1) (String.length tok - i - 1))
+      | _ -> None)
+    opts
+
+let parse_int lineno what s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail lineno "%s: expected an integer, got %S" what s
+
+let parse_graph lineno args =
+  let num = parse_int lineno "graph size" in
+  match args with
+  | [ "waxman"; n ] -> Net.Topo_gen.waxman (Sim.Rng.create 1) ~n:(num n) ~target_degree:3.5 ()
+  | "waxman" :: n :: opts ->
+    let seed =
+      match opt_value opts "seed" with
+      | Some s -> parse_int lineno "seed" s
+      | None -> 1
+    in
+    Net.Topo_gen.waxman (Sim.Rng.create seed) ~n:(num n) ~target_degree:3.5 ()
+  | [ "grid"; rows; cols ] -> Net.Topo_gen.grid ~rows:(num rows) ~cols:(num cols) ()
+  | [ "ring"; n ] -> Net.Topo_gen.ring (num n)
+  | [ "line"; n ] -> Net.Topo_gen.line (num n)
+  | [ "star"; n ] -> Net.Topo_gen.star (num n)
+  | [ "complete"; n ] -> Net.Topo_gen.complete (num n)
+  | kind :: _ -> fail lineno "unknown graph kind %S" kind
+  | [] -> fail lineno "graph: missing arguments"
+
+let parse_config lineno = function
+  | [ "atm" ] -> Dgmc.Config.atm_lan
+  | [ "wan" ] -> Dgmc.Config.wan
+  | args -> fail lineno "config: expected 'atm' or 'wan', got %S" (String.concat " " args)
+
+let parse_kind lineno = function
+  | "symmetric" -> Dgmc.Mc_id.Symmetric
+  | "receiver-only" -> Dgmc.Mc_id.Receiver_only
+  | "asymmetric" -> Dgmc.Mc_id.Asymmetric
+  | s -> fail lineno "unknown MC type %S" s
+
+let parse_role lineno = function
+  | "sender" -> Dgmc.Member.Sender
+  | "receiver" -> Dgmc.Member.Receiver
+  | "both" -> Dgmc.Member.Both
+  | s -> fail lineno "unknown role %S" s
+
+let default_role = function
+  | Dgmc.Mc_id.Symmetric -> Dgmc.Member.Both
+  | Dgmc.Mc_id.Receiver_only -> Dgmc.Member.Receiver
+  | Dgmc.Mc_id.Asymmetric -> Dgmc.Member.Receiver
+
+(* Time literals: plain seconds, or "<x>r" for protocol rounds. *)
+let parse_time lineno s =
+  let rounds = String.length s > 1 && s.[String.length s - 1] = 'r' in
+  let body = if rounds then String.sub s 0 (String.length s - 1) else s in
+  match float_of_string_opt body with
+  | Some v when v >= 0.0 -> (v, rounds)
+  | Some _ -> fail lineno "time must be non-negative"
+  | None -> fail lineno "bad time literal %S" s
+
+let find_mc lineno mcs opts =
+  match opt_value opts "mc" with
+  | None -> fail lineno "event needs mc=<id>"
+  | Some id_s ->
+    let id = parse_int lineno "mc id" id_s in
+    (match List.find_opt (fun (m : Dgmc.Mc_id.t) -> m.id = id) mcs with
+    | Some m -> m
+    | None -> fail lineno "mc %d not declared (use a 'mc %d <type>' line first)" id id)
+
+let parse text =
+  try
+    let graph = ref None in
+    let config = ref Dgmc.Config.atm_lan in
+    let mcs = ref [] in
+    (* (time, rounds?, action builder) — resolved once graph+config known. *)
+    let events = ref [] in
+    List.iteri
+      (fun i raw ->
+        let lineno = i + 1 in
+        let line =
+          match String.index_opt raw '#' with
+          | Some j -> String.sub raw 0 j
+          | None -> raw
+        in
+        match tokens line with
+        | [] -> ()
+        | "graph" :: args -> graph := Some (parse_graph lineno args)
+        | "config" :: args -> config := parse_config lineno args
+        | [ "mc"; id; kind ] ->
+          let id = parse_int lineno "mc id" id in
+          if List.exists (fun (m : Dgmc.Mc_id.t) -> m.id = id) !mcs then
+            fail lineno "mc %d declared twice" id;
+          mcs := Dgmc.Mc_id.make (parse_kind lineno kind) id :: !mcs
+        | "at" :: time :: action ->
+          let time = parse_time lineno time in
+          let act =
+            match action with
+            | "join" :: sw :: opts ->
+              let sw = parse_int lineno "switch" sw in
+              let mc = find_mc lineno !mcs opts in
+              let role =
+                match opt_value opts "role" with
+                | Some r -> parse_role lineno r
+                | None -> default_role mc.kind
+              in
+              Events.Join { switch = sw; mc; role }
+            | "leave" :: sw :: opts ->
+              Events.Leave
+                {
+                  switch = parse_int lineno "switch" sw;
+                  mc = find_mc lineno !mcs opts;
+                }
+            | [ "linkdown"; u; v ] ->
+              Events.Link_down (parse_int lineno "u" u, parse_int lineno "v" v)
+            | [ "linkup"; u; v ] ->
+              Events.Link_up (parse_int lineno "u" u, parse_int lineno "v" v)
+            | verb :: _ -> fail lineno "unknown event %S" verb
+            | [] -> fail lineno "at: missing event"
+          in
+          events := (lineno, time, act) :: !events
+        | verb :: _ -> fail lineno "unknown directive %S" verb)
+      (String.split_on_char '\n' text);
+    let graph =
+      match !graph with
+      | Some g -> g
+      | None -> raise (Parse_error (0, "missing 'graph' directive"))
+    in
+    let config = !config in
+    let round = Dgmc.Config.round_length config ~graph in
+    let events =
+      List.rev_map
+        (fun (lineno, (v, rounds), action) ->
+          let time = if rounds then v *. round else v in
+          ignore lineno;
+          { Events.time; action })
+        !events
+      |> Events.sort
+    in
+    (* Validate event targets against the graph. *)
+    let n = Net.Graph.n_nodes graph in
+    List.iter
+      (fun (e : Events.t) ->
+        match e.action with
+        | Events.Join { switch; _ } | Events.Leave { switch; _ } ->
+          if switch < 0 || switch >= n then
+            raise (Parse_error (0, Printf.sprintf "switch %d out of range" switch))
+        | Events.Link_down (u, v) | Events.Link_up (u, v) ->
+          if not (Net.Graph.has_edge graph u v) then
+            raise (Parse_error (0, Printf.sprintf "no link (%d, %d)" u v)))
+      events;
+    Ok { graph; config; mcs = List.rev !mcs; events }
+  with Parse_error (line, msg) ->
+    Error (if line = 0 then msg else Printf.sprintf "line %d: %s" line msg)
+
+let load path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    parse text
+
+let run ?trace t =
+  let net = Dgmc.Protocol.create ~graph:t.graph ~config:t.config ?trace () in
+  Events.apply_dgmc net t.events;
+  Dgmc.Protocol.run net;
+  net

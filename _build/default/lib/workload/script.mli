@@ -1,0 +1,43 @@
+(** Scenario scripts: drive a simulation from a plain-text description.
+
+    The CLI's [script] subcommand runs files in this format; tests and
+    bug reports can thus describe a reproducible scenario without
+    writing OCaml.  Format, one directive per line ([#] comments and
+    blank lines ignored):
+
+    {v
+    # network and regime
+    graph waxman 30 seed=5        # or: grid R C | ring N | line N | star N
+    config atm                    # or: wan
+
+    # connections: id and type
+    mc 1 symmetric                # or: receiver-only | asymmetric
+
+    # timed events; time is seconds, or rounds with an 'r' suffix
+    at 0    join 3 mc=1           # role defaults by MC type
+    at 0.1r join 5 mc=1 role=sender
+    at 2r   leave 3 mc=1
+    at 3r   linkdown 2 7
+    at 4r   linkup 2 7
+    v}
+
+    Times with the [r] suffix are multiples of the protocol round
+    ([Tf + Tc]) of the scripted graph and regime. *)
+
+type t = {
+  graph : Net.Graph.t;
+  config : Dgmc.Config.t;
+  mcs : Dgmc.Mc_id.t list;
+  events : Events.t list;
+}
+
+val parse : string -> (t, string) result
+(** Parse a script from its text.  The error carries the line number and
+    a description. *)
+
+val load : string -> (t, string) result
+(** Read and parse a file. *)
+
+val run : ?trace:Sim.Trace.t -> t -> Dgmc.Protocol.t
+(** Build the protocol instance, schedule every event, and run to
+    quiescence. *)

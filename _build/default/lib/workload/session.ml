@@ -1,0 +1,49 @@
+type phases = {
+  arrivals : Events.t list;
+  churn : Events.t list;
+  departures : Events.t list;
+}
+
+let members_after events =
+  List.fold_left
+    (fun members (e : Events.t) ->
+      match e.action with
+      | Events.Join { switch; _ } -> List.sort_uniq compare (switch :: members)
+      | Events.Leave { switch; _ } -> List.filter (fun x -> x <> switch) members
+      | Events.Link_down _ | Events.Link_up _ -> members)
+    [] (Events.sort events)
+
+let lifecycle rng ~n ~mc ~participants ~arrival_window ~churn_events
+    ~churn_mean_gap ~departure_window () =
+  let arrivals =
+    Bursty.joins rng ~n ~mc ~members:participants ~window:arrival_window ()
+  in
+  let initial = members_after arrivals in
+  let churn_start = 2.0 *. arrival_window in
+  (* Poisson.membership would emit join events for its [initial] seed;
+     those switches are already members, so generate with the seed set
+     baked in and drop the seed events. *)
+  let churn =
+    Poisson.membership rng ~n ~mc ~events:churn_events ~mean_gap:churn_mean_gap
+      ~initial ~start:churn_start ()
+    |> List.filter (fun (e : Events.t) -> e.time > churn_start)
+  in
+  let after_churn = members_after (arrivals @ churn) in
+  let last_churn =
+    List.fold_left (fun acc (e : Events.t) -> Float.max acc e.time) churn_start churn
+  in
+  let departure_start = last_churn +. churn_mean_gap in
+  let departures =
+    List.map
+      (fun switch ->
+        {
+          Events.time = departure_start +. Sim.Rng.float rng departure_window;
+          action = Events.Leave { switch; mc };
+        })
+      after_churn
+    |> Events.sort
+  in
+  { arrivals; churn; departures }
+
+let all { arrivals; churn; departures } =
+  Events.sort (arrivals @ churn @ departures)

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Dgmc List Mctree Net Option Sim

@@ -1,0 +1,1 @@
+test/test_dataplane.ml: Alcotest Dataplane List Mctree Net Sim

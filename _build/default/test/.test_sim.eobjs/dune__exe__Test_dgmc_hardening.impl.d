@@ -1,0 +1,1 @@
+test/test_dgmc_hardening.ml: Alcotest Dgmc List Mctree Net Option Sim String

@@ -1,0 +1,1 @@
+test/test_dgmc_hardening.mli:

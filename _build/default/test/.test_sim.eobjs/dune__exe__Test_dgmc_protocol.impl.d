@@ -1,0 +1,1 @@
+test/test_dgmc_protocol.ml: Alcotest Dgmc Experiments List Lsr Mctree Net Option Printf Sim String

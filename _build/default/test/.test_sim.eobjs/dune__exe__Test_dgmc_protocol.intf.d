@@ -1,0 +1,1 @@
+test/test_dgmc_protocol.mli:

@@ -1,0 +1,1 @@
+test/test_dgmc_switch.ml: Alcotest Array Dgmc List Mctree Net Option Sim

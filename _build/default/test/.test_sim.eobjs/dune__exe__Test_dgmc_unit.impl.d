@@ -1,0 +1,1 @@
+test/test_dgmc_unit.ml: Alcotest Array Dgmc List Mctree Net QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_election.ml: Alcotest Dgmc Election List Net Printf

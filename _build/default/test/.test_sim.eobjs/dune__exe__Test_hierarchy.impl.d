@@ -1,0 +1,1 @@
+test/test_hierarchy.ml: Alcotest Array Dgmc Hierarchy List Mctree Net Option Sim String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Dgmc Experiments Float List Lsr Mctree Metrics Net Option Sim String Workload

@@ -1,0 +1,1 @@
+test/test_lsr.ml: Alcotest Array List Lsr Net Sim

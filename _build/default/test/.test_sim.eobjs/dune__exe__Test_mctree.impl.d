@@ -1,0 +1,1 @@
+test/test_mctree.ml: Alcotest Hashtbl List Mctree Net Sim

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Filename Format List Metrics String Sys

@@ -1,0 +1,1 @@
+test/test_oracles.ml: Alcotest Array Float Hashtbl List Lsr Mctree Net Printf Sim

@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Dataplane Dgmc Experiments Float Hierarchy List Lsr Mctree Net Printf QCheck2 QCheck_alcotest Qos Sim String

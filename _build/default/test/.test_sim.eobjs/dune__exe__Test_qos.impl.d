@@ -1,0 +1,1 @@
+test/test_qos.ml: Alcotest Dgmc Experiments Format List Mctree Net Qos Result Sim

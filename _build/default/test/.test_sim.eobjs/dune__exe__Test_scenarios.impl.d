@@ -1,0 +1,1 @@
+test/test_scenarios.ml: Alcotest Array Dgmc Filename Format List String Sys Workload

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Engine Event_queue Float Heap List Option Rng Sim Trace

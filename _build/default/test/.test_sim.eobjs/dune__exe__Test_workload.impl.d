@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Dgmc Experiments Float Format List Net Option Sim String Workload

@@ -1,0 +1,304 @@
+(* Tests for the comparison protocols (lib/baselines): brute-force LSR
+   multicast, MOSPF, CBT, and core selection. *)
+
+let check = Alcotest.check
+
+let mc = Dgmc.Mc_id.make Dgmc.Mc_id.Symmetric 1
+
+let grid33 () = Net.Topo_gen.grid ~rows:3 ~cols:3 ()
+
+(* ------------------------------------------------------------------ *)
+(* Brute force *)
+
+let test_brute_computations_scale_with_n () =
+  let graph = grid33 () in
+  let bf = Baselines.Brute_force.create ~graph ~config:Dgmc.Config.atm_lan () in
+  Baselines.Brute_force.join bf ~switch:0 mc Dgmc.Member.Both;
+  Baselines.Brute_force.run bf;
+  let t = Baselines.Brute_force.totals bf in
+  check Alcotest.int "events" 1 t.events;
+  (* Every one of the 9 switches recomputes per membership LSA. *)
+  check Alcotest.int "n computations per event" 9 t.computations;
+  check Alcotest.int "one flooding" 1 t.floodings
+
+let test_brute_converges () =
+  let graph = grid33 () in
+  let bf = Baselines.Brute_force.create ~graph ~config:Dgmc.Config.atm_lan () in
+  List.iteri
+    (fun i s ->
+      Baselines.Brute_force.schedule_join bf
+        ~at:(float_of_int i *. 1e-5)
+        ~switch:s mc Dgmc.Member.Both)
+    [ 0; 4; 8 ];
+  Baselines.Brute_force.run bf;
+  check Alcotest.bool "agreement" true (Baselines.Brute_force.converged bf mc);
+  match Baselines.Brute_force.topology bf ~switch:0 mc with
+  | Some tree ->
+    check Alcotest.bool "valid topology" true
+      (Mctree.Tree.is_valid_mc_topology graph tree);
+    check Alcotest.(list int) "terminals" [ 0; 4; 8 ]
+      (Mctree.Tree.Int_set.elements (Mctree.Tree.terminals tree))
+  | None -> Alcotest.fail "no topology at switch 0"
+
+let test_brute_leave () =
+  let graph = grid33 () in
+  let bf = Baselines.Brute_force.create ~graph ~config:Dgmc.Config.atm_lan () in
+  Baselines.Brute_force.join bf ~switch:0 mc Dgmc.Member.Both;
+  Baselines.Brute_force.run bf;
+  Baselines.Brute_force.join bf ~switch:8 mc Dgmc.Member.Both;
+  Baselines.Brute_force.run bf;
+  Baselines.Brute_force.leave bf ~switch:8 mc;
+  Baselines.Brute_force.run bf;
+  check Alcotest.bool "agreement" true (Baselines.Brute_force.converged bf mc);
+  let tree = Option.get (Baselines.Brute_force.topology bf ~switch:4 mc) in
+  check Alcotest.(list int) "member left" [ 0 ]
+    (Mctree.Tree.Int_set.elements (Mctree.Tree.terminals tree))
+
+let test_brute_reset_counters () =
+  let graph = grid33 () in
+  let bf = Baselines.Brute_force.create ~graph ~config:Dgmc.Config.atm_lan () in
+  Baselines.Brute_force.join bf ~switch:0 mc Dgmc.Member.Both;
+  Baselines.Brute_force.run bf;
+  Baselines.Brute_force.reset_counters bf;
+  let t = Baselines.Brute_force.totals bf in
+  check Alcotest.int "events reset" 0 t.events;
+  check Alcotest.int "computations reset" 0 t.computations
+
+(* ------------------------------------------------------------------ *)
+(* MOSPF *)
+
+let test_mospf_membership_propagates () =
+  let graph = grid33 () in
+  let m = Baselines.Mospf.create ~graph ~config:Dgmc.Config.atm_lan () in
+  Baselines.Mospf.join m ~switch:2 ~group:1;
+  Baselines.Mospf.join m ~switch:7 ~group:1;
+  Baselines.Mospf.run m;
+  for sw = 0 to 8 do
+    check Alcotest.(list int) "member list at every router" [ 2; 7 ]
+      (Baselines.Mospf.members m ~switch:sw ~group:1)
+  done;
+  check Alcotest.int "no computation without data" 0
+    (Baselines.Mospf.totals m).computations
+
+let test_mospf_data_driven_computation () =
+  let graph = grid33 () in
+  let m = Baselines.Mospf.create ~graph ~config:Dgmc.Config.atm_lan () in
+  Baselines.Mospf.join m ~switch:0 ~group:1;
+  Baselines.Mospf.join m ~switch:8 ~group:1;
+  Baselines.Mospf.run m;
+  Baselines.Mospf.send_packet m ~src:0 ~group:1;
+  Baselines.Mospf.run m;
+  let t = Baselines.Mospf.totals m in
+  (* Every router on the (0, 1) source tree computed once.  The SPT from
+     0 to 8 in the grid has 5 nodes on its path. *)
+  let tree = Mctree.Spt.source_rooted graph ~root:0 ~receivers:[ 8 ] in
+  check Alcotest.int "computations = on-tree routers"
+    (Mctree.Tree.Int_set.cardinal (Mctree.Tree.nodes tree))
+    t.computations;
+  check Alcotest.bool "packets forwarded" true (t.packets_forwarded > 0)
+
+let test_mospf_cache_hit_no_recompute () =
+  let graph = grid33 () in
+  let m = Baselines.Mospf.create ~graph ~config:Dgmc.Config.atm_lan () in
+  Baselines.Mospf.join m ~switch:0 ~group:1;
+  Baselines.Mospf.join m ~switch:8 ~group:1;
+  Baselines.Mospf.run m;
+  Baselines.Mospf.send_packet m ~src:0 ~group:1;
+  Baselines.Mospf.run m;
+  let after_first = (Baselines.Mospf.totals m).computations in
+  Baselines.Mospf.send_packet m ~src:0 ~group:1;
+  Baselines.Mospf.run m;
+  check Alcotest.int "second packet rides the cache" after_first
+    (Baselines.Mospf.totals m).computations
+
+let test_mospf_membership_change_invalidates () =
+  let graph = grid33 () in
+  let m = Baselines.Mospf.create ~graph ~config:Dgmc.Config.atm_lan () in
+  Baselines.Mospf.join m ~switch:0 ~group:1;
+  Baselines.Mospf.join m ~switch:8 ~group:1;
+  Baselines.Mospf.run m;
+  Baselines.Mospf.send_packet m ~src:0 ~group:1;
+  Baselines.Mospf.run m;
+  let after_first = (Baselines.Mospf.totals m).computations in
+  Baselines.Mospf.join m ~switch:2 ~group:1;
+  Baselines.Mospf.run m;
+  Baselines.Mospf.send_packet m ~src:0 ~group:1;
+  Baselines.Mospf.run m;
+  check Alcotest.bool "caches flushed => recomputation" true
+    ((Baselines.Mospf.totals m).computations > after_first)
+
+let test_mospf_cache_size () =
+  let graph = grid33 () in
+  let m = Baselines.Mospf.create ~graph ~config:Dgmc.Config.atm_lan () in
+  Baselines.Mospf.join m ~switch:8 ~group:1;
+  Baselines.Mospf.run m;
+  check Alcotest.int "cold cache" 0 (Baselines.Mospf.cache_size m ~switch:0);
+  Baselines.Mospf.send_packet m ~src:0 ~group:1;
+  Baselines.Mospf.run m;
+  check Alcotest.int "entry cached at source router" 1
+    (Baselines.Mospf.cache_size m ~switch:0)
+
+(* ------------------------------------------------------------------ *)
+(* CBT *)
+
+let test_cbt_join_grafts_toward_core () =
+  let graph = Net.Topo_gen.line 5 in
+  let cbt = Baselines.Cbt.create ~graph ~core:0 () in
+  Baselines.Cbt.join cbt 4;
+  let tree = Baselines.Cbt.tree cbt in
+  check Alcotest.(list (pair int int)) "whole line grafted"
+    [ (0, 1); (1, 2); (2, 3); (3, 4) ]
+    (Mctree.Tree.edges tree);
+  (* 4 hops out, 4 acks back. *)
+  check Alcotest.int "control messages" 8 (Baselines.Cbt.control_messages cbt)
+
+let test_cbt_join_stops_at_tree () =
+  let graph = Net.Topo_gen.line 5 in
+  let cbt = Baselines.Cbt.create ~graph ~core:0 () in
+  Baselines.Cbt.join cbt 4;
+  let before = Baselines.Cbt.control_messages cbt in
+  (* 2 is already an on-tree switch: joining costs nothing on the wire. *)
+  Baselines.Cbt.join cbt 2;
+  check Alcotest.int "no new messages" before (Baselines.Cbt.control_messages cbt);
+  check Alcotest.bool "member recorded" true (Baselines.Cbt.is_member cbt 2)
+
+let test_cbt_join_idempotent () =
+  let graph = Net.Topo_gen.line 3 in
+  let cbt = Baselines.Cbt.create ~graph ~core:0 () in
+  Baselines.Cbt.join cbt 2;
+  let msgs = Baselines.Cbt.control_messages cbt in
+  Baselines.Cbt.join cbt 2;
+  check Alcotest.int "re-join is a no-op" msgs (Baselines.Cbt.control_messages cbt)
+
+let test_cbt_leave_prunes () =
+  let graph = Net.Topo_gen.line 5 in
+  let cbt = Baselines.Cbt.create ~graph ~core:0 () in
+  Baselines.Cbt.join cbt 2;
+  Baselines.Cbt.join cbt 4;
+  Baselines.Cbt.leave cbt 4;
+  check Alcotest.(list (pair int int)) "pruned back to member 2"
+    [ (0, 1); (1, 2) ]
+    (Mctree.Tree.edges (Baselines.Cbt.tree cbt));
+  check Alcotest.(list int) "members" [ 2 ] (Baselines.Cbt.members cbt)
+
+let test_cbt_leave_keeps_relay () =
+  let graph = Net.Topo_gen.line 5 in
+  let cbt = Baselines.Cbt.create ~graph ~core:0 () in
+  Baselines.Cbt.join cbt 2;
+  Baselines.Cbt.join cbt 4;
+  (* 2 leaves but still relays 4's branch. *)
+  Baselines.Cbt.leave cbt 2;
+  check Alcotest.int "tree unchanged in size" 4
+    (Mctree.Tree.n_edges (Baselines.Cbt.tree cbt))
+
+let test_cbt_deliver_reaches_members () =
+  let graph = grid33 () in
+  let cbt = Baselines.Cbt.create ~graph ~core:4 () in
+  List.iter (Baselines.Cbt.join cbt) [ 0; 8 ];
+  let report = Baselines.Cbt.deliver cbt ~src:2 in
+  check Alcotest.(list int) "both members" [ 0; 8 ]
+    (List.map (fun (d : Mctree.Delivery.delivery) -> d.receiver) report.deliveries);
+  (* The contact must sit on the unicast route from 2 toward core 4. *)
+  match report.contact with
+  | Some c ->
+    let route = Option.get (Net.Dijkstra.path graph ~src:2 ~dst:4) in
+    check Alcotest.bool "contact on core-ward route" true (List.mem c route)
+  | None -> Alcotest.fail "two-stage delivery must name a contact"
+
+let test_cbt_link_down_rejoins () =
+  let graph = grid33 () in
+  let cbt = Baselines.Cbt.create ~graph ~core:0 () in
+  List.iter (Baselines.Cbt.join cbt) [ 6; 8 ];
+  let tree = Baselines.Cbt.tree cbt in
+  let u, v = List.hd (Mctree.Tree.edges tree) in
+  Net.Graph.set_link graph u v ~up:false;
+  Baselines.Cbt.handle_link_down cbt u v;
+  let tree' = Baselines.Cbt.tree cbt in
+  check Alcotest.bool "valid after recovery" true
+    (Mctree.Tree.is_valid_mc_topology graph tree');
+  check Alcotest.(list int) "members kept" [ 6; 8 ] (Baselines.Cbt.members cbt)
+
+let test_cbt_core_unreachable () =
+  let graph = Net.Graph.of_edges 4 [ (0, 1, 1.0); (2, 3, 1.0) ] in
+  let cbt = Baselines.Cbt.create ~graph ~core:0 () in
+  Alcotest.check_raises "join across partition" (Failure "Cbt: core unreachable")
+    (fun () -> Baselines.Cbt.join cbt 3)
+
+(* ------------------------------------------------------------------ *)
+(* Core selection *)
+
+let test_core_first_member () =
+  check Alcotest.int "smallest id" 2 (Baselines.Core_select.first_member [ 7; 2; 9 ])
+
+let test_core_center_median_line () =
+  let graph = Net.Topo_gen.line 7 in
+  (* Members at the two ends: the 1-center is the midpoint.  (The median
+     objective is constant along the path between two members, so it is
+     only discriminating with three or more members — next test.) *)
+  check Alcotest.int "center" 3
+    (Baselines.Core_select.center graph ~members:[ 0; 6 ]);
+  (* Members 0, 2, 6: distance sums are 8, 7, 6, 7, 8, 9, 10 => node 2. *)
+  check Alcotest.int "median" 2
+    (Baselines.Core_select.median graph ~members:[ 0; 2; 6 ])
+
+let test_core_median_weighted () =
+  (* Median counts total distance: with three members clustered at one
+     end, it moves toward the cluster; center stays midway. *)
+  let graph = Net.Topo_gen.line 7 in
+  let members = [ 0; 1; 2; 6 ] in
+  let median = Baselines.Core_select.median graph ~members in
+  let center = Baselines.Core_select.center graph ~members in
+  check Alcotest.bool "median near cluster" true (median <= 2);
+  check Alcotest.int "center midway" 3 center
+
+let test_core_random_in_range () =
+  let graph = grid33 () in
+  let rng = Sim.Rng.create 3 in
+  for _ = 1 to 20 do
+    let c = Baselines.Core_select.random rng graph in
+    if c < 0 || c > 8 then Alcotest.failf "core out of range: %d" c
+  done
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "brute-force",
+        [
+          Alcotest.test_case "n computations per event" `Quick
+            test_brute_computations_scale_with_n;
+          Alcotest.test_case "converges" `Quick test_brute_converges;
+          Alcotest.test_case "leave" `Quick test_brute_leave;
+          Alcotest.test_case "counter reset" `Quick test_brute_reset_counters;
+        ] );
+      ( "mospf",
+        [
+          Alcotest.test_case "membership propagates" `Quick
+            test_mospf_membership_propagates;
+          Alcotest.test_case "data-driven computation" `Quick
+            test_mospf_data_driven_computation;
+          Alcotest.test_case "cache hits" `Quick test_mospf_cache_hit_no_recompute;
+          Alcotest.test_case "invalidation on change" `Quick
+            test_mospf_membership_change_invalidates;
+          Alcotest.test_case "cache size" `Quick test_mospf_cache_size;
+        ] );
+      ( "cbt",
+        [
+          Alcotest.test_case "join grafts toward core" `Quick
+            test_cbt_join_grafts_toward_core;
+          Alcotest.test_case "join stops at tree" `Quick test_cbt_join_stops_at_tree;
+          Alcotest.test_case "join idempotent" `Quick test_cbt_join_idempotent;
+          Alcotest.test_case "leave prunes" `Quick test_cbt_leave_prunes;
+          Alcotest.test_case "leave keeps relay" `Quick test_cbt_leave_keeps_relay;
+          Alcotest.test_case "delivery" `Quick test_cbt_deliver_reaches_members;
+          Alcotest.test_case "link-down recovery" `Quick test_cbt_link_down_rejoins;
+          Alcotest.test_case "core unreachable" `Quick test_cbt_core_unreachable;
+        ] );
+      ( "core-select",
+        [
+          Alcotest.test_case "first member" `Quick test_core_first_member;
+          Alcotest.test_case "center and median on a line" `Quick
+            test_core_center_median_line;
+          Alcotest.test_case "median weighting" `Quick test_core_median_weighted;
+          Alcotest.test_case "random in range" `Quick test_core_random_in_range;
+        ] );
+    ]

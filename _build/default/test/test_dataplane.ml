@@ -1,0 +1,215 @@
+(* Tests for the packet-level data plane (lib/dataplane). *)
+
+let check = Alcotest.check
+
+(* Convenient setup: a line graph with unit weights, 1 Mb/s links,
+   propagation 1e-4 s per weight unit. *)
+let setup ?(n = 4) ?(bandwidth = 1e6) ?(queue_capacity = 64) () =
+  let engine = Sim.Engine.create () in
+  let graph = Net.Topo_gen.line n in
+  let fw =
+    Dataplane.Forwarder.create ~engine ~graph ~bandwidth ~queue_capacity ()
+  in
+  (engine, graph, fw)
+
+let tree_of graph terminals = Mctree.Steiner.sph graph terminals
+
+(* ------------------------------------------------------------------ *)
+(* Timing model *)
+
+let test_single_hop_timing () =
+  let engine, graph, fw = setup ~n:2 () in
+  let tree = tree_of graph [ 0; 1 ] in
+  let arrival = ref nan in
+  Dataplane.Forwarder.multicast fw ~tree ~src:0 ~size_bits:1000.0
+    ~on_deliver:(fun ~receiver:_ ~at -> arrival := at);
+  Sim.Engine.run engine;
+  (* tx = 1000 / 1e6 = 1 ms; prop = 1.0 * 1e-4 = 0.1 ms. *)
+  check Alcotest.(float 1e-9) "tx + prop" 0.0011 !arrival
+
+let test_multi_hop_timing () =
+  let engine, graph, fw = setup ~n:4 () in
+  let tree = tree_of graph [ 0; 3 ] in
+  let arrival = ref nan in
+  Dataplane.Forwarder.multicast fw ~tree ~src:0 ~size_bits:1000.0
+    ~on_deliver:(fun ~receiver:_ ~at -> arrival := at);
+  Sim.Engine.run engine;
+  (* Store-and-forward: 3 hops x (1 ms + 0.1 ms). *)
+  check Alcotest.(float 1e-9) "3 store-and-forward hops" 0.0033 !arrival
+
+let test_queueing_serializes () =
+  let engine, graph, fw = setup ~n:2 () in
+  let tree = tree_of graph [ 0; 1 ] in
+  let arrivals = ref [] in
+  for _ = 1 to 3 do
+    Dataplane.Forwarder.multicast fw ~tree ~src:0 ~size_bits:1000.0
+      ~on_deliver:(fun ~receiver:_ ~at -> arrivals := at :: !arrivals)
+  done;
+  Sim.Engine.run engine;
+  let sorted = List.sort compare !arrivals in
+  check
+    Alcotest.(list (float 1e-9))
+    "back-to-back transmissions space by tx time"
+    [ 0.0011; 0.0021; 0.0031 ] sorted
+
+let test_queue_overflow_drops () =
+  let engine, graph, fw = setup ~n:2 ~queue_capacity:2 () in
+  let tree = tree_of graph [ 0; 1 ] in
+  let delivered = ref 0 in
+  for _ = 1 to 5 do
+    Dataplane.Forwarder.multicast fw ~tree ~src:0 ~size_bits:1000.0
+      ~on_deliver:(fun ~receiver:_ ~at:_ -> incr delivered)
+  done;
+  Sim.Engine.run engine;
+  check Alcotest.int "queue holds 2" 2 !delivered;
+  check Alcotest.int "3 dropped" 3 (Dataplane.Forwarder.packets_dropped fw);
+  check Alcotest.int "5 attempted" 5 (Dataplane.Forwarder.packets_sent fw)
+
+let test_down_link_drops () =
+  let engine, graph, fw = setup ~n:2 () in
+  let tree = tree_of graph [ 0; 1 ] in
+  Net.Graph.set_link graph 0 1 ~up:false;
+  let delivered = ref 0 in
+  Dataplane.Forwarder.multicast fw ~tree ~src:0 ~size_bits:1000.0
+    ~on_deliver:(fun ~receiver:_ ~at:_ -> incr delivered);
+  Sim.Engine.run engine;
+  check Alcotest.int "nothing delivered" 0 !delivered;
+  check Alcotest.int "drop counted" 1 (Dataplane.Forwarder.packets_dropped fw)
+
+(* ------------------------------------------------------------------ *)
+(* Multicast semantics *)
+
+let test_fanout_duplicates () =
+  let engine = Sim.Engine.create () in
+  let graph = Net.Topo_gen.star 4 in
+  (* hub 0, leaves 1..3 *)
+  let fw = Dataplane.Forwarder.create ~engine ~graph () in
+  let tree = tree_of graph [ 1; 2; 3 ] in
+  let received = ref [] in
+  Dataplane.Forwarder.multicast fw ~tree ~src:1 ~size_bits:1000.0
+    ~on_deliver:(fun ~receiver ~at:_ -> received := receiver :: !received);
+  Sim.Engine.run engine;
+  check Alcotest.(list int) "both other leaves" [ 2; 3 ]
+    (List.sort compare !received);
+  (* Copies: 1->0, then 0->2 and 0->3. *)
+  check Alcotest.int "three link transmissions" 3
+    (Dataplane.Forwarder.packets_sent fw)
+
+let test_source_must_be_on_tree () =
+  let engine, graph, fw = setup ~n:4 () in
+  let tree = tree_of graph [ 0; 1 ] in
+  ignore engine;
+  ignore graph;
+  Alcotest.check_raises "off-tree source"
+    (Invalid_argument "Forwarder.multicast: source not on tree") (fun () ->
+      Dataplane.Forwarder.multicast fw ~tree ~src:3 ~size_bits:1.0
+        ~on_deliver:(fun ~receiver:_ ~at:_ -> ()))
+
+let test_unicast_path () =
+  let engine, _, fw = setup ~n:4 () in
+  let at = ref nan in
+  Dataplane.Forwarder.unicast fw ~path:[ 0; 1; 2 ] ~size_bits:1000.0
+    ~on_deliver:(fun ~at:t -> at := t);
+  Sim.Engine.run engine;
+  check Alcotest.(float 1e-9) "two hops" 0.0022 !at
+
+(* ------------------------------------------------------------------ *)
+(* CBR sources and sinks *)
+
+let test_sink_statistics () =
+  let s = Dataplane.Forwarder.Sink.create () in
+  List.iter (fun t -> Dataplane.Forwarder.Sink.record s ~at:t) [ 0.0; 1.0; 2.0; 4.0 ];
+  check Alcotest.int "received" 4 (Dataplane.Forwarder.Sink.received s);
+  (* gaps 1, 1, 2: mean 4/3; deviations 1/3, 1/3, 2/3: jitter 4/9. *)
+  check Alcotest.(float 1e-9) "mean gap" (4.0 /. 3.0)
+    (Dataplane.Forwarder.Sink.mean_gap s);
+  check Alcotest.(float 1e-9) "jitter" (4.0 /. 9.0)
+    (Dataplane.Forwarder.Sink.jitter s)
+
+let test_cbr_uncongested_is_smooth () =
+  let engine, graph, fw = setup ~n:3 ~bandwidth:1e8 () in
+  let tree = tree_of graph [ 0; 2 ] in
+  let sink = Dataplane.Forwarder.Sink.create () in
+  Dataplane.Forwarder.cbr fw ~tree ~src:0 ~rate_pps:100.0 ~size_bits:8000.0
+    ~count:20 ~sinks:[ (2, sink) ];
+  Sim.Engine.run engine;
+  check Alcotest.int "all delivered" 20 (Dataplane.Forwarder.Sink.received sink);
+  check Alcotest.(float 1e-9) "paced at the source rate" 0.01
+    (Dataplane.Forwarder.Sink.mean_gap sink);
+  check Alcotest.bool "no jitter" true
+    (Dataplane.Forwarder.Sink.jitter sink < 1e-12);
+  check Alcotest.int "no drops" 0 (Dataplane.Forwarder.packets_dropped fw)
+
+let test_cbr_overload_drops () =
+  (* 1000 pps x 8000 bits = 8 Mb/s into a 1 Mb/s link: most packets
+     must drop once the queue fills. *)
+  let engine, graph, fw = setup ~n:2 ~bandwidth:1e6 ~queue_capacity:8 () in
+  let tree = tree_of graph [ 0; 1 ] in
+  let sink = Dataplane.Forwarder.Sink.create () in
+  Dataplane.Forwarder.cbr fw ~tree ~src:0 ~rate_pps:1000.0 ~size_bits:8000.0
+    ~count:100 ~sinks:[ (1, sink) ];
+  Sim.Engine.run engine;
+  check Alcotest.bool "drops happened" true
+    (Dataplane.Forwarder.packets_dropped fw > 0);
+  check Alcotest.int "conservation" 100
+    (Dataplane.Forwarder.Sink.received sink
+    + Dataplane.Forwarder.packets_dropped fw);
+  (* Delivered stream is paced by the bottleneck: 8 ms per packet. *)
+  check Alcotest.(float 1e-6) "bottleneck pacing" 0.008
+    (Dataplane.Forwarder.Sink.mean_gap sink)
+
+let test_cross_traffic_adds_jitter () =
+  (* A smooth CBR flow shares its first link with a bursty competitor:
+     the flow arrives with jitter it did not have alone. *)
+  let engine = Sim.Engine.create () in
+  let graph = Net.Topo_gen.line 3 in
+  let fw = Dataplane.Forwarder.create ~engine ~graph ~bandwidth:1e6 () in
+  let tree = tree_of graph [ 0; 2 ] in
+  let sink = Dataplane.Forwarder.Sink.create () in
+  Dataplane.Forwarder.cbr fw ~tree ~src:0 ~rate_pps:50.0 ~size_bits:8000.0
+    ~count:20 ~sinks:[ (2, sink) ];
+  (* Competitor: bursts of packets on link 0-1 every 60 ms. *)
+  for burst = 0 to 10 do
+    ignore
+      (Sim.Engine.schedule engine
+         ~delay:(float_of_int burst *. 0.06)
+         (fun () ->
+           for _ = 1 to 4 do
+             Dataplane.Forwarder.unicast fw ~path:[ 0; 1 ] ~size_bits:8000.0
+               ~on_deliver:(fun ~at:_ -> ())
+           done))
+  done;
+  Sim.Engine.run engine;
+  check Alcotest.int "flow still delivered" 20
+    (Dataplane.Forwarder.Sink.received sink);
+  check Alcotest.bool "jitter induced by cross traffic" true
+    (Dataplane.Forwarder.Sink.jitter sink > 1e-4)
+
+let () =
+  Alcotest.run "dataplane"
+    [
+      ( "timing",
+        [
+          Alcotest.test_case "single hop" `Quick test_single_hop_timing;
+          Alcotest.test_case "store and forward" `Quick test_multi_hop_timing;
+          Alcotest.test_case "queueing serializes" `Quick test_queueing_serializes;
+          Alcotest.test_case "queue overflow drops" `Quick test_queue_overflow_drops;
+          Alcotest.test_case "down link drops" `Quick test_down_link_drops;
+        ] );
+      ( "multicast",
+        [
+          Alcotest.test_case "fan-out duplication" `Quick test_fanout_duplicates;
+          Alcotest.test_case "off-tree source rejected" `Quick
+            test_source_must_be_on_tree;
+          Alcotest.test_case "unicast path" `Quick test_unicast_path;
+        ] );
+      ( "cbr",
+        [
+          Alcotest.test_case "sink statistics" `Quick test_sink_statistics;
+          Alcotest.test_case "uncongested smooth" `Quick
+            test_cbr_uncongested_is_smooth;
+          Alcotest.test_case "overload drops" `Quick test_cbr_overload_drops;
+          Alcotest.test_case "cross traffic jitter" `Quick
+            test_cross_traffic_adds_jitter;
+        ] );
+    ]

@@ -1,0 +1,368 @@
+(* Unit tests for the D-GMC building blocks (lib/core): vector
+   timestamps, identifiers, member lists, LSAs, configuration and the
+   topology-computation entry point. *)
+
+let check = Alcotest.check
+
+let ts = Dgmc.Timestamp.of_array
+
+let stamp_t = Alcotest.testable Dgmc.Timestamp.pp Dgmc.Timestamp.equal
+
+(* ------------------------------------------------------------------ *)
+(* Timestamp *)
+
+let test_stamp_zero () =
+  let z = Dgmc.Timestamp.zero 4 in
+  check Alcotest.int "size" 4 (Dgmc.Timestamp.size z);
+  for i = 0 to 3 do
+    check Alcotest.int "component" 0 (Dgmc.Timestamp.get z i)
+  done;
+  check Alcotest.int "sum" 0 (Dgmc.Timestamp.sum z)
+
+let test_stamp_bump () =
+  let z = Dgmc.Timestamp.zero 3 in
+  let b = Dgmc.Timestamp.bump z 1 in
+  check stamp_t "bumped" (ts [| 0; 1; 0 |]) b;
+  check stamp_t "original untouched" (ts [| 0; 0; 0 |]) z;
+  check Alcotest.int "sum" 1 (Dgmc.Timestamp.sum b)
+
+let test_stamp_merge () =
+  let a = ts [| 1; 5; 0 |] and b = ts [| 3; 2; 0 |] in
+  check stamp_t "pointwise max" (ts [| 3; 5; 0 |]) (Dgmc.Timestamp.merge a b)
+
+let test_stamp_order () =
+  let a = ts [| 1; 2 |] and b = ts [| 1; 1 |] and c = ts [| 0; 3 |] in
+  check Alcotest.bool "geq reflexive" true (Dgmc.Timestamp.geq a a);
+  check Alcotest.bool "a >= b" true (Dgmc.Timestamp.geq a b);
+  check Alcotest.bool "b >= a fails" false (Dgmc.Timestamp.geq b a);
+  check Alcotest.bool "a > b" true (Dgmc.Timestamp.gt a b);
+  check Alcotest.bool "not a > a" false (Dgmc.Timestamp.gt a a);
+  check Alcotest.bool "concurrent" true (Dgmc.Timestamp.order a c = `Concurrent);
+  check Alcotest.bool "gt order" true (Dgmc.Timestamp.order a b = `Gt);
+  check Alcotest.bool "lt order" true (Dgmc.Timestamp.order b a = `Lt);
+  check Alcotest.bool "eq order" true (Dgmc.Timestamp.order a a = `Eq)
+
+let test_stamp_validation () =
+  Alcotest.check_raises "zero size"
+    (Invalid_argument "Timestamp.zero: size must be positive") (fun () ->
+      ignore (Dgmc.Timestamp.zero 0));
+  Alcotest.check_raises "negative component"
+    (Invalid_argument "Timestamp.of_array: negative") (fun () ->
+      ignore (ts [| 1; -1 |]));
+  Alcotest.check_raises "size mismatch" (Invalid_argument "Timestamp: size mismatch")
+    (fun () -> ignore (Dgmc.Timestamp.merge (Dgmc.Timestamp.zero 2) (Dgmc.Timestamp.zero 3)));
+  Alcotest.check_raises "get out of range"
+    (Invalid_argument "Timestamp.get: out of range") (fun () ->
+      ignore (Dgmc.Timestamp.get (Dgmc.Timestamp.zero 2) 2))
+
+let test_stamp_to_array_copies () =
+  let a = ts [| 1; 2 |] in
+  let arr = Dgmc.Timestamp.to_array a in
+  arr.(0) <- 99;
+  check Alcotest.int "immutability preserved" 1 (Dgmc.Timestamp.get a 0)
+
+(* qcheck: lattice and partial-order laws. *)
+let stamp_gen =
+  QCheck2.Gen.(
+    map
+      (fun l -> ts (Array.of_list l))
+      (list_size (int_range 1 8) (int_range 0 5)))
+
+let stamp_pair_gen =
+  QCheck2.Gen.(
+    bind (int_range 1 8) (fun size ->
+        let component = int_range 0 5 in
+        let one = map (fun l -> ts (Array.of_list l)) (list_size (return size) component) in
+        pair one one))
+
+let stamp_triple_gen =
+  QCheck2.Gen.(
+    bind (int_range 1 8) (fun size ->
+        let component = int_range 0 5 in
+        let one = map (fun l -> ts (Array.of_list l)) (list_size (return size) component) in
+        triple one one one))
+
+let prop_merge_commutative =
+  QCheck2.Test.make ~name:"merge commutative" ~count:200 stamp_pair_gen
+    (fun (a, b) ->
+      Dgmc.Timestamp.equal (Dgmc.Timestamp.merge a b) (Dgmc.Timestamp.merge b a))
+
+let prop_merge_associative =
+  QCheck2.Test.make ~name:"merge associative" ~count:200 stamp_triple_gen
+    (fun (a, b, c) ->
+      Dgmc.Timestamp.equal
+        (Dgmc.Timestamp.merge a (Dgmc.Timestamp.merge b c))
+        (Dgmc.Timestamp.merge (Dgmc.Timestamp.merge a b) c))
+
+let prop_merge_idempotent =
+  QCheck2.Test.make ~name:"merge idempotent" ~count:200 stamp_gen (fun a ->
+      Dgmc.Timestamp.equal (Dgmc.Timestamp.merge a a) a)
+
+let prop_merge_is_lub =
+  QCheck2.Test.make ~name:"merge is an upper bound" ~count:200 stamp_pair_gen
+    (fun (a, b) ->
+      let m = Dgmc.Timestamp.merge a b in
+      Dgmc.Timestamp.geq m a && Dgmc.Timestamp.geq m b)
+
+let prop_geq_antisymmetric =
+  QCheck2.Test.make ~name:"geq antisymmetric" ~count:200 stamp_pair_gen
+    (fun (a, b) ->
+      if Dgmc.Timestamp.geq a b && Dgmc.Timestamp.geq b a then
+        Dgmc.Timestamp.equal a b
+      else true)
+
+let prop_geq_transitive =
+  QCheck2.Test.make ~name:"geq transitive" ~count:200 stamp_triple_gen
+    (fun (a, b, c) ->
+      if Dgmc.Timestamp.geq a b && Dgmc.Timestamp.geq b c then
+        Dgmc.Timestamp.geq a c
+      else true)
+
+let prop_bump_strictly_increases =
+  QCheck2.Test.make ~name:"bump strictly increases" ~count:200 stamp_gen
+    (fun a ->
+      let i = Dgmc.Timestamp.size a - 1 in
+      Dgmc.Timestamp.gt (Dgmc.Timestamp.bump a i) a)
+
+(* ------------------------------------------------------------------ *)
+(* Mc_id *)
+
+let test_mc_id () =
+  let a = Dgmc.Mc_id.make Dgmc.Mc_id.Symmetric 1 in
+  let b = Dgmc.Mc_id.make Dgmc.Mc_id.Symmetric 1 in
+  let c = Dgmc.Mc_id.make Dgmc.Mc_id.Asymmetric 1 in
+  let d = Dgmc.Mc_id.make Dgmc.Mc_id.Symmetric 2 in
+  check Alcotest.bool "equal" true (Dgmc.Mc_id.equal a b);
+  check Alcotest.bool "kind distinguishes" false (Dgmc.Mc_id.equal a c);
+  check Alcotest.bool "id distinguishes" false (Dgmc.Mc_id.equal a d);
+  check Alcotest.int "hash consistent" (Dgmc.Mc_id.hash a) (Dgmc.Mc_id.hash b);
+  check Alcotest.bool "compare orders by id first" true (Dgmc.Mc_id.compare a d < 0);
+  check Alcotest.string "kind names" "receiver-only"
+    (Dgmc.Mc_id.kind_to_string Dgmc.Mc_id.Receiver_only)
+
+(* ------------------------------------------------------------------ *)
+(* Member *)
+
+let test_member_basic () =
+  let m = Dgmc.Member.empty in
+  check Alcotest.bool "empty" true (Dgmc.Member.is_empty m);
+  let m = Dgmc.Member.join m 3 Dgmc.Member.Both in
+  let m = Dgmc.Member.join m 1 Dgmc.Member.Sender in
+  let m = Dgmc.Member.join m 7 Dgmc.Member.Receiver in
+  check Alcotest.int "cardinal" 3 (Dgmc.Member.cardinal m);
+  check Alcotest.(list int) "ids sorted" [ 1; 3; 7 ] (Dgmc.Member.ids m);
+  check Alcotest.(list int) "senders" [ 1; 3 ] (Dgmc.Member.senders m);
+  check Alcotest.(list int) "receivers" [ 3; 7 ] (Dgmc.Member.receivers m);
+  check Alcotest.bool "mem" true (Dgmc.Member.mem m 3);
+  let m = Dgmc.Member.leave m 3 in
+  check Alcotest.bool "left" false (Dgmc.Member.mem m 3);
+  check Alcotest.int "cardinal after leave" 2 (Dgmc.Member.cardinal m)
+
+let test_member_role_overwrite () =
+  let m = Dgmc.Member.join Dgmc.Member.empty 2 Dgmc.Member.Receiver in
+  let m = Dgmc.Member.join m 2 Dgmc.Member.Both in
+  check Alcotest.int "still one member" 1 (Dgmc.Member.cardinal m);
+  check Alcotest.bool "role updated" true
+    (Dgmc.Member.role m 2 = Some Dgmc.Member.Both)
+
+let test_member_equal () =
+  let a = Dgmc.Member.of_list [ (1, Dgmc.Member.Both); (2, Dgmc.Member.Sender) ] in
+  let b = Dgmc.Member.of_list [ (2, Dgmc.Member.Sender); (1, Dgmc.Member.Both) ] in
+  check Alcotest.bool "order irrelevant" true (Dgmc.Member.equal a b);
+  let c = Dgmc.Member.of_list [ (1, Dgmc.Member.Both); (2, Dgmc.Member.Both) ] in
+  check Alcotest.bool "roles matter" false (Dgmc.Member.equal a c)
+
+let test_member_leave_absent () =
+  let m = Dgmc.Member.of_list [ (1, Dgmc.Member.Both) ] in
+  check Alcotest.bool "leave absent is noop" true
+    (Dgmc.Member.equal m (Dgmc.Member.leave m 9))
+
+(* ------------------------------------------------------------------ *)
+(* Mc_lsa *)
+
+let test_mc_lsa_predicates () =
+  let mc = Dgmc.Mc_id.make Dgmc.Mc_id.Symmetric 1 in
+  let stamp = Dgmc.Timestamp.zero 4 in
+  let join = Dgmc.Mc_lsa.make ~src:0 ~event:(Dgmc.Mc_lsa.Join Dgmc.Member.Both) ~mc ~stamp () in
+  let leave = Dgmc.Mc_lsa.make ~src:0 ~event:Dgmc.Mc_lsa.Leave ~mc ~stamp () in
+  let link = Dgmc.Mc_lsa.make ~src:0 ~event:Dgmc.Mc_lsa.Link ~mc ~stamp () in
+  let none = Dgmc.Mc_lsa.make ~src:0 ~event:Dgmc.Mc_lsa.No_event ~mc ~stamp () in
+  check Alcotest.bool "join is event" true (Dgmc.Mc_lsa.is_event join);
+  check Alcotest.bool "none is not" false (Dgmc.Mc_lsa.is_event none);
+  check Alcotest.bool "join is membership" true (Dgmc.Mc_lsa.is_membership_event join);
+  check Alcotest.bool "leave is membership" true (Dgmc.Mc_lsa.is_membership_event leave);
+  check Alcotest.bool "link is not membership" false
+    (Dgmc.Mc_lsa.is_membership_event link);
+  check Alcotest.string "event naming" "join:both" (Dgmc.Mc_lsa.event_to_string join.event);
+  check Alcotest.bool "no proposal by default" true (join.proposal = None)
+
+(* ------------------------------------------------------------------ *)
+(* Config *)
+
+let test_config_presets () =
+  let atm = Dgmc.Config.atm_lan and wan = Dgmc.Config.wan in
+  check Alcotest.bool "atm: computation dominates" true (atm.tc > atm.t_hop);
+  check Alcotest.bool "wan: communication dominates" true (wan.t_hop > wan.tc)
+
+let test_config_round_length () =
+  let g = Net.Topo_gen.line 5 in
+  (* hop diameter 4 *)
+  let config = { Dgmc.Config.atm_lan with tc = 1.0; t_hop = 0.5 } in
+  check Alcotest.(float 1e-9) "tf + tc" 3.0 (Dgmc.Config.round_length config ~graph:g)
+
+(* ------------------------------------------------------------------ *)
+(* Compute *)
+
+let members_of ids role = Dgmc.Member.of_list (List.map (fun x -> (x, role)) ids)
+
+let test_compute_empty_members () =
+  let g = Net.Topo_gen.grid ~rows:3 ~cols:3 () in
+  let t =
+    Dgmc.Compute.topology Dgmc.Config.atm_lan Dgmc.Mc_id.Symmetric g
+      Dgmc.Member.empty ~self:0 ~current:None
+  in
+  check Alcotest.bool "empty tree" true (Mctree.Tree.equal t Mctree.Tree.empty)
+
+let test_compute_symmetric_scratch () =
+  let g = Net.Topo_gen.grid ~rows:3 ~cols:3 () in
+  let members = members_of [ 0; 2; 6; 8 ] Dgmc.Member.Both in
+  let t =
+    Dgmc.Compute.topology Dgmc.Config.atm_lan Dgmc.Mc_id.Symmetric g members
+      ~self:0 ~current:None
+  in
+  check Alcotest.bool "valid" true (Mctree.Tree.is_valid_mc_topology g t);
+  check Alcotest.bool "from scratch" false (Dgmc.Compute.was_incremental ())
+
+let test_compute_asymmetric_root () =
+  let g = Net.Topo_gen.grid ~rows:3 ~cols:3 () in
+  let members =
+    Dgmc.Member.of_list
+      [ (5, Dgmc.Member.Sender); (0, Dgmc.Member.Receiver); (7, Dgmc.Member.Receiver) ]
+  in
+  let t =
+    Dgmc.Compute.topology Dgmc.Config.atm_lan Dgmc.Mc_id.Asymmetric g members
+      ~self:0 ~current:None
+  in
+  check Alcotest.bool "valid" true (Mctree.Tree.is_valid_mc_topology g t);
+  (* The tree is rooted at the sender: every receiver's tree path to 5
+     has shortest-path cost. *)
+  List.iter
+    (fun (receiver, delay) ->
+      check Alcotest.(float 1e-9) "spt property"
+        (Net.Dijkstra.distance g 5 receiver)
+        delay)
+    (Mctree.Spt.receivers_cost g t ~root:5)
+
+let test_compute_incremental_join_used () =
+  let g = Net.Topo_gen.grid ~rows:3 ~cols:3 () in
+  let current =
+    Dgmc.Compute.topology Dgmc.Config.atm_lan Dgmc.Mc_id.Symmetric g
+      (members_of [ 0; 2 ] Dgmc.Member.Both)
+      ~self:0 ~current:None
+  in
+  let t =
+    Dgmc.Compute.topology Dgmc.Config.atm_lan Dgmc.Mc_id.Symmetric g
+      (members_of [ 0; 2; 8 ] Dgmc.Member.Both)
+      ~self:0 ~current:(Some current)
+  in
+  check Alcotest.bool "incremental path taken" true (Dgmc.Compute.was_incremental ());
+  check Alcotest.bool "valid" true (Mctree.Tree.is_valid_mc_topology g t);
+  check Alcotest.(list int) "terminals" [ 0; 2; 8 ]
+    (Mctree.Tree.Int_set.elements (Mctree.Tree.terminals t))
+
+let test_compute_incremental_disabled () =
+  let g = Net.Topo_gen.grid ~rows:3 ~cols:3 () in
+  let config = { Dgmc.Config.atm_lan with incremental = false } in
+  let current =
+    Dgmc.Compute.topology config Dgmc.Mc_id.Symmetric g
+      (members_of [ 0; 2 ] Dgmc.Member.Both)
+      ~self:0 ~current:None
+  in
+  ignore
+    (Dgmc.Compute.topology config Dgmc.Mc_id.Symmetric g
+       (members_of [ 0; 2; 8 ] Dgmc.Member.Both)
+       ~self:0 ~current:(Some current));
+  check Alcotest.bool "scratch when disabled" false (Dgmc.Compute.was_incremental ())
+
+let test_compute_leave_and_repair () =
+  let g = Net.Topo_gen.grid ~rows:3 ~cols:3 () in
+  let members = members_of [ 0; 2; 8 ] Dgmc.Member.Both in
+  let current =
+    Dgmc.Compute.topology Dgmc.Config.atm_lan Dgmc.Mc_id.Symmetric g members
+      ~self:0 ~current:None
+  in
+  (* Kill a tree link and drop one member at the same time. *)
+  let u, v = List.hd (Mctree.Tree.edges current) in
+  Net.Graph.set_link g u v ~up:false;
+  let t =
+    Dgmc.Compute.topology Dgmc.Config.atm_lan Dgmc.Mc_id.Symmetric g
+      (members_of [ 0; 2 ] Dgmc.Member.Both)
+      ~self:0 ~current:(Some current)
+  in
+  check Alcotest.bool "valid after repair+leave" true
+    (Mctree.Tree.is_valid_mc_topology g t);
+  check Alcotest.(list int) "terminals shrank" [ 0; 2 ]
+    (Mctree.Tree.Int_set.elements (Mctree.Tree.terminals t))
+
+let test_compute_partition_fallback () =
+  (* Members on both sides of a cut: the computation covers the side of
+     the smallest member instead of failing. *)
+  let g = Net.Graph.of_edges 4 [ (0, 1, 1.0); (2, 3, 1.0) ] in
+  let t =
+    Dgmc.Compute.topology Dgmc.Config.atm_lan Dgmc.Mc_id.Symmetric g
+      (members_of [ 0; 1; 3 ] Dgmc.Member.Both)
+      ~self:0 ~current:None
+  in
+  check Alcotest.(list int) "reachable side covered" [ 0; 1 ]
+    (Mctree.Tree.Int_set.elements (Mctree.Tree.terminals t));
+  check Alcotest.bool "still a tree" true (Mctree.Tree.is_tree t)
+
+let () =
+  Alcotest.run "dgmc-unit"
+    [
+      ( "timestamp",
+        [
+          Alcotest.test_case "zero" `Quick test_stamp_zero;
+          Alcotest.test_case "bump" `Quick test_stamp_bump;
+          Alcotest.test_case "merge" `Quick test_stamp_merge;
+          Alcotest.test_case "ordering" `Quick test_stamp_order;
+          Alcotest.test_case "validation" `Quick test_stamp_validation;
+          Alcotest.test_case "to_array copies" `Quick test_stamp_to_array_copies;
+          QCheck_alcotest.to_alcotest prop_merge_commutative;
+          QCheck_alcotest.to_alcotest prop_merge_associative;
+          QCheck_alcotest.to_alcotest prop_merge_idempotent;
+          QCheck_alcotest.to_alcotest prop_merge_is_lub;
+          QCheck_alcotest.to_alcotest prop_geq_antisymmetric;
+          QCheck_alcotest.to_alcotest prop_geq_transitive;
+          QCheck_alcotest.to_alcotest prop_bump_strictly_increases;
+        ] );
+      ("mc-id", [ Alcotest.test_case "identity" `Quick test_mc_id ]);
+      ( "member",
+        [
+          Alcotest.test_case "basics" `Quick test_member_basic;
+          Alcotest.test_case "role overwrite" `Quick test_member_role_overwrite;
+          Alcotest.test_case "equality" `Quick test_member_equal;
+          Alcotest.test_case "leave absent" `Quick test_member_leave_absent;
+        ] );
+      ("mc-lsa", [ Alcotest.test_case "predicates" `Quick test_mc_lsa_predicates ]);
+      ( "config",
+        [
+          Alcotest.test_case "presets" `Quick test_config_presets;
+          Alcotest.test_case "round length" `Quick test_config_round_length;
+        ] );
+      ( "compute",
+        [
+          Alcotest.test_case "empty members" `Quick test_compute_empty_members;
+          Alcotest.test_case "symmetric from scratch" `Quick
+            test_compute_symmetric_scratch;
+          Alcotest.test_case "asymmetric rooted at sender" `Quick
+            test_compute_asymmetric_root;
+          Alcotest.test_case "incremental join used" `Quick
+            test_compute_incremental_join_used;
+          Alcotest.test_case "incremental disabled" `Quick
+            test_compute_incremental_disabled;
+          Alcotest.test_case "leave and repair" `Quick test_compute_leave_and_repair;
+          Alcotest.test_case "partition fallback" `Quick
+            test_compute_partition_fallback;
+        ] );
+    ]

@@ -1,0 +1,148 @@
+(* Tests for the leader-election layer (lib/election). *)
+
+let check = Alcotest.check
+
+let mc = Dgmc.Mc_id.make Dgmc.Mc_id.Symmetric 1
+
+(* Two triangles joined by one bridge. *)
+let dumbbell () =
+  Net.Graph.of_edges 6
+    [
+      (0, 1, 1.0); (1, 2, 1.0); (0, 2, 1.0);
+      (3, 4, 1.0); (4, 5, 1.0); (3, 5, 1.0);
+      (2, 3, 1.0);
+    ]
+
+let setup members =
+  let net = Dgmc.Protocol.create ~graph:(dumbbell ()) ~config:Dgmc.Config.atm_lan () in
+  List.iter
+    (fun s -> Dgmc.Protocol.schedule_join net ~at:0.0 ~switch:s mc Dgmc.Member.Both)
+    members;
+  Dgmc.Protocol.run net;
+  net
+
+let test_agreement_after_convergence () =
+  let net = setup [ 4; 1; 5 ] in
+  check Alcotest.(option int) "smallest member leads" (Some 1)
+    (Election.Leader.agreed_leader net mc);
+  List.iter
+    (fun (s, l) ->
+      check Alcotest.(option int) (Printf.sprintf "view of %d" s) (Some 1) l)
+    (Election.Leader.leaders_by_view net mc)
+
+let test_no_members_no_leader () =
+  let net = Dgmc.Protocol.create ~graph:(dumbbell ()) ~config:Dgmc.Config.atm_lan () in
+  check Alcotest.(option int) "no leader" None (Election.Leader.agreed_leader net mc);
+  check Alcotest.(option int) "per-switch none" None
+    (Election.Leader.leader_at net ~switch:0 mc)
+
+let test_leader_leaves () =
+  let net = setup [ 1; 4 ] in
+  Dgmc.Protocol.leave net ~switch:1 mc;
+  Dgmc.Protocol.run net;
+  check Alcotest.(option int) "next smallest takes over" (Some 4)
+    (Election.Leader.agreed_leader net mc)
+
+let test_smaller_member_joins () =
+  let net = setup [ 4; 5 ] in
+  check Alcotest.(option int) "initial" (Some 4)
+    (Election.Leader.agreed_leader net mc);
+  Dgmc.Protocol.join net ~switch:0 mc Dgmc.Member.Both;
+  Dgmc.Protocol.run net;
+  check Alcotest.(option int) "new smallest leads" (Some 0)
+    (Election.Leader.agreed_leader net mc)
+
+let test_partition_elects_per_side () =
+  (* Members 1 (left) and 4 (right); leader 1.  Cutting the bridge makes
+     1 unreachable from the right side, which elects 4. *)
+  let net = setup [ 1; 4 ] in
+  Dgmc.Protocol.link_down net 2 3;
+  Dgmc.Protocol.run net;
+  List.iter
+    (fun s ->
+      check Alcotest.(option int) (Printf.sprintf "left view %d" s) (Some 1)
+        (Election.Leader.leader_at net ~switch:s mc))
+    [ 0; 1; 2 ];
+  List.iter
+    (fun s ->
+      check Alcotest.(option int) (Printf.sprintf "right view %d" s) (Some 4)
+        (Election.Leader.leader_at net ~switch:s mc))
+    [ 3; 4; 5 ];
+  check Alcotest.(option int) "no global agreement" None
+    (Election.Leader.agreed_leader net mc)
+
+let test_heal_restores_single_leader () =
+  let net = setup [ 1; 4 ] in
+  Dgmc.Protocol.link_down net 2 3;
+  Dgmc.Protocol.run net;
+  Dgmc.Protocol.link_up net 2 3;
+  Dgmc.Protocol.run net;
+  check Alcotest.(option int) "reunified" (Some 1)
+    (Election.Leader.agreed_leader net mc)
+
+let test_monitor_records_transitions () =
+  let net = Dgmc.Protocol.create ~graph:(dumbbell ()) ~config:Dgmc.Config.atm_lan () in
+  let m = Election.Leader.monitor net ~switch:5 mc in
+  check Alcotest.(option int) "initially none" None (Election.Leader.current m);
+  Dgmc.Protocol.join net ~switch:4 mc Dgmc.Member.Both;
+  Dgmc.Protocol.run net;
+  Dgmc.Protocol.join net ~switch:1 mc Dgmc.Member.Both;
+  Dgmc.Protocol.run net;
+  Dgmc.Protocol.leave net ~switch:1 mc;
+  Dgmc.Protocol.run net;
+  check Alcotest.(option int) "final" (Some 4) (Election.Leader.current m);
+  let seq =
+    List.map
+      (fun (tr : Election.Leader.transition) -> tr.current)
+      (Election.Leader.transitions m)
+  in
+  check
+    Alcotest.(list (option int))
+    "observed sequence"
+    [ Some 4; Some 1; Some 4 ]
+    seq;
+  (* Transition timestamps are monotone. *)
+  let times =
+    List.map (fun (tr : Election.Leader.transition) -> tr.at)
+      (Election.Leader.transitions m)
+  in
+  check Alcotest.bool "monotone times" true (List.sort compare times = times)
+
+let test_monitor_sees_partition_failover () =
+  let net = setup [ 1; 4 ] in
+  let m = Election.Leader.monitor net ~switch:5 mc in
+  check Alcotest.(option int) "before cut" (Some 1) (Election.Leader.current m);
+  Dgmc.Protocol.link_down net 2 3;
+  Dgmc.Protocol.run net;
+  check Alcotest.(option int) "failover to local member" (Some 4)
+    (Election.Leader.current m);
+  Dgmc.Protocol.link_up net 2 3;
+  Dgmc.Protocol.run net;
+  check Alcotest.(option int) "back after heal" (Some 1)
+    (Election.Leader.current m)
+
+let () =
+  Alcotest.run "election"
+    [
+      ( "leader",
+        [
+          Alcotest.test_case "agreement after convergence" `Quick
+            test_agreement_after_convergence;
+          Alcotest.test_case "no members, no leader" `Quick
+            test_no_members_no_leader;
+          Alcotest.test_case "leader leaves" `Quick test_leader_leaves;
+          Alcotest.test_case "smaller member joins" `Quick
+            test_smaller_member_joins;
+          Alcotest.test_case "partition elects per side" `Quick
+            test_partition_elects_per_side;
+          Alcotest.test_case "heal restores single leader" `Quick
+            test_heal_restores_single_leader;
+        ] );
+      ( "monitor",
+        [
+          Alcotest.test_case "records transitions" `Quick
+            test_monitor_records_transitions;
+          Alcotest.test_case "partition failover" `Quick
+            test_monitor_sees_partition_failover;
+        ] );
+    ]

@@ -1,0 +1,165 @@
+(* Tests for the statistics and table-rendering library (lib/metrics). *)
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_mean () =
+  check Alcotest.(float 1e-9) "mean" 2.5 (Metrics.Stats.mean [ 1.0; 2.0; 3.0; 4.0 ]);
+  check Alcotest.(float 1e-9) "singleton" 7.0 (Metrics.Stats.mean [ 7.0 ])
+
+let test_stddev () =
+  (* Sample of [2, 4, 4, 4, 5, 5, 7, 9]: mean 5, sum of squares 32,
+     sample variance 32/7. *)
+  let xs = [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ] in
+  check Alcotest.(float 1e-9) "sample stddev"
+    (sqrt (32.0 /. 7.0))
+    (Metrics.Stats.stddev xs);
+  check Alcotest.(float 1e-9) "singleton stddev" 0.0 (Metrics.Stats.stddev [ 3.0 ])
+
+let test_t_critical () =
+  check Alcotest.(float 1e-3) "df=1" 12.706 (Metrics.Stats.t_critical 1);
+  check Alcotest.(float 1e-3) "df=9 (10 samples)" 2.262 (Metrics.Stats.t_critical 9);
+  check Alcotest.(float 1e-3) "df=30" 2.042 (Metrics.Stats.t_critical 30);
+  check Alcotest.(float 1e-3) "asymptote" 1.96 (Metrics.Stats.t_critical 200);
+  Alcotest.check_raises "df=0" (Invalid_argument "Stats.t_critical: df must be >= 1")
+    (fun () -> ignore (Metrics.Stats.t_critical 0))
+
+let test_summarize () =
+  let s = Metrics.Stats.summarize [ 1.0; 2.0; 3.0 ] in
+  check Alcotest.int "n" 3 s.n;
+  check Alcotest.(float 1e-9) "mean" 2.0 s.mean;
+  check Alcotest.(float 1e-9) "stddev" 1.0 s.stddev;
+  (* ci = t(2) * 1 / sqrt 3 = 4.303 / 1.732... *)
+  check Alcotest.(float 1e-3) "ci95" (4.303 /. sqrt 3.0) s.ci95
+
+let test_summarize_singleton () =
+  let s = Metrics.Stats.summarize [ 5.0 ] in
+  check Alcotest.(float 1e-9) "no interval" 0.0 s.ci95
+
+let test_summarize_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.summarize: empty sample")
+    (fun () -> ignore (Metrics.Stats.summarize []))
+
+let test_summarize_constant_sample () =
+  let s = Metrics.Stats.summarize [ 4.0; 4.0; 4.0; 4.0 ] in
+  check Alcotest.(float 1e-9) "zero spread" 0.0 s.ci95;
+  check Alcotest.(float 1e-9) "mean" 4.0 s.mean
+
+let test_percentile () =
+  let xs = [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  check Alcotest.(float 1e-9) "p0" 1.0 (Metrics.Stats.percentile xs 0.0);
+  check Alcotest.(float 1e-9) "p50" 3.0 (Metrics.Stats.percentile xs 50.0);
+  check Alcotest.(float 1e-9) "p100" 5.0 (Metrics.Stats.percentile xs 100.0);
+  check Alcotest.(float 1e-9) "p25 interpolates" 2.0 (Metrics.Stats.percentile xs 25.0);
+  check Alcotest.(float 1e-9) "p10 interpolates" 1.4 (Metrics.Stats.percentile xs 10.0);
+  (* Unsorted input is handled. *)
+  check Alcotest.(float 1e-9) "unsorted" 3.0
+    (Metrics.Stats.percentile [ 5.0; 1.0; 3.0; 2.0; 4.0 ] 50.0)
+
+let test_percentile_validation () =
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Metrics.Stats.percentile [ 1.0 ] 101.0))
+
+let test_pp_summary () =
+  let s = Metrics.Stats.summarize [ 1.0; 2.0; 3.0 ] in
+  let str = Format.asprintf "%a" Metrics.Stats.pp_summary s in
+  check Alcotest.bool "format" true (String.length str > 0 && String.contains str '-' = false)
+
+(* ------------------------------------------------------------------ *)
+(* Table *)
+
+let test_cell_f_trims () =
+  check Alcotest.string "trims zeros" "1.5" (Metrics.Table.cell_f 1.5);
+  check Alcotest.string "keeps one decimal" "2.0" (Metrics.Table.cell_f 2.0);
+  check Alcotest.string "three decimals kept" "0.125" (Metrics.Table.cell_f 0.125)
+
+let test_cell_ci () =
+  check Alcotest.string "format" "3.0 ± 0.5" (Metrics.Table.cell_ci ~mean:3.0 ~ci:0.5)
+
+let test_render_layout () =
+  let out =
+    Metrics.Table.render ~headers:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "10"; "200" ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  check Alcotest.int "header + rule + 2 rows" 4 (List.length lines);
+  (* All lines are equally wide. *)
+  let widths = List.map String.length lines in
+  check Alcotest.bool "aligned" true
+    (List.for_all (fun w -> w = List.hd widths) widths)
+
+let test_render_missing_cells () =
+  let out = Metrics.Table.render ~headers:[ "x"; "y"; "z" ] [ [ "1" ] ] in
+  check Alcotest.bool "renders" true (String.length out > 0)
+
+let test_render_alignment () =
+  let out =
+    Metrics.Table.render
+      ~align:[ Metrics.Table.Left; Metrics.Table.Right ]
+      ~headers:[ "name"; "val" ]
+      [ [ "ab"; "1" ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  let row = List.nth lines 2 in
+  check Alcotest.bool "left-aligned first column" true (row.[0] <> ' ');
+  check Alcotest.bool "right-aligned last column" true
+    (row.[String.length row - 1] <> ' ')
+
+(* ------------------------------------------------------------------ *)
+(* CSV *)
+
+let test_csv_escape () =
+  check Alcotest.string "plain" "abc" (Metrics.Csv.escape "abc");
+  check Alcotest.string "comma" "\"a,b\"" (Metrics.Csv.escape "a,b");
+  check Alcotest.string "quote doubled" "\"a\"\"b\"" (Metrics.Csv.escape "a\"b");
+  check Alcotest.string "newline" "\"a\nb\"" (Metrics.Csv.escape "a\nb")
+
+let test_csv_render () =
+  let out =
+    Metrics.Csv.render ~headers:[ "x"; "y" ] [ [ "1"; "2" ]; [ "3"; "4,5" ] ]
+  in
+  check Alcotest.string "document" "x,y\n1,2\n3,\"4,5\"\n" out
+
+let test_csv_write_roundtrip () =
+  let path = Filename.temp_file "dgmc" ".csv" in
+  Metrics.Csv.write ~path ~headers:[ "a" ] [ [ "1" ]; [ "2" ] ];
+  let ic = open_in path in
+  let content = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  check Alcotest.string "file content" "a\n1\n2\n" content
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_mean;
+          Alcotest.test_case "stddev" `Quick test_stddev;
+          Alcotest.test_case "t critical values" `Quick test_t_critical;
+          Alcotest.test_case "summarize" `Quick test_summarize;
+          Alcotest.test_case "summarize singleton" `Quick test_summarize_singleton;
+          Alcotest.test_case "summarize empty" `Quick test_summarize_empty;
+          Alcotest.test_case "constant sample" `Quick test_summarize_constant_sample;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "percentile validation" `Quick
+            test_percentile_validation;
+          Alcotest.test_case "pp_summary" `Quick test_pp_summary;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "cell_f trimming" `Quick test_cell_f_trims;
+          Alcotest.test_case "cell_ci" `Quick test_cell_ci;
+          Alcotest.test_case "layout" `Quick test_render_layout;
+          Alcotest.test_case "missing cells" `Quick test_render_missing_cells;
+          Alcotest.test_case "alignment" `Quick test_render_alignment;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "escaping" `Quick test_csv_escape;
+          Alcotest.test_case "render" `Quick test_csv_render;
+          Alcotest.test_case "write roundtrip" `Quick test_csv_write_roundtrip;
+        ] );
+    ]

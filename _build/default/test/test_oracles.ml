@@ -1,0 +1,189 @@
+(* Oracle tests: the production algorithms checked against independent
+   reference implementations (different algorithm, same answer).
+
+   - Dijkstra vs a Bellman-Ford oracle;
+   - Kruskal vs a Prim oracle;
+   - the Steiner heuristics vs the EXACT optimum on small instances
+     (Hakimi enumeration: the optimal Steiner tree is the cheapest MST
+     of an induced subgraph over terminals ∪ S for some Steiner set S);
+   - unicast next-hops vs the distance-decrease characterisation. *)
+
+let check = Alcotest.check
+
+let random_graph seed n =
+  Net.Topo_gen.waxman (Sim.Rng.create seed) ~n ~target_degree:3.5 ()
+
+(* ------------------------------------------------------------------ *)
+(* Bellman-Ford oracle *)
+
+let bellman_ford g src =
+  let n = Net.Graph.n_nodes g in
+  let dist = Array.make n infinity in
+  dist.(src) <- 0.0;
+  for _ = 1 to n - 1 do
+    List.iter
+      (fun (e : Net.Graph.edge) ->
+        if dist.(e.u) +. e.weight < dist.(e.v) then
+          dist.(e.v) <- dist.(e.u) +. e.weight;
+        if dist.(e.v) +. e.weight < dist.(e.u) then
+          dist.(e.u) <- dist.(e.v) +. e.weight)
+      (Net.Graph.edges g)
+  done;
+  dist
+
+let test_dijkstra_vs_bellman_ford () =
+  for seed = 1 to 15 do
+    let g = random_graph seed 25 in
+    let src = seed mod 25 in
+    let d = (Net.Dijkstra.run g src).dist in
+    let bf = bellman_ford g src in
+    Array.iteri
+      (fun v dv ->
+        if Float.abs (dv -. bf.(v)) > 1e-9 then
+          Alcotest.failf "seed %d: dist to %d differs (%f vs %f)" seed v dv bf.(v))
+      d
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Prim oracle *)
+
+let prim_cost g =
+  let n = Net.Graph.n_nodes g in
+  let in_tree = Array.make n false in
+  let best = Array.make n infinity in
+  best.(0) <- 0.0;
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    (* Cheapest fringe node. *)
+    let u = ref (-1) in
+    for v = 0 to n - 1 do
+      if (not in_tree.(v)) && (!u = -1 || best.(v) < best.(!u)) then u := v
+    done;
+    let u = !u in
+    if Float.is_finite best.(u) then begin
+      in_tree.(u) <- true;
+      total := !total +. best.(u);
+      List.iter
+        (fun (v, w) -> if (not in_tree.(v)) && w < best.(v) then best.(v) <- w)
+        (Net.Graph.neighbors g u)
+    end
+  done;
+  !total
+
+let test_kruskal_vs_prim () =
+  for seed = 1 to 15 do
+    let g = random_graph seed 30 in
+    let kruskal = Net.Mst.cost (Net.Mst.kruskal g) in
+    let prim = prim_cost g in
+    check Alcotest.(float 1e-9) (Printf.sprintf "seed %d" seed) prim kruskal
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Exact Steiner oracle (small instances) *)
+
+(* Optimal Steiner tree cost by enumerating Steiner-point sets: for each
+   S ⊆ V \ terminals, if G[terminals ∪ S] is connected, its MST is a
+   candidate; the optimum is the cheapest candidate (Hakimi 1971). *)
+let exact_steiner_cost g terminals =
+  let n = Net.Graph.n_nodes g in
+  let others =
+    List.filter (fun v -> not (List.mem v terminals)) (List.init n (fun i -> i))
+  in
+  let k = List.length others in
+  let best = ref infinity in
+  for mask = 0 to (1 lsl k) - 1 do
+    let steiner_points =
+      List.filteri (fun i _ -> mask land (1 lsl i) <> 0) others
+    in
+    let nodes = List.sort compare (terminals @ steiner_points) in
+    (* Induced subgraph, relabelled 0..|nodes|-1. *)
+    let index = Hashtbl.create 8 in
+    List.iteri (fun i v -> Hashtbl.add index v i) nodes;
+    let sub = Net.Graph.create (List.length nodes) in
+    List.iter
+      (fun (e : Net.Graph.edge) ->
+        match (Hashtbl.find_opt index e.u, Hashtbl.find_opt index e.v) with
+        | Some a, Some b -> Net.Graph.add_edge sub a b ~weight:e.weight
+        | _ -> ())
+      (Net.Graph.edges g);
+    if Net.Bfs.is_connected sub then begin
+      let mst = Net.Mst.kruskal sub in
+      if List.length mst = List.length nodes - 1 then
+        best := Float.min !best (Net.Mst.cost mst)
+    end
+  done;
+  !best
+
+let test_heuristics_vs_exact_steiner () =
+  (* Random small graphs where enumeration is cheap. *)
+  for seed = 1 to 12 do
+    let g = random_graph seed 9 in
+    let rng = Sim.Rng.create (seed * 31) in
+    let terminals = Sim.Rng.sample rng 4 (List.init 9 (fun i -> i)) in
+    let opt = exact_steiner_cost g (List.sort compare terminals) in
+    List.iter
+      (fun (name, algo) ->
+        let cost = Mctree.Tree.cost g (algo g terminals) in
+        if cost +. 1e-9 < opt then
+          Alcotest.failf "seed %d: %s beat the optimum?! (%f < %f)" seed name
+            cost opt;
+        if cost > (2.0 *. opt) +. 1e-9 then
+          Alcotest.failf "seed %d: %s exceeded 2x optimum (%f > 2 * %f)" seed
+            name cost opt)
+      [ ("kmb", Mctree.Steiner.kmb); ("sph", Mctree.Steiner.sph) ]
+  done
+
+let test_exact_oracle_sanity () =
+  (* On the 3x3 grid corners the optimum is known to be 6. *)
+  let g = Net.Topo_gen.grid ~rows:3 ~cols:3 () in
+  check Alcotest.(float 1e-9) "grid corners optimum" 6.0
+    (exact_steiner_cost g [ 0; 2; 6; 8 ]);
+  (* Two terminals: optimum = shortest path. *)
+  let g2 = random_graph 5 8 in
+  check Alcotest.(float 1e-9) "two terminals = shortest path"
+    (Net.Dijkstra.distance g2 0 7)
+    (exact_steiner_cost g2 [ 0; 7 ])
+
+(* ------------------------------------------------------------------ *)
+(* Unicast next-hop characterisation *)
+
+let test_next_hop_decreases_distance () =
+  (* u's next hop h toward d satisfies dist(h, d) = dist(u, d) - w(u, h):
+     the defining property of shortest-path forwarding. *)
+  for seed = 1 to 8 do
+    let g = random_graph seed 20 in
+    let t = Lsr.Unicast.compute g in
+    for u = 0 to 19 do
+      for d = 0 to 19 do
+        if u <> d then
+          match Lsr.Unicast.next_hop t ~src:u ~dst:d with
+          | Some h ->
+            let expected =
+              Lsr.Unicast.distance t ~src:u ~dst:d -. Net.Graph.weight g u h
+            in
+            if Float.abs (Lsr.Unicast.distance t ~src:h ~dst:d -. expected) > 1e-9
+            then Alcotest.failf "seed %d: bad next hop %d->%d via %d" seed u d h
+          | None -> Alcotest.failf "seed %d: unreachable %d->%d" seed u d
+      done
+    done
+  done
+
+let () =
+  Alcotest.run "oracles"
+    [
+      ( "shortest-paths",
+        [
+          Alcotest.test_case "dijkstra vs bellman-ford" `Quick
+            test_dijkstra_vs_bellman_ford;
+          Alcotest.test_case "next-hop characterisation" `Quick
+            test_next_hop_decreases_distance;
+        ] );
+      ( "mst",
+        [ Alcotest.test_case "kruskal vs prim" `Quick test_kruskal_vs_prim ] );
+      ( "steiner",
+        [
+          Alcotest.test_case "oracle sanity" `Quick test_exact_oracle_sanity;
+          Alcotest.test_case "heuristics vs exact optimum" `Slow
+            test_heuristics_vs_exact_steiner;
+        ] );
+    ]

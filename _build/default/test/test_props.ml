@@ -1,0 +1,431 @@
+(* Property-based tests (qcheck): randomized scenarios checking the
+   protocol's core guarantees and the tree algorithms' invariants. *)
+
+(* ------------------------------------------------------------------ *)
+(* Generators *)
+
+(* A scenario: a seeded random graph, a timing regime, and a random
+   mixed schedule of joins/leaves (+ optional non-partitioning link
+   failures).  Shrinking is not very meaningful here, so scenarios are
+   kept small instead. *)
+type scenario = {
+  seed : int;
+  n : int;
+  wan : bool;
+  schedule : [ `Join of int | `Leave of int | `Link_down ] list;
+      (** Switch indices are taken modulo [n]; [`Leave] of a non-member
+          is reinterpreted as a join at injection time. *)
+}
+
+let pp_scenario s =
+  Printf.sprintf "{seed=%d; n=%d; wan=%b; %d ops}" s.seed s.n s.wan
+    (List.length s.schedule)
+
+let scenario_gen =
+  QCheck2.Gen.(
+    let op =
+      frequency
+        [
+          (5, map (fun x -> `Join x) (int_range 0 100));
+          (3, map (fun x -> `Leave x) (int_range 0 100));
+          (1, return `Link_down);
+        ]
+    in
+    map
+      (fun (seed, n, wan, schedule) -> { seed; n; wan; schedule })
+      (quad (int_range 1 10000) (int_range 5 25) bool
+         (list_size (int_range 1 15) op)))
+
+let mc = Dgmc.Mc_id.make Dgmc.Mc_id.Symmetric 1
+
+(* Replay a scenario: events are injected in a burst (all within one
+   round), running to quiescence only at the very end. *)
+let run_scenario s =
+  let graph = Experiments.Harness.graph_for ~seed:s.seed ~n:s.n in
+  let config = if s.wan then Dgmc.Config.wan else Dgmc.Config.atm_lan in
+  let net = Dgmc.Protocol.create ~graph ~config () in
+  let round = Dgmc.Config.round_length config ~graph in
+  let members = ref [] in
+  let planned_down = ref [] in
+  let rng = Sim.Rng.create (s.seed + 17) in
+  List.iteri
+    (fun i op ->
+      let at = float_of_int i *. round /. 10.0 in
+      let jitter = Sim.Rng.float rng (round /. 20.0) in
+      let at = at +. jitter in
+      match op with
+      | `Join x ->
+        let switch = x mod s.n in
+        if not (List.mem switch !members) then begin
+          members := switch :: !members;
+          Dgmc.Protocol.schedule_join net ~at ~switch mc Dgmc.Member.Both
+        end
+      | `Leave x ->
+        let switch = x mod s.n in
+        if List.mem switch !members then begin
+          members := List.filter (fun m -> m <> switch) !members;
+          Dgmc.Protocol.schedule_leave net ~at ~switch mc
+        end
+        else begin
+          members := switch :: !members;
+          Dgmc.Protocol.schedule_join net ~at ~switch mc Dgmc.Member.Both
+        end
+      | `Link_down ->
+        (* Only fail links whose loss — combined with the failures
+           already planned — keeps the network connected, so that global
+           agreement stays well-defined. *)
+        let keeps_connected (e : Net.Graph.edge) =
+          let g = Net.Graph.copy graph in
+          List.iter (fun (u, v) -> Net.Graph.set_link g u v ~up:false) !planned_down;
+          Net.Graph.set_link g e.u e.v ~up:false;
+          Net.Bfs.is_connected g
+        in
+        let candidates =
+          List.filter
+            (fun (e : Net.Graph.edge) ->
+              (not (List.mem (e.u, e.v) !planned_down)) && keeps_connected e)
+            (Net.Graph.edges graph)
+        in
+        (match candidates with
+        | [] -> ()
+        | es ->
+          let e = Sim.Rng.pick rng es in
+          planned_down := (e.u, e.v) :: !planned_down;
+          Dgmc.Protocol.schedule_link_down net ~at e.u e.v))
+    s.schedule;
+  Dgmc.Protocol.run net;
+  net
+
+(* ------------------------------------------------------------------ *)
+(* Protocol properties *)
+
+let prop_random_scenarios_converge =
+  QCheck2.Test.make ~name:"random mixed schedules reach agreement" ~count:60
+    ~print:pp_scenario scenario_gen (fun s ->
+      let net = run_scenario s in
+      match Dgmc.Protocol.divergence net mc with
+      | [] -> true
+      | reasons ->
+        QCheck2.Test.fail_reportf "%s diverged: %s" (pp_scenario s)
+          (String.concat "; " reasons))
+
+let prop_agreed_topology_is_valid =
+  QCheck2.Test.make ~name:"agreed topology is a valid embedded tree" ~count:40
+    ~print:pp_scenario scenario_gen (fun s ->
+      let net = run_scenario s in
+      match Dgmc.Protocol.agreed_topology net mc with
+      | None -> true (* all members left, or never joined *)
+      | Some tree ->
+        Mctree.Tree.is_valid_mc_topology (Dgmc.Protocol.graph net) tree)
+
+let prop_deterministic_replay =
+  QCheck2.Test.make ~name:"same scenario, same outcome" ~count:20
+    ~print:pp_scenario scenario_gen (fun s ->
+      let t1 = Dgmc.Protocol.agreed_topology (run_scenario s) mc in
+      let t2 = Dgmc.Protocol.agreed_topology (run_scenario s) mc in
+      match (t1, t2) with
+      | None, None -> true
+      | Some a, Some b -> Mctree.Tree.equal a b
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Tree algorithm properties *)
+
+type tree_case = { g_seed : int; g_n : int; picks : int list }
+
+let pp_tree_case c =
+  Printf.sprintf "{g_seed=%d; g_n=%d; %d terminals}" c.g_seed c.g_n
+    (List.length (List.sort_uniq compare c.picks))
+
+let tree_case_gen =
+  QCheck2.Gen.(
+    map
+      (fun (g_seed, g_n, picks) -> { g_seed; g_n; picks })
+      (triple (int_range 1 10000) (int_range 4 30)
+         (list_size (int_range 1 8) (int_range 0 100))))
+
+let terminals_of c =
+  List.sort_uniq compare (List.map (fun x -> x mod c.g_n) c.picks)
+
+let prop_steiner_heuristics_valid =
+  QCheck2.Test.make ~name:"steiner heuristics produce valid topologies"
+    ~count:100 ~print:pp_tree_case tree_case_gen (fun c ->
+      let g = Experiments.Harness.graph_for ~seed:c.g_seed ~n:c.g_n in
+      let terminals = terminals_of c in
+      List.for_all
+        (fun algo ->
+          let t = algo g terminals in
+          Mctree.Tree.is_valid_mc_topology g t
+          && Mctree.Tree.Int_set.elements (Mctree.Tree.terminals t) = terminals)
+        [ Mctree.Steiner.kmb; Mctree.Steiner.sph ])
+
+let prop_steiner_within_approximation_bound =
+  QCheck2.Test.make ~name:"steiner cost within 2x lower bound" ~count:100
+    ~print:pp_tree_case tree_case_gen (fun c ->
+      let g = Experiments.Harness.graph_for ~seed:c.g_seed ~n:c.g_n in
+      let terminals = terminals_of c in
+      let lb = Mctree.Steiner.lower_bound g terminals in
+      List.for_all
+        (fun algo ->
+          Mctree.Tree.cost g (algo g terminals) <= (2.0 *. lb) +. 1e-6)
+        [ Mctree.Steiner.kmb; Mctree.Steiner.sph ])
+
+let prop_incremental_sequence_stays_valid =
+  QCheck2.Test.make ~name:"incremental join/leave keeps a valid topology"
+    ~count:100 ~print:pp_tree_case tree_case_gen (fun c ->
+      let g = Experiments.Harness.graph_for ~seed:c.g_seed ~n:c.g_n in
+      let rng = Sim.Rng.create c.g_seed in
+      let tree = ref Mctree.Tree.empty in
+      let members = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun x ->
+          let switch = x mod c.g_n in
+          if List.mem switch !members then begin
+            members := List.filter (fun m -> m <> switch) !members;
+            tree := Mctree.Incremental.leave g !tree switch
+          end
+          else begin
+            members := switch :: !members;
+            tree := Mctree.Incremental.join g !tree switch
+          end;
+          ignore rng;
+          if !members <> [] then
+            ok :=
+              !ok
+              && Mctree.Tree.is_valid_mc_topology g !tree
+              && Mctree.Tree.Int_set.elements (Mctree.Tree.terminals !tree)
+                 = List.sort compare !members)
+        (c.picks @ c.picks);
+      !ok)
+
+let prop_spt_matches_dijkstra =
+  QCheck2.Test.make ~name:"spt delays equal shortest-path distances" ~count:100
+    ~print:pp_tree_case tree_case_gen (fun c ->
+      let g = Experiments.Harness.graph_for ~seed:c.g_seed ~n:c.g_n in
+      match terminals_of c with
+      | [] -> true
+      | root :: receivers ->
+        let t = Mctree.Spt.source_rooted g ~root ~receivers in
+        List.for_all
+          (fun (receiver, delay) ->
+            Float.abs (delay -. Net.Dijkstra.distance g root receiver) < 1e-9)
+          (Mctree.Spt.receivers_cost g t ~root))
+
+let prop_mst_spans_and_sized =
+  QCheck2.Test.make ~name:"kruskal yields a spanning tree" ~count:100
+    ~print:(fun (seed, n) -> Printf.sprintf "seed=%d n=%d" seed n)
+    QCheck2.Gen.(pair (int_range 1 10000) (int_range 2 40))
+    (fun (seed, n) ->
+      let g = Experiments.Harness.graph_for ~seed ~n in
+      let mst = Net.Mst.kruskal g in
+      List.length mst = n - 1 && Net.Mst.spans g mst)
+
+let prop_flooding_covers_connected_graph =
+  QCheck2.Test.make ~name:"flooding reaches every switch exactly once"
+    ~count:60
+    ~print:(fun (seed, n) -> Printf.sprintf "seed=%d n=%d" seed n)
+    QCheck2.Gen.(pair (int_range 1 10000) (int_range 2 30))
+    (fun (seed, n) ->
+      let g = Experiments.Harness.graph_for ~seed ~n in
+      let engine = Sim.Engine.create () in
+      let hits = Array.make n 0 in
+      let deliver ~switch _ = hits.(switch) <- hits.(switch) + 1 in
+      let f = Lsr.Flooding.create ~engine ~graph:g ~t_hop:1.0 ~deliver () in
+      Lsr.Flooding.flood f (Lsr.Lsa.make ~origin:0 ~seq:0 ());
+      Sim.Engine.run engine;
+      hits.(0) = 0
+      && Array.for_all (fun h -> h = 1) (Array.sub hits 1 (n - 1)))
+
+(* ------------------------------------------------------------------ *)
+(* Hierarchy properties *)
+
+type hier_case = { h_seed : int; h_areas : int; h_ops : (bool * int) list }
+
+let pp_hier c =
+  Printf.sprintf "{h_seed=%d; areas=%d; %d ops}" c.h_seed c.h_areas
+    (List.length c.h_ops)
+
+let hier_gen =
+  QCheck2.Gen.(
+    map
+      (fun (h_seed, h_areas, h_ops) -> { h_seed; h_areas; h_ops })
+      (triple (int_range 1 5000) (int_range 2 5)
+         (list_size (int_range 1 12) (pair bool (int_range 0 1000)))))
+
+let prop_hierarchy_random_churn =
+  QCheck2.Test.make ~name:"hierarchy: random churn reaches agreement" ~count:40
+    ~print:pp_hier hier_gen (fun c ->
+      let per_area = 6 in
+      let rng = Sim.Rng.create c.h_seed in
+      let graph, partition =
+        Net.Topo_gen.clustered rng ~areas:c.h_areas ~per_area ()
+      in
+      let h =
+        Hierarchy.Hmc.create ~graph ~partition ~config:Dgmc.Config.atm_lan ()
+      in
+      let n = c.h_areas * per_area in
+      let members = ref [] in
+      List.iter
+        (fun (_, x) ->
+          let s = x mod n in
+          if List.mem s !members then begin
+            members := List.filter (fun m -> m <> s) !members;
+            Hierarchy.Hmc.leave h ~switch:s mc
+          end
+          else begin
+            members := s :: !members;
+            Hierarchy.Hmc.join h ~switch:s mc Dgmc.Member.Both
+          end;
+          (* Quiesce between ops: the hierarchy's gateway control loop is
+             eventually consistent, not burst-safe (documented). *)
+          Hierarchy.Hmc.run h)
+        c.h_ops;
+      match Hierarchy.Hmc.divergence h mc with
+      | [] -> true
+      | reasons ->
+        QCheck2.Test.fail_reportf "%s diverged: %s" (pp_hier c)
+          (String.concat "; " reasons))
+
+let prop_hierarchy_global_tree_valid =
+  QCheck2.Test.make ~name:"hierarchy: stitched tree spans the members" ~count:40
+    ~print:pp_hier hier_gen (fun c ->
+      let per_area = 6 in
+      let rng = Sim.Rng.create c.h_seed in
+      let graph, partition =
+        Net.Topo_gen.clustered rng ~areas:c.h_areas ~per_area ()
+      in
+      let h =
+        Hierarchy.Hmc.create ~graph ~partition ~config:Dgmc.Config.atm_lan ()
+      in
+      let n = c.h_areas * per_area in
+      let members =
+        List.sort_uniq compare (List.map (fun (_, x) -> x mod n) c.h_ops)
+      in
+      List.iter
+        (fun s ->
+          Hierarchy.Hmc.join h ~switch:s mc Dgmc.Member.Both;
+          Hierarchy.Hmc.run h)
+        members;
+      match Hierarchy.Hmc.global_tree h mc with
+      | None -> QCheck2.Test.fail_reportf "%s: no global tree" (pp_hier c)
+      | Some tree ->
+        Mctree.Tree.is_valid_mc_topology graph tree
+        && Mctree.Tree.Int_set.elements (Mctree.Tree.terminals tree) = members)
+
+(* ------------------------------------------------------------------ *)
+(* Data-plane properties *)
+
+let prop_dataplane_conservation =
+  QCheck2.Test.make
+    ~name:"dataplane: every packet is delivered or dropped (single link)"
+    ~count:60
+    ~print:(fun (n, cap) -> Printf.sprintf "packets=%d queue=%d" n cap)
+    QCheck2.Gen.(pair (int_range 1 60) (int_range 1 16))
+    (fun (n, cap) ->
+      let engine = Sim.Engine.create () in
+      let graph = Net.Topo_gen.line 2 in
+      let fw =
+        Dataplane.Forwarder.create ~engine ~graph ~bandwidth:1e6
+          ~queue_capacity:cap ()
+      in
+      let tree = Mctree.Steiner.sph graph [ 0; 1 ] in
+      let delivered = ref 0 in
+      for _ = 1 to n do
+        Dataplane.Forwarder.multicast fw ~tree ~src:0 ~size_bits:1000.0
+          ~on_deliver:(fun ~receiver:_ ~at:_ -> incr delivered)
+      done;
+      Sim.Engine.run engine;
+      !delivered + Dataplane.Forwarder.packets_dropped fw = n
+      && !delivered = min n cap)
+
+let prop_dataplane_fifo_order =
+  QCheck2.Test.make ~name:"dataplane: FIFO per link" ~count:40
+    ~print:string_of_int
+    QCheck2.Gen.(int_range 2 30)
+    (fun n ->
+      let engine = Sim.Engine.create () in
+      let graph = Net.Topo_gen.line 2 in
+      let fw =
+        Dataplane.Forwarder.create ~engine ~graph ~bandwidth:1e6
+          ~queue_capacity:64 ()
+      in
+      let tree = Mctree.Steiner.sph graph [ 0; 1 ] in
+      let order = ref [] in
+      for i = 1 to n do
+        Dataplane.Forwarder.multicast fw ~tree ~src:0 ~size_bits:1000.0
+          ~on_deliver:(fun ~receiver:_ ~at:_ -> order := i :: !order)
+      done;
+      Sim.Engine.run engine;
+      List.rev !order = List.init n (fun i -> i + 1))
+
+(* ------------------------------------------------------------------ *)
+(* QoS properties *)
+
+let prop_qos_never_oversubscribes =
+  QCheck2.Test.make ~name:"qos: reservations never exceed capacity" ~count:60
+    ~print:(fun (seed, k) -> Printf.sprintf "seed=%d ops=%d" seed k)
+    QCheck2.Gen.(pair (int_range 1 5000) (int_range 1 40))
+    (fun (seed, k) ->
+      let g = Experiments.Harness.graph_for ~seed:(seed mod 20) ~n:20 in
+      let cap = Qos.Capacity.create g ~default_capacity:10.0 in
+      let rng = Sim.Rng.create seed in
+      let live = ref [] in
+      let ok = ref true in
+      for key = 1 to k do
+        (if !live <> [] && Sim.Rng.bool rng then begin
+           let victim = Sim.Rng.pick rng !live in
+           Qos.Admission.release cap ~key:victim;
+           live := List.filter (fun x -> x <> victim) !live
+         end
+         else
+           let members =
+             Dgmc.Member.of_list
+               (List.map
+                  (fun x -> (x, Dgmc.Member.Both))
+                  (Sim.Rng.sample rng
+                     (2 + Sim.Rng.int rng 4)
+                     (List.init 20 (fun i -> i))))
+           in
+           match
+             Qos.Admission.admit cap ~key ~kind:Dgmc.Mc_id.Symmetric
+               ~bandwidth:(1.0 +. Sim.Rng.float rng 5.0)
+               ~members
+           with
+           | Ok _ -> live := key :: !live
+           | Error _ -> ());
+        if Qos.Capacity.max_utilization cap > 1.0 +. 1e-9 then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "protocol",
+        [
+          QCheck_alcotest.to_alcotest prop_random_scenarios_converge;
+          QCheck_alcotest.to_alcotest prop_agreed_topology_is_valid;
+          QCheck_alcotest.to_alcotest prop_deterministic_replay;
+        ] );
+      ( "trees",
+        [
+          QCheck_alcotest.to_alcotest prop_steiner_heuristics_valid;
+          QCheck_alcotest.to_alcotest prop_steiner_within_approximation_bound;
+          QCheck_alcotest.to_alcotest prop_incremental_sequence_stays_valid;
+          QCheck_alcotest.to_alcotest prop_spt_matches_dijkstra;
+          QCheck_alcotest.to_alcotest prop_mst_spans_and_sized;
+        ] );
+      ( "flooding",
+        [ QCheck_alcotest.to_alcotest prop_flooding_covers_connected_graph ] );
+      ( "hierarchy",
+        [
+          QCheck_alcotest.to_alcotest prop_hierarchy_random_churn;
+          QCheck_alcotest.to_alcotest prop_hierarchy_global_tree_valid;
+        ] );
+      ( "dataplane",
+        [
+          QCheck_alcotest.to_alcotest prop_dataplane_conservation;
+          QCheck_alcotest.to_alcotest prop_dataplane_fifo_order;
+        ] );
+      ("qos", [ QCheck_alcotest.to_alcotest prop_qos_never_oversubscribes ]);
+    ]

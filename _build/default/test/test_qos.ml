@@ -1,0 +1,270 @@
+(* Tests for the QoS admission extension (lib/qos). *)
+
+let check = Alcotest.check
+
+let members_of ids = Dgmc.Member.of_list (List.map (fun x -> (x, Dgmc.Member.Both)) ids)
+
+(* A 4-node diamond: two disjoint paths 0-1-3 and 0-2-3. *)
+let diamond () =
+  Net.Graph.of_edges 4 [ (0, 1, 1.0); (1, 3, 1.0); (0, 2, 1.0); (2, 3, 1.0) ]
+
+(* ------------------------------------------------------------------ *)
+(* Capacity accounting *)
+
+let test_capacity_defaults () =
+  let cap = Qos.Capacity.create (diamond ()) ~default_capacity:10.0 in
+  check Alcotest.(float 0.0) "capacity" 10.0 (Qos.Capacity.capacity cap 0 1);
+  check Alcotest.(float 0.0) "reserved" 0.0 (Qos.Capacity.reserved cap 0 1);
+  check Alcotest.(float 0.0) "residual" 10.0 (Qos.Capacity.residual cap 0 1);
+  check Alcotest.(float 0.0) "utilization" 0.0 (Qos.Capacity.utilization cap)
+
+let test_capacity_override () =
+  let cap = Qos.Capacity.create (diamond ()) ~default_capacity:10.0 in
+  Qos.Capacity.set_capacity cap 0 1 2.0;
+  check Alcotest.(float 0.0) "override" 2.0 (Qos.Capacity.capacity cap 0 1);
+  check Alcotest.(float 0.0) "others keep default" 10.0 (Qos.Capacity.capacity cap 0 2);
+  Alcotest.check_raises "non-edge" Not_found (fun () ->
+      ignore (Qos.Capacity.capacity cap 0 3))
+
+let test_reserve_and_release () =
+  let cap = Qos.Capacity.create (diamond ()) ~default_capacity:10.0 in
+  let tree = Mctree.Tree.of_edges ~terminals:[ 0; 3 ] [ (0, 1); (1, 3) ] in
+  Qos.Capacity.reserve_tree cap ~key:1 ~bandwidth:4.0 tree;
+  check Alcotest.(float 0.0) "reserved on tree" 4.0 (Qos.Capacity.reserved cap 0 1);
+  check Alcotest.(float 0.0) "residual shrank" 6.0 (Qos.Capacity.residual cap 0 1);
+  check Alcotest.(float 0.0) "off-tree untouched" 0.0 (Qos.Capacity.reserved cap 0 2);
+  check Alcotest.bool "reservation recorded" true
+    (Qos.Capacity.reservation cap ~key:1 <> None);
+  Qos.Capacity.release cap ~key:1;
+  check Alcotest.(float 0.0) "released" 0.0 (Qos.Capacity.reserved cap 0 1);
+  Qos.Capacity.release cap ~key:1 (* idempotent *)
+
+let test_reserve_all_or_nothing () =
+  let cap = Qos.Capacity.create (diamond ()) ~default_capacity:10.0 in
+  Qos.Capacity.set_capacity cap 1 3 2.0;
+  let tree = Mctree.Tree.of_edges ~terminals:[ 0; 3 ] [ (0, 1); (1, 3) ] in
+  (try
+     Qos.Capacity.reserve_tree cap ~key:1 ~bandwidth:4.0 tree;
+     Alcotest.fail "must refuse"
+   with Failure _ -> ());
+  check Alcotest.(float 0.0) "nothing reserved on failure" 0.0
+    (Qos.Capacity.reserved cap 0 1)
+
+let test_reserve_duplicate_key () =
+  let cap = Qos.Capacity.create (diamond ()) ~default_capacity:10.0 in
+  let tree = Mctree.Tree.of_edges ~terminals:[ 0; 1 ] [ (0, 1) ] in
+  Qos.Capacity.reserve_tree cap ~key:1 ~bandwidth:1.0 tree;
+  Alcotest.check_raises "duplicate key"
+    (Invalid_argument "Capacity.reserve_tree: key already reserved") (fun () ->
+      Qos.Capacity.reserve_tree cap ~key:1 ~bandwidth:1.0 tree)
+
+let test_set_capacity_below_reserved () =
+  let cap = Qos.Capacity.create (diamond ()) ~default_capacity:10.0 in
+  let tree = Mctree.Tree.of_edges ~terminals:[ 0; 1 ] [ (0, 1) ] in
+  Qos.Capacity.reserve_tree cap ~key:1 ~bandwidth:6.0 tree;
+  Alcotest.check_raises "below reservations"
+    (Invalid_argument "Capacity.set_capacity: below current reservations")
+    (fun () -> Qos.Capacity.set_capacity cap 0 1 5.0)
+
+let test_constrained_image () =
+  let cap = Qos.Capacity.create (diamond ()) ~default_capacity:10.0 in
+  Qos.Capacity.set_capacity cap 0 1 3.0;
+  let image = Qos.Capacity.constrained_image cap ~bandwidth:5.0 in
+  check Alcotest.bool "thin link excluded" false (Net.Graph.has_edge image 0 1);
+  check Alcotest.bool "fat links kept" true (Net.Graph.has_edge image 0 2);
+  check Alcotest.int "three links remain" 3 (Net.Graph.n_edges image)
+
+let test_residual_respects_link_state () =
+  let g = diamond () in
+  let cap = Qos.Capacity.create g ~default_capacity:10.0 in
+  Net.Graph.set_link g 0 1 ~up:false;
+  check Alcotest.(float 0.0) "down link has no residual" 0.0
+    (Qos.Capacity.residual cap 0 1);
+  let image = Qos.Capacity.constrained_image cap ~bandwidth:1.0 in
+  check Alcotest.bool "down link excluded from image" false
+    (Net.Graph.has_edge image 0 1)
+
+let test_utilization () =
+  let cap = Qos.Capacity.create (diamond ()) ~default_capacity:10.0 in
+  let tree = Mctree.Tree.of_edges ~terminals:[ 0; 3 ] [ (0, 1); (1, 3) ] in
+  Qos.Capacity.reserve_tree cap ~key:1 ~bandwidth:5.0 tree;
+  (* 10 of 40 total reserved. *)
+  check Alcotest.(float 1e-9) "mean utilization" 0.25 (Qos.Capacity.utilization cap);
+  check Alcotest.(float 1e-9) "max utilization" 0.5 (Qos.Capacity.max_utilization cap)
+
+(* ------------------------------------------------------------------ *)
+(* Admission *)
+
+let test_admit_reserves () =
+  let cap = Qos.Capacity.create (diamond ()) ~default_capacity:10.0 in
+  match
+    Qos.Admission.admit cap ~key:1 ~kind:Dgmc.Mc_id.Symmetric ~bandwidth:4.0
+      ~members:(members_of [ 0; 3 ])
+  with
+  | Ok tree ->
+    check Alcotest.bool "valid tree" true
+      (Mctree.Tree.is_valid_mc_topology (Qos.Capacity.graph cap) tree);
+    List.iter
+      (fun (u, v) ->
+        check Alcotest.(float 0.0) "bandwidth reserved" 4.0
+          (Qos.Capacity.reserved cap u v))
+      (Mctree.Tree.edges tree)
+  | Error r ->
+    Alcotest.failf "rejected: %s" (Format.asprintf "%a" Qos.Admission.pp_rejection r)
+
+let test_admit_routes_around_congestion () =
+  let cap = Qos.Capacity.create (diamond ()) ~default_capacity:10.0 in
+  (* Saturate the cheap path 0-1-3. *)
+  Qos.Capacity.set_capacity cap 0 1 1.0;
+  match
+    Qos.Admission.admit cap ~key:1 ~kind:Dgmc.Mc_id.Symmetric ~bandwidth:4.0
+      ~members:(members_of [ 0; 3 ])
+  with
+  | Ok tree ->
+    check Alcotest.bool "detour used" true (Mctree.Tree.mem_edge tree 0 2);
+    check Alcotest.bool "thin link avoided" false (Mctree.Tree.mem_edge tree 0 1)
+  | Error _ -> Alcotest.fail "feasible demand rejected"
+
+let test_admit_rejects_when_full () =
+  let cap = Qos.Capacity.create (diamond ()) ~default_capacity:10.0 in
+  let members = members_of [ 0; 3 ] in
+  (* Two 4-unit sessions fit (one per path); the third cannot. *)
+  check Alcotest.bool "first" true
+    (Qos.Admission.admit cap ~key:1 ~kind:Dgmc.Mc_id.Symmetric ~bandwidth:7.0
+       ~members
+    |> Result.is_ok);
+  check Alcotest.bool "second" true
+    (Qos.Admission.admit cap ~key:2 ~kind:Dgmc.Mc_id.Symmetric ~bandwidth:7.0
+       ~members
+    |> Result.is_ok);
+  (match
+     Qos.Admission.admit cap ~key:3 ~kind:Dgmc.Mc_id.Symmetric ~bandwidth:7.0
+       ~members
+   with
+  | Error Qos.Admission.No_feasible_tree -> ()
+  | Ok _ -> Alcotest.fail "over-admitted"
+  | Error _ -> Alcotest.fail "wrong rejection");
+  (* Releasing one admits the next. *)
+  Qos.Admission.release cap ~key:1;
+  check Alcotest.bool "after release" true
+    (Qos.Admission.admit cap ~key:3 ~kind:Dgmc.Mc_id.Symmetric ~bandwidth:7.0
+       ~members
+    |> Result.is_ok)
+
+let test_admit_duplicate_key () =
+  let cap = Qos.Capacity.create (diamond ()) ~default_capacity:10.0 in
+  let members = members_of [ 0; 1 ] in
+  ignore
+    (Qos.Admission.admit cap ~key:1 ~kind:Dgmc.Mc_id.Symmetric ~bandwidth:1.0
+       ~members);
+  match
+    Qos.Admission.admit cap ~key:1 ~kind:Dgmc.Mc_id.Symmetric ~bandwidth:1.0
+      ~members
+  with
+  | Error Qos.Admission.Already_admitted -> ()
+  | _ -> Alcotest.fail "duplicate key must be rejected"
+
+let test_readmit_after_membership_change () =
+  let cap = Qos.Capacity.create (diamond ()) ~default_capacity:10.0 in
+  ignore
+    (Qos.Admission.admit cap ~key:1 ~kind:Dgmc.Mc_id.Symmetric ~bandwidth:4.0
+       ~members:(members_of [ 0; 3 ]));
+  match
+    Qos.Admission.readmit cap ~key:1 ~kind:Dgmc.Mc_id.Symmetric ~bandwidth:4.0
+      ~members:(members_of [ 0; 2; 3 ])
+  with
+  | Ok tree ->
+    check Alcotest.(list int) "new member spanned" [ 0; 2; 3 ]
+      (Mctree.Tree.Int_set.elements (Mctree.Tree.terminals tree))
+  | Error _ -> Alcotest.fail "readmission failed"
+
+let test_feasibility_probe () =
+  let cap = Qos.Capacity.create (diamond ()) ~default_capacity:10.0 in
+  let members = members_of [ 0; 3 ] in
+  check Alcotest.bool "feasible" true
+    (Qos.Admission.feasible cap ~kind:Dgmc.Mc_id.Symmetric ~bandwidth:10.0 ~members);
+  check Alcotest.bool "infeasible" false
+    (Qos.Admission.feasible cap ~kind:Dgmc.Mc_id.Symmetric ~bandwidth:11.0 ~members);
+  (* Probing reserves nothing. *)
+  check Alcotest.(float 0.0) "no side effects" 0.0 (Qos.Capacity.utilization cap)
+
+let test_admit_asymmetric () =
+  let g = Net.Topo_gen.grid ~rows:3 ~cols:3 () in
+  let cap = Qos.Capacity.create g ~default_capacity:5.0 in
+  let members =
+    Dgmc.Member.of_list
+      [ (4, Dgmc.Member.Sender); (0, Dgmc.Member.Receiver); (8, Dgmc.Member.Receiver) ]
+  in
+  match
+    Qos.Admission.admit cap ~key:9 ~kind:Dgmc.Mc_id.Asymmetric ~bandwidth:2.0
+      ~members
+  with
+  | Ok tree ->
+    (* Source-rooted shape: receivers at shortest-path distance. *)
+    List.iter
+      (fun (receiver, delay) ->
+        check Alcotest.(float 1e-9) "spt distances"
+          (Net.Dijkstra.distance g 4 receiver)
+          delay)
+      (Mctree.Spt.receivers_cost g tree ~root:4)
+  | Error _ -> Alcotest.fail "asymmetric admission failed"
+
+let test_admission_sequence_respects_capacity_invariant () =
+  (* Random admissions/releases: reserved never exceeds capacity. *)
+  let g = Experiments.Harness.graph_for ~seed:5 ~n:25 in
+  let cap = Qos.Capacity.create g ~default_capacity:10.0 in
+  let rng = Sim.Rng.create 44 in
+  let live = ref [] in
+  for key = 1 to 60 do
+    if List.length !live > 5 && Sim.Rng.bool rng then begin
+      let victim = Sim.Rng.pick rng !live in
+      Qos.Admission.release cap ~key:victim;
+      live := List.filter (fun k -> k <> victim) !live
+    end
+    else begin
+      let members = members_of (Sim.Rng.sample rng 4 (List.init 25 (fun i -> i))) in
+      match
+        Qos.Admission.admit cap ~key ~kind:Dgmc.Mc_id.Symmetric
+          ~bandwidth:(1.0 +. Sim.Rng.float rng 3.0)
+          ~members
+      with
+      | Ok _ -> live := key :: !live
+      | Error _ -> ()
+    end;
+    if Qos.Capacity.max_utilization cap > 1.0 +. 1e-9 then
+      Alcotest.fail "capacity exceeded"
+  done;
+  check Alcotest.bool "some sessions admitted" true (!live <> [])
+
+let () =
+  Alcotest.run "qos"
+    [
+      ( "capacity",
+        [
+          Alcotest.test_case "defaults" `Quick test_capacity_defaults;
+          Alcotest.test_case "override" `Quick test_capacity_override;
+          Alcotest.test_case "reserve and release" `Quick test_reserve_and_release;
+          Alcotest.test_case "all-or-nothing" `Quick test_reserve_all_or_nothing;
+          Alcotest.test_case "duplicate key" `Quick test_reserve_duplicate_key;
+          Alcotest.test_case "capacity below reservations" `Quick
+            test_set_capacity_below_reserved;
+          Alcotest.test_case "constrained image" `Quick test_constrained_image;
+          Alcotest.test_case "link state respected" `Quick
+            test_residual_respects_link_state;
+          Alcotest.test_case "utilization" `Quick test_utilization;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "admit reserves" `Quick test_admit_reserves;
+          Alcotest.test_case "routes around congestion" `Quick
+            test_admit_routes_around_congestion;
+          Alcotest.test_case "rejects when full" `Quick test_admit_rejects_when_full;
+          Alcotest.test_case "duplicate key" `Quick test_admit_duplicate_key;
+          Alcotest.test_case "readmit on membership change" `Quick
+            test_readmit_after_membership_change;
+          Alcotest.test_case "feasibility probe" `Quick test_feasibility_probe;
+          Alcotest.test_case "asymmetric admission" `Quick test_admit_asymmetric;
+          Alcotest.test_case "random sequence invariant" `Quick
+            test_admission_sequence_respects_capacity_invariant;
+        ] );
+    ]
