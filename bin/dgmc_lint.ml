@@ -1,0 +1,40 @@
+(* dgmc_lint — static checks for .dgmc scenario scripts.
+
+   Reports every problem in every given file in compiler-style
+   file:line: form.  Exit status: 0 when no file has errors (warnings
+   allowed), 1 when any lint error was found, 2 when a file could not
+   be read. *)
+
+open Cmdliner
+
+let files_arg =
+  Arg.(
+    non_empty & pos_all string []
+    & info [] ~docv:"FILE" ~doc:"Scenario script(s) to check.")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress warnings.")
+
+let run files quiet =
+  let n_errors = ref 0 in
+  let io_failed = ref false in
+  List.iter
+    (fun file ->
+      match Check.Scenario_lint.lint_file file with
+      | Error msg ->
+        Printf.eprintf "%s: cannot read: %s\n" file msg;
+        io_failed := true
+      | Ok diags ->
+        n_errors := !n_errors + Check.Scenario_lint.errors diags;
+        List.iter
+          (fun (d : Check.Scenario_lint.diagnostic) ->
+            if d.severity = Check.Scenario_lint.Error || not quiet then
+              print_endline (Check.Scenario_lint.render ~file d))
+          diags)
+    files;
+  if !io_failed then exit 2 else if !n_errors > 0 then exit 1
+
+let () =
+  let doc = "Lint D-GMC scenario scripts without running them" in
+  let info = Cmd.info "dgmc_lint" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.v info Term.(const run $ files_arg $ quiet_arg)))

@@ -275,14 +275,25 @@ let script_cmd =
       value & flag
       & info [ "dot" ] ~doc:"Emit the final topology of the first MC as DOT.")
   in
-  let run file trace_flag dot =
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Attach the runtime invariant monitor (Check.Monitor) and fail \
+             if any D-GMC invariant is violated during the run.")
+  in
+  let run file trace_flag dot check =
     match Workload.Script.load file with
     | Error msg ->
       Printf.eprintf "%s: %s\n" file msg;
       exit 2
     | Ok script ->
       let trace = if trace_flag then Sim.Trace.create () else Sim.Trace.disabled in
-      let net = Workload.Script.run ~trace script in
+      let net = Workload.Script.build ~trace script in
+      let monitor = if check then Some (Check.Monitor.attach net) else None in
+      Dgmc.Protocol.run net;
+      Option.iter Check.Monitor.check_terminal monitor;
       if trace_flag then
         List.iter
           (fun e -> Format.printf "%a@." Sim.Trace.pp_entry e)
@@ -310,16 +321,28 @@ let script_cmd =
         "events %d, computations %d (%d withdrawn), MC floodings %d, link          floodings %d, messages %d@."
         t.events t.computations t.computations_withdrawn t.mc_floodings
         t.link_floodings t.messages;
+      (match monitor with
+      | Some m ->
+        (match Check.Monitor.violations m with
+        | [] ->
+          Format.printf "invariant monitor: %d sweeps, no violations@."
+            (Check.Monitor.sweeps m)
+        | vs ->
+          Format.printf "invariant monitor: %d violation(s):@."
+            (List.length vs);
+          List.iter (fun v -> Format.printf "  %s@." v) vs)
+      | None -> ());
       if
         List.exists
           (fun mc -> Dgmc.Protocol.divergence net mc <> [])
           script.mcs
+        || not (Option.fold ~none:true ~some:Check.Monitor.ok monitor)
       then exit 1
   in
   Cmd.v
     (Cmd.info "script"
        ~doc:"Run a scenario file (see lib/workload/script.mli for the format).")
-    Term.(const run $ file_arg $ trace_arg $ dot_arg)
+    Term.(const run $ file_arg $ trace_arg $ dot_arg $ check_arg)
 
 (* ------------------------------------------------------------------ *)
 (* topo: inspect generated topologies *)

@@ -1,0 +1,304 @@
+module Int_set = Set.Make (Int)
+
+type payload = Mc of Dgmc.Mc_lsa.t | Link of Lsr.Lsdb.link_event
+
+type event =
+  | Join of { switch : int; mc : Dgmc.Mc_id.t; role : Dgmc.Member.role }
+  | Leave of { switch : int; mc : Dgmc.Mc_id.t }
+  | Link_down of int * int
+  | Link_up of int * int
+
+type action = Deliver of { dst : int; msg : int } | Complete of int
+
+type msg = {
+  origin : int;
+  payload : payload;
+  past : Int_set.t;
+      (* Ids the origin had delivered or flooded when this was flooded:
+         every one of them causally precedes this message at every
+         destination (triangle inequality of hop-by-hop flooding). *)
+  fp : string;
+}
+
+type t = {
+  n : int;
+  net_graph : Net.Graph.t;  (* ground truth *)
+  switches : Dgmc.Switch.t array;
+  engines : Sim.Engine.t array;
+  msgs : (int, msg) Hashtbl.t;
+  mutable next_id : int;
+  mutable pending : (int * int) list;  (* (dst, msg id), arrival order *)
+  known : Int_set.t array;
+      (* Per switch: causal context = delivered ids, their pasts, and own
+         floods.  Becomes the [past] of this switch's next flood. *)
+  mutable truth : (Dgmc.Mc_id.t * Dgmc.Member.t) list;
+}
+
+let payload_fp = function
+  | Mc l -> Fingerprint.mc_lsa l
+  | Link e -> Fingerprint.link_event e
+
+let flood t origin payload =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let m = { origin; payload; past = t.known.(origin); fp = payload_fp payload } in
+  Hashtbl.replace t.msgs id m;
+  t.known.(origin) <- Int_set.add id t.known.(origin);
+  let additions = ref [] in
+  for dst = t.n - 1 downto 0 do
+    if dst <> origin then additions := (dst, id) :: !additions
+  done;
+  t.pending <- t.pending @ !additions
+
+let create ~graph ~config () =
+  let graph = Net.Graph.copy graph in
+  let n = Net.Graph.n_nodes graph in
+  let engines = Array.init n (fun _ -> Sim.Engine.create ()) in
+  let switches =
+    Array.init n (fun id ->
+        Dgmc.Switch.create ~id ~n ~config ~engine:engines.(id) ~graph ())
+  in
+  let t =
+    {
+      n;
+      net_graph = graph;
+      switches;
+      engines;
+      msgs = Hashtbl.create 64;
+      next_id = 0;
+      pending = [];
+      known = Array.make n Int_set.empty;
+      truth = [];
+    }
+  in
+  Array.iteri
+    (fun i sw -> Dgmc.Switch.set_flood sw (fun lsa -> flood t i (Mc lsa)))
+    switches;
+  t
+
+let n_switches t = t.n
+let switches t = t.switches
+let graph t = t.net_graph
+let truth t = t.truth
+
+let truth_members t mc =
+  match List.find_opt (fun (m, _) -> Dgmc.Mc_id.equal m mc) t.truth with
+  | Some (_, m) -> m
+  | None -> Dgmc.Member.empty
+
+let set_truth t mc members =
+  t.truth <-
+    (mc, members)
+    :: List.filter (fun (m, _) -> not (Dgmc.Mc_id.equal m mc)) t.truth
+    |> List.sort (fun (a, _) (b, _) -> Dgmc.Mc_id.compare a b)
+
+let inject t ev =
+  match ev with
+  | Join { switch; mc; role } ->
+    set_truth t mc (Dgmc.Member.join (truth_members t mc) switch role);
+    Dgmc.Switch.host_join t.switches.(switch) mc role
+  | Leave { switch; mc } ->
+    set_truth t mc (Dgmc.Member.leave (truth_members t mc) switch);
+    Dgmc.Switch.host_leave t.switches.(switch) mc
+  | Link_down (u, v) | Link_up (u, v) ->
+    let up = match ev with Link_up _ -> true | _ -> false in
+    Net.Graph.set_link t.net_graph u v ~up;
+    let lo = min u v and hi = max u v in
+    let link_ev = { Lsr.Lsdb.u = lo; v = hi; up } in
+    (* Same order as Protocol.link_change: the higher endpoint detects
+       and floods first, then the lower one. *)
+    List.iter
+      (fun d ->
+        Dgmc.Switch.link_event t.switches.(d) ~u:lo ~v:hi ~up ~detector:true;
+        flood t d (Link link_ev))
+      [ hi; lo ]
+
+let pending_to t =
+  let arr = Array.make t.n Int_set.empty in
+  List.iter (fun (d, id) -> arr.(d) <- Int_set.add id arr.(d)) t.pending;
+  arr
+
+let msg_exn t id =
+  match Hashtbl.find_opt t.msgs id with
+  | Some m -> m
+  | None -> invalid_arg (Printf.sprintf "Harness: unknown message %d" id)
+
+let blocker_fps t ptol (m : msg) d =
+  Int_set.inter m.past ptol.(d)
+  |> Int_set.elements
+  |> List.map (fun id -> (msg_exn t id).fp)
+  |> List.sort compare
+
+(* Two enabled deliveries are interchangeable — lead to digest-identical
+   successors — when they target the same switch with the same payload
+   AND play the same role in everyone else's causal structure: same
+   membership in each switch's known set, same relation to every other
+   pending message.  Only then is it sound to expand just one. *)
+let delivery_signature t ptol (d, id) =
+  let m = msg_exn t id in
+  let ctx =
+    Array.to_list t.known
+    |> List.map (fun k -> if Int_set.mem id k then "1" else "0")
+    |> String.concat ""
+  in
+  let rel =
+    List.filter_map
+      (fun (d', id') ->
+        if d' = d && id' = id then None
+        else
+          let m' = msg_exn t id' in
+          let tag =
+            if id' = id then
+              "self:" ^ String.concat ";" (blocker_fps t ptol m d')
+            else if Int_set.mem id m'.past then "blocks"
+            else "-"
+          in
+          Some (Printf.sprintf "%d|%s|%s" d' m'.fp tag))
+      t.pending
+    |> List.sort compare
+  in
+  Printf.sprintf "%d|%s|%s|%s" d m.fp ctx (String.concat "&" rel)
+
+let enabled t =
+  let ptol = pending_to t in
+  let causally_free (d, id) =
+    Int_set.is_empty (Int_set.inter (msg_exn t id).past ptol.(d))
+  in
+  let seen = Hashtbl.create 16 in
+  let deliveries =
+    List.filter
+      (fun p ->
+        causally_free p
+        &&
+        let s = delivery_signature t ptol p in
+        if Hashtbl.mem seen s then false
+        else begin
+          Hashtbl.add seen s ();
+          true
+        end)
+      t.pending
+    |> List.map (fun (d, id) -> Deliver { dst = d; msg = id })
+  in
+  let completions =
+    List.init t.n (fun i -> i)
+    |> List.filter_map (fun i ->
+           if Sim.Engine.pending t.engines.(i) > 0 then Some (Complete i)
+           else None)
+  in
+  deliveries @ completions
+
+let remove_pending t dst id =
+  let rec go = function
+    | [] -> invalid_arg "Harness.apply: message not pending at destination"
+    | (d, i) :: rest when d = dst && i = id -> rest
+    | p :: rest -> p :: go rest
+  in
+  t.pending <- go t.pending
+
+let apply t action =
+  match action with
+  | Deliver { dst; msg } ->
+    let m = msg_exn t msg in
+    let ptol = pending_to t in
+    if not (Int_set.is_empty (Int_set.inter m.past ptol.(dst))) then
+      invalid_arg "Harness.apply: delivery not causally enabled";
+    remove_pending t dst msg;
+    t.known.(dst) <- Int_set.add msg (Int_set.union t.known.(dst) m.past);
+    (match m.payload with
+    | Mc lsa -> Dgmc.Switch.receive t.switches.(dst) lsa
+    | Link { u; v; up } ->
+      Dgmc.Switch.link_event t.switches.(dst) ~u ~v ~up ~detector:false)
+  | Complete i ->
+    if not (Sim.Engine.step t.engines.(i)) then
+      invalid_arg "Harness.apply: no computation pending at switch"
+
+(* Same selection rule as [enabled]'s head — first causally-free
+   delivery in pool order, else first switch with a pending computation
+   — but without the interchangeability signatures, which replay makes
+   hot: every explored edge re-runs the whole setup settle. *)
+let first_enabled t =
+  let ptol = pending_to t in
+  match
+    List.find_opt
+      (fun (d, id) ->
+        Int_set.is_empty (Int_set.inter (msg_exn t id).past ptol.(d)))
+      t.pending
+  with
+  | Some (d, id) -> Some (Deliver { dst = d; msg = id })
+  | None ->
+    let rec comp i =
+      if i >= t.n then None
+      else if Sim.Engine.pending t.engines.(i) > 0 then Some (Complete i)
+      else comp (i + 1)
+    in
+    comp 0
+
+let settle t =
+  let budget = ref 200_000 in
+  let rec loop () =
+    match first_enabled t with
+    | None -> ()
+    | Some a ->
+      decr budget;
+      if !budget <= 0 then invalid_arg "Harness.settle: no quiescence reached";
+      apply t a;
+      loop ()
+  in
+  loop ()
+
+let digest t =
+  let ptol = pending_to t in
+  let b = Buffer.create 2048 in
+  Array.iter
+    (fun sw ->
+      Fingerprint.add_switch b sw;
+      Buffer.add_char b '\n')
+    t.switches;
+  let pool =
+    List.map
+      (fun (d, id) ->
+        let m = msg_exn t id in
+        Printf.sprintf "%d|%s|[%s]" d m.fp
+          (String.concat ";" (blocker_fps t ptol m d)))
+      t.pending
+    |> List.sort compare
+  in
+  List.iter
+    (fun line ->
+      Buffer.add_string b line;
+      Buffer.add_char b '\n')
+    pool;
+  Array.iteri
+    (fun i k ->
+      let entries =
+        List.filter_map
+          (fun (d, id) ->
+            if Int_set.mem id k then
+              Some (Printf.sprintf "%d:%s" d (msg_exn t id).fp)
+            else None)
+          t.pending
+        |> List.sort compare
+      in
+      Buffer.add_string b (Printf.sprintf "k%d=[%s]\n" i (String.concat ";" entries)))
+    t.known;
+  List.iter
+    (fun (mc, m) ->
+      Buffer.add_string b (Fingerprint.mc_id mc);
+      Buffer.add_char b '=';
+      Buffer.add_string b (Fingerprint.members m);
+      Buffer.add_char b '\n')
+    t.truth;
+  Buffer.add_string b (Fingerprint.graph_links t.net_graph);
+  Digest.string (Buffer.contents b)
+
+let describe t action =
+  match action with
+  | Deliver { dst; msg } ->
+    let m = msg_exn t msg in
+    let pl =
+      match m.payload with
+      | Mc lsa -> Format.asprintf "%a" Dgmc.Mc_lsa.pp lsa
+      | Link e -> Format.asprintf "%a" Lsr.Lsdb.pp_link_event e
+    in
+    Printf.sprintf "deliver to switch %d (flooded by %d): %s" dst m.origin pl
+  | Complete i -> Printf.sprintf "complete topology computation at switch %d" i

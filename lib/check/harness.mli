@@ -1,0 +1,88 @@
+(** An explorer-controlled D-GMC network.
+
+    {!Dgmc.Protocol} delivers every flooded LSA in one fixed
+    (hop-latency-driven) order.  To model-check the protocol we instead
+    need to drive a network of {!Dgmc.Switch} instances through {e
+    chosen} delivery orders: the harness intercepts every flood into a
+    pending-message pool and exposes the enabled next steps as explicit
+    {!action}s.
+
+    {b Causal delivery.}  Arbitrary pool orderings would be too
+    permissive: under real hop-by-hop flooding an LSA flooded {e as a
+    consequence of} receiving another can never overtake its cause at a
+    third switch (the triangle inequality — the effect leaves its origin
+    strictly after the cause arrived there, and the cause was already in
+    flight everywhere).  Exploring acausal orderings would report
+    "violations" no execution can exhibit.  Each pooled message
+    therefore records its causal [past] — everything its origin had
+    delivered or flooded at flood time — and delivering [m] to [dst] is
+    enabled only once no message of [past m] is still pending towards
+    [dst].  Per-origin FIFO is the special case [own floods ∈ past].
+
+    {b Computations.}  Each switch gets a private {!Sim.Engine}, so the
+    {e completion order} of concurrent topology computations at
+    different switches is also explorer-chosen ({!Complete}), while
+    completions within one switch stay FIFO, as on real hardware.
+
+    Limitations (documented, deliberate): floods reach every switch
+    (no partitions — link up/down only changes images and triggers
+    [EventHandler]), and the link-up database resynchronisation
+    extension is not modelled. *)
+
+type payload = Mc of Dgmc.Mc_lsa.t | Link of Lsr.Lsdb.link_event
+
+type event =
+  | Join of { switch : int; mc : Dgmc.Mc_id.t; role : Dgmc.Member.role }
+  | Leave of { switch : int; mc : Dgmc.Mc_id.t }
+  | Link_down of int * int
+  | Link_up of int * int
+
+type action =
+  | Deliver of { dst : int; msg : int }
+      (** Deliver pooled message [msg] to switch [dst]. *)
+  | Complete of int  (** Finish the next pending computation at a switch. *)
+
+type t
+
+val create : graph:Net.Graph.t -> config:Dgmc.Config.t -> unit -> t
+(** Fresh network; [graph] is copied (the harness owns the ground
+    truth). *)
+
+val n_switches : t -> int
+
+val switches : t -> Dgmc.Switch.t array
+
+val graph : t -> Net.Graph.t
+(** Ground-truth topology (reflects injected link events). *)
+
+val truth : t -> (Dgmc.Mc_id.t * Dgmc.Member.t) list
+(** Ground-truth membership per MC, from injected joins/leaves. *)
+
+val inject : t -> event -> unit
+(** Apply a local event, mirroring {!Dgmc.Protocol}'s order for link
+    events (higher endpoint detects and floods first). *)
+
+val enabled : t -> action list
+(** Every causally-enabled next step, deterministically ordered, with
+    equivalent deliveries (same destination, same payload fingerprint,
+    same blocker set) deduplicated.  Empty iff the state is terminal. *)
+
+val apply : t -> action -> unit
+(** Execute one action.  Raises [Invalid_argument] if it is not
+    currently enabled ({!Deliver} of an absent message, {!Complete} with
+    nothing pending). *)
+
+val settle : t -> unit
+(** Drain deterministically: repeatedly apply the first enabled action.
+    Used to reach a converged starting state before a race is
+    injected. *)
+
+val digest : t -> string
+(** Canonical fingerprint of the full network state: every switch's
+    protocol state and image, the causally-relevant structure of the
+    pending pool, the ground truth.  Message identities are abstracted
+    (only payload content and blocking structure matter), so two
+    prefixes reaching semantically identical states collide. *)
+
+val describe : t -> action -> string
+(** Human-readable rendering for counterexample traces. *)

@@ -1,0 +1,40 @@
+(** Runtime invariant monitoring for full simulations.
+
+    The model checker ({!Explore}) proves small configurations
+    exhaustively; the monitor carries the same per-state laws
+    ({!Invariant.check_switch}) and the C-monotonicity transition law
+    into {e every} simulation run, at full scale, by sweeping all
+    switches on each protocol state change ({!Dgmc.Protocol.add_observer}).
+
+    Observer callbacks fire {e mid}-action, where [R <= E] does not yet
+    hold (see {!Invariant.check_switch}); the monitor therefore checks
+    the mid-action-safe laws synchronously on every change and schedules
+    a coalesced zero-delay engine event to apply the full catalogue at
+    the next action boundary.
+
+    Attach before the first event; violations accumulate (deduplicated,
+    capped) and are reported at the end — a monitor never interferes
+    with the run it watches. *)
+
+type t
+
+val attach : Dgmc.Protocol.t -> t
+(** Register on the protocol's observer hook and sweep once
+    immediately. *)
+
+val sweeps : t -> int
+(** Number of sweeps performed so far. *)
+
+val violations : t -> string list
+(** Distinct violations observed, in first-seen order (capped at 100). *)
+
+val ok : t -> bool
+
+val check_terminal : t -> unit
+(** After the run has quiesced, additionally apply the terminal laws
+    (agreement, ground truth, R=E) — see {!Invariant.check_terminal}.
+    Any failures join {!violations}. *)
+
+val assert_ok : t -> unit
+(** Raise [Failure] with a readable report unless {!ok}.  Intended for
+    tests: [let m = Monitor.attach net in ...run...; Monitor.assert_ok m]. *)

@@ -1,0 +1,297 @@
+type severity = Error | Warning
+
+type diagnostic = { line : int; severity : severity; message : string }
+
+(* Fully-resolved events for the semantic (timeline-replay) pass. *)
+type act =
+  | Join of { switch : int; mc : int }
+  | Leave of { switch : int; mc : int }
+  | Link of { u : int; v : int; up : bool }
+
+let tokens line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let opt_value opts key =
+  List.find_map
+    (fun tok ->
+      match String.index_opt tok '=' with
+      | Some i when String.sub tok 0 i = key ->
+        Some (String.sub tok (i + 1) (String.length tok - i - 1))
+      | _ -> None)
+    opts
+
+let lint text =
+  let diags = ref [] in
+  let emit severity line fmt =
+    Printf.ksprintf
+      (fun message -> diags := { line; severity; message } :: !diags)
+      fmt
+  in
+  let err line fmt = emit Error line fmt in
+  let warn line fmt = emit Warning line fmt in
+  let graph = ref None in
+  let graph_declared = ref false in
+  let config = ref Dgmc.Config.atm_lan in
+  let mcs = ref [] in (* (decl line, id) — in declaration order *)
+  let used = ref [] in (* mc ids referenced by some event *)
+  let events = ref [] in (* (line, time, rounds?, act) — file order *)
+  let parse_int line what s =
+    match int_of_string_opt s with
+    | Some v -> Some v
+    | None ->
+      err line "%s: expected an integer, got %S" what s;
+      None
+  in
+  (* Mirrors Workload.Script.check_opts, but reports every offender. *)
+  let check_opts line ~allowed opts =
+    List.iter
+      (fun tok ->
+        match String.index_opt tok '=' with
+        | None -> err line "unexpected token %S (options are key=value)" tok
+        | Some i ->
+          let key = String.sub tok 0 i in
+          if not (List.mem key allowed) then
+            err line "unknown option %S (allowed: %s)" key
+              (String.concat ", " allowed))
+      opts
+  in
+  let find_mc line opts =
+    match opt_value opts "mc" with
+    | None ->
+      err line "event needs mc=<id>";
+      None
+    | Some id_s -> (
+      match parse_int line "mc id" id_s with
+      | None -> None
+      | Some id ->
+        if not (List.exists (fun (_, i) -> i = id) !mcs) then begin
+          err line "mc %d not declared (use a 'mc %d <type>' line first)" id
+            id;
+          None
+        end
+        else begin
+          used := id :: !used;
+          Some id
+        end)
+  in
+  (* ---- pass 1: line-by-line structure ---- *)
+  List.iteri
+    (fun i raw ->
+      let line = i + 1 in
+      let body =
+        match String.index_opt raw '#' with
+        | Some j -> String.sub raw 0 j
+        | None -> raw
+      in
+      match tokens body with
+      | [] -> ()
+      | "graph" :: args ->
+        if !graph_declared then
+          warn line "duplicate 'graph' directive overrides the previous one";
+        graph_declared := true;
+        (match Workload.Script.graph_of_args ~line args with
+        | Ok g -> graph := Some g
+        | Error m ->
+          err line "%s" m;
+          (* the semantic pass is skipped: no graph to check against *)
+          graph := None)
+      | "config" :: args -> (
+        match args with
+        | [ "atm" ] -> config := Dgmc.Config.atm_lan
+        | [ "wan" ] -> config := Dgmc.Config.wan
+        | _ ->
+          err line "config: expected 'atm' or 'wan', got %S"
+            (String.concat " " args))
+      | [ "mc"; id; kind ] ->
+        (match parse_int line "mc id" id with
+        | None -> ()
+        | Some id ->
+          if List.exists (fun (_, i) -> i = id) !mcs then
+            err line "mc %d declared twice" id
+          else mcs := !mcs @ [ (line, id) ]);
+        if not (List.mem kind [ "symmetric"; "receiver-only"; "asymmetric" ])
+        then err line "unknown MC type %S" kind
+      | "mc" :: _ -> err line "mc: expected 'mc <id> <type>'"
+      | "at" :: time :: action ->
+        let time =
+          let rounds =
+            String.length time > 1 && time.[String.length time - 1] = 'r'
+          in
+          let body =
+            if rounds then String.sub time 0 (String.length time - 1)
+            else time
+          in
+          match float_of_string_opt body with
+          | Some v when v >= 0.0 -> Some (v, rounds)
+          | Some _ ->
+            err line "time must be non-negative";
+            None
+          | None ->
+            err line "bad time literal %S" time;
+            None
+        in
+        let act =
+          match action with
+          | "join" :: sw :: opts ->
+            check_opts line ~allowed:[ "mc"; "role" ] opts;
+            (match opt_value opts "role" with
+            | Some r when not (List.mem r [ "sender"; "receiver"; "both" ])
+              ->
+              err line "unknown role %S" r
+            | _ -> ());
+            let sw = parse_int line "switch" sw in
+            let mc = find_mc line opts in
+            (match (sw, mc) with
+            | Some switch, Some mc -> Some (Join { switch; mc })
+            | _ -> None)
+          | "leave" :: sw :: opts -> (
+            check_opts line ~allowed:[ "mc" ] opts;
+            let sw = parse_int line "switch" sw in
+            let mc = find_mc line opts in
+            match (sw, mc) with
+            | Some switch, Some mc -> Some (Leave { switch; mc })
+            | _ -> None)
+          | [ ("linkdown" | "linkup") ] | [ ("linkdown" | "linkup"); _ ] ->
+            err line "%s: expected two switch ids" (List.hd action);
+            None
+          | [ ("linkdown" | "linkup") as verb; u; v ] -> (
+            match (parse_int line "u" u, parse_int line "v" v) with
+            | Some u, Some v ->
+              Some (Link { u; v; up = verb = "linkup" })
+            | _ -> None)
+          | verb :: _ ->
+            err line "unknown event %S" verb;
+            None
+          | [] ->
+            err line "at: missing event";
+            None
+        in
+        (match (time, act) with
+        | Some (v, rounds), Some act ->
+          events := !events @ [ (line, v, rounds, act) ]
+        | _ -> ())
+      | [ "at" ] -> err line "at: missing time and event"
+      | verb :: _ -> err line "unknown directive %S" verb)
+    (String.split_on_char '\n' text);
+  (* ---- pass 2: semantics over the resolved timeline ---- *)
+  (match !graph with
+  | None -> if not !graph_declared then err 0 "missing 'graph' directive"
+  | Some g ->
+    let n = Net.Graph.n_nodes g in
+    let round = Dgmc.Config.round_length !config ~graph:g in
+    let resolved =
+      List.filter_map
+        (fun (line, v, rounds, act) ->
+          let time = if rounds then v *. round else v in
+          let ok =
+            match act with
+            | Join { switch; _ } | Leave { switch; _ } ->
+              if switch < 0 || switch >= n then begin
+                err line "switch %d out of range (graph has %d switches)"
+                  switch n;
+                false
+              end
+              else true
+            | Link { u; v; _ } ->
+              if not (Net.Graph.has_edge g u v) then begin
+                err line "no link (%d, %d) in the graph" u v;
+                false
+              end
+              else true
+          in
+          if ok then Some (line, time, act) else None)
+        !events
+    in
+    (* Monotone file order: later lines should not move back in time. *)
+    ignore
+      (List.fold_left
+         (fun prev (line, time, _) ->
+           (match prev with
+           | Some (pline, ptime) when time < ptime ->
+             warn line
+               "event time moves backwards (earlier than line %d); events \
+                still run in time order"
+               pline
+           | _ -> ());
+           Some (line, time))
+         None resolved);
+    (* Exact duplicates. *)
+    let rec dup_scan = function
+      | [] -> []
+      | (line, time, act) :: rest ->
+        (match
+           List.find_opt (fun (_, t, a) -> t = time && a = act) rest
+         with
+        | Some (line', _, _) ->
+          err line' "duplicate event (same time and action as line %d)" line
+        | None -> ());
+        dup_scan rest
+    in
+    ignore (dup_scan resolved);
+    (* Replay membership and link state in event-time order (stable on
+       ties, matching Workload.Events.sort). *)
+    let timeline =
+      List.stable_sort
+        (fun (_, t1, _) (_, t2, _) -> compare t1 t2)
+        resolved
+    in
+    let member = Hashtbl.create 16 in (* (mc, switch) -> () *)
+    let link_down = Hashtbl.create 16 in (* (u, v) with u < v *)
+    List.iter
+      (fun (line, _, act) ->
+        match act with
+        | Join { switch; mc } -> Hashtbl.replace member (mc, switch) ()
+        | Leave { switch; mc } ->
+          if not (Hashtbl.mem member (mc, switch)) then
+            err line
+              "leave without a preceding join (switch %d is not a member \
+               of mc %d at this time)"
+              switch mc
+          else Hashtbl.remove member (mc, switch)
+        | Link { u; v; up } ->
+          let key = (min u v, max u v) in
+          let down = Hashtbl.mem link_down key in
+          if up && not down then
+            warn line "link (%d, %d) is already up" u v
+          else if (not up) && down then
+            warn line "link (%d, %d) is already down" u v;
+          if up then Hashtbl.remove link_down key
+          else Hashtbl.replace link_down key ())
+      timeline);
+  List.iter
+    (fun (line, id) ->
+      if not (List.mem id !used) then
+        warn line "mc %d declared but never used by any event" id)
+    !mcs;
+  List.stable_sort
+    (fun a b -> compare a.line b.line)
+    (List.rev !diags)
+
+let lint_file path =
+  match open_in path with
+  | exception Sys_error e -> Stdlib.Error e
+  | ic ->
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    Stdlib.Ok (lint text)
+
+let errors diags =
+  List.length (List.filter (fun d -> d.severity = Error) diags)
+
+let warnings diags =
+  List.length (List.filter (fun d -> d.severity = Warning) diags)
+
+let render ?file d =
+  let prefix =
+    match (file, d.line) with
+    | Some f, 0 -> f ^ ": "
+    | Some f, l -> Printf.sprintf "%s:%d: " f l
+    | None, 0 -> ""
+    | None, l -> Printf.sprintf "line %d: " l
+  in
+  Printf.sprintf "%s%s: %s" prefix
+    (match d.severity with Error -> "error" | Warning -> "warning")
+    d.message

@@ -1,0 +1,44 @@
+(** Static analysis of [.dgmc] scenario scripts.
+
+    {!Workload.Script.parse} stops at the first malformed directive; the
+    linter instead analyses a whole file without running it, collects
+    {e every} problem, and adds semantic checks the parser cannot make
+    (it replays membership and link state over the event timeline):
+
+    {b Errors} (the scenario is wrong and {!Workload.Script} would
+    either reject it or simulate something unintended):
+    - unknown directives, events, options, or stray non-[key=value]
+      tokens;
+    - malformed integer, time, role, MC-type or graph arguments;
+    - a missing [graph] directive;
+    - an MC id used before (or without) its [mc] declaration, or
+      declared twice;
+    - a [join]/[leave] switch id outside the graph's node range;
+    - [linkdown]/[linkup] on a link the graph does not have;
+    - a [leave] with no preceding [join] for that switch and MC;
+    - two events identical in resolved time and action.
+
+    {b Warnings} (legal but suspicious):
+    - event times that go backwards in file order;
+    - [linkdown] on an already-down link / [linkup] on an already-up
+      link at that point of the timeline;
+    - an MC declared but never used by any event;
+    - duplicate [graph]/[config] directives (the later one wins). *)
+
+type severity = Error | Warning
+
+type diagnostic = { line : int; severity : severity; message : string }
+(** [line] is 1-based; [0] means the file as a whole. *)
+
+val lint : string -> diagnostic list
+(** Analyse script text; diagnostics sorted by line. *)
+
+val lint_file : string -> (diagnostic list, string) result
+(** [Error] is an I/O failure (unreadable file), not a lint finding. *)
+
+val errors : diagnostic list -> int
+
+val warnings : diagnostic list -> int
+
+val render : ?file:string -> diagnostic -> string
+(** ["file:line: error: message"] — the conventional compiler format. *)

@@ -7,6 +7,8 @@ type t = {
   steiner : steiner;
   incremental : bool;
   drift_threshold : float;
+  withdraw_stale_proposals : bool;
+  flag_stale_senders : bool;
 }
 
 let atm_lan =
@@ -17,6 +19,8 @@ let atm_lan =
     steiner = Sph;
     incremental = true;
     drift_threshold = 1.5;
+    withdraw_stale_proposals = true;
+    flag_stale_senders = true;
   }
 
 let wan = { atm_lan with tc = 100e-6; t_hop = 5e-3 }

@@ -22,6 +22,28 @@ type t = {
       (** Incrementally maintained trees are recomputed from scratch
           when their cost exceeds this multiple of a fresh heuristic
           tree's cost (§3.5's "deviates significantly"). *)
+  withdraw_stale_proposals : bool;
+      (** Fault-injection knob, [true] in every preset.  When [false],
+          [EventHandler] skips the paper's stale-proposal withdrawal
+          (Figure 4 lines 11-13) and floods/installs a proposal even
+          when [R] advanced during its computation.  The {!module:Check}
+          model checker exhaustively verified that on small
+          configurations this fault {e self-heals}: acceptance is gated
+          on [stamp >= E], so stale proposals are rejected wherever they
+          could mislead, and their stale stamps set the receiver's
+          recompute flag.  Never disable it in a real run — it exists
+          for that experiment (and skipping it still wastes floods). *)
+  flag_stale_senders : bool;
+      (** Fault-injection knob, [true] in every preset.  When [false],
+          [ReceiveLSA] skips the step that arms [make_proposal_flag]
+          upon receiving an LSA whose sender provably did not know this
+          switch's local events (Figure 5: the received stamp is behind
+          the receiver's own event count).  That step is what guarantees
+          someone recomputes after concurrent events collide, so
+          disabling it lets two concurrent joins settle into permanent
+          topology disagreement — the {!module:Check} model checker
+          catches it with a minimal counterexample.  Never disable it in
+          a real run. *)
 }
 
 val default : t

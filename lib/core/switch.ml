@@ -198,7 +198,13 @@ and event_completion t mc (st : Mc_state.t) (comp : Mc_state.computation) =
   remove_computation st comp;
   if state_current t mc st then begin
     t.stats.computations <- t.stats.computations + 1;
-    if Timestamp.equal comp.old_r st.r then begin
+    if
+      Timestamp.equal comp.old_r st.r
+      (* Fault injection (Config.withdraw_stale_proposals = false): treat
+         a stale result as valid — the protocol bug the model checker
+         exists to catch. *)
+      || not t.config.Config.withdraw_stale_proposals
+    then begin
       (* Line 7-10: proposal still valid — flood it and adopt it.  The
          member snapshot corresponds to [old_r] (= R, no events arrived
          during the computation). *)
@@ -300,8 +306,14 @@ let process_lsa t (st : Mc_state.t) (lsa : Mc_lsa.t) candidate =
     if replaces then candidate := Some (tree, lsa.stamp);
     st.flag <- false
   | Some _ | None ->
-    if Timestamp.get st.r t.id > Timestamp.get lsa.stamp t.id then
-      st.flag <- true
+    (* The sender's stamp is behind our own event count: it computed (or
+       refrained) without knowing our events, so we owe the network a
+       proposal.  (Config.flag_stale_senders = false suppresses this —
+       the fault the model checker demonstrates against.) *)
+    if
+      t.config.Config.flag_stale_senders
+      && Timestamp.get st.r t.id > Timestamp.get lsa.stamp t.id
+    then st.flag <- true
 
 let rec run_invocation t mc (st : Mc_state.t) =
   (* Lines 1-2: candidate proposal local to this invocation. *)
@@ -384,6 +396,10 @@ let resync t ~peer =
       let learned = not (Timestamp.equal merged_r st.r) in
       st.e <- Timestamp.merge st.e pst.e;
       if learned then begin
+        (* Merge R before adopting the peer's membership cursors: each
+           cursor is covered by the peer's R, so observers fired from the
+           loop below never see a cursor ahead of R. *)
+        st.r <- merged_r;
         (* Adopt the peer's per-source membership knowledge where it is
            newer; its member entry for source [s] reflects all of [s]'s
            events up to pst.membership_seen.(s). *)
@@ -397,7 +413,6 @@ let resync t ~peer =
               t.on_change ()
             end)
           pst.membership_seen;
-        st.r <- merged_r;
         (* Adopt the peer's installed topology when based on newer state
            (same acceptance rule as for received proposals). *)
         if
@@ -478,3 +493,39 @@ let quiescent t mc =
     Queue.is_empty st.mailbox
     && st.event_computations = []
     && st.triggered = None
+
+type mc_snapshot = {
+  snap_mc : Mc_id.t;
+  snap_r : Timestamp.t;
+  snap_e : Timestamp.t;
+  snap_c : Timestamp.t;
+  snap_flag : bool;
+  snap_members : Member.t;
+  snap_topology : Mctree.Tree.t;
+  snap_membership_seen : int array;
+  snap_mailbox : Mc_lsa.t list;
+  snap_computations : Timestamp.t list;
+  snap_triggered : Timestamp.t option;
+}
+
+let snapshots t =
+  Mc_table.fold
+    (fun mc (st : Mc_state.t) acc ->
+      {
+        snap_mc = mc;
+        snap_r = st.r;
+        snap_e = st.e;
+        snap_c = st.c;
+        snap_flag = st.flag;
+        snap_members = st.members;
+        snap_topology = st.topology;
+        snap_membership_seen = Array.copy st.membership_seen;
+        snap_mailbox = List.of_seq (Queue.to_seq st.mailbox);
+        snap_computations =
+          List.map (fun (c : Mc_state.computation) -> c.old_r) st.event_computations;
+        snap_triggered =
+          Option.map (fun (c : Mc_state.computation) -> c.old_r) st.triggered;
+      }
+      :: acc)
+    t.mcs []
+  |> List.sort (fun a b -> Mc_id.compare a.snap_mc b.snap_mc)

@@ -98,3 +98,29 @@ val stamps : t -> Mc_id.t -> (Timestamp.t * Timestamp.t * Timestamp.t) option
 val quiescent : t -> Mc_id.t -> bool
 (** No pending computations and an empty mailbox for the MC (vacuously
     true when no state exists). *)
+
+type mc_snapshot = {
+  snap_mc : Mc_id.t;
+  snap_r : Timestamp.t;
+  snap_e : Timestamp.t;
+  snap_c : Timestamp.t;
+  snap_flag : bool;  (** The paper's [make_proposal_flag]. *)
+  snap_members : Member.t;
+  snap_topology : Mctree.Tree.t;
+  snap_membership_seen : int array;
+      (** Per-source index of the newest membership event applied. *)
+  snap_mailbox : Mc_lsa.t list;  (** Queued LSAs, arrival order. *)
+  snap_computations : Timestamp.t list;
+      (** [old_R] of each in-flight [EventHandler] computation, start order. *)
+  snap_triggered : Timestamp.t option;
+      (** [old_R] of the in-flight [ReceiveLSA]-triggered computation. *)
+}
+(** A faithful copy of one MC's complete protocol state at this switch —
+    everything [EventHandler]/[ReceiveLSA] read or write.  The {!module:
+    Check} analyses consume these: the invariant catalogue checks the
+    timestamp lattice laws on them, and the model checker derives its
+    state-hash from them. *)
+
+val snapshots : t -> mc_snapshot list
+(** One snapshot per MC this switch holds state for, sorted by MC id.
+    Immutable copies throughout; holding one does not alias live state. *)

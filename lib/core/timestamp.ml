@@ -37,9 +37,9 @@ let merge a b =
 
 let geq a b =
   check_sizes a b;
-  let ok = ref true in
-  Array.iteri (fun i ai -> if ai < b.(i) then ok := false) a;
-  !ok
+  let n = Array.length a in
+  let rec go i = i >= n || (a.(i) >= b.(i) && go (i + 1)) in
+  go 0
 
 let equal a b =
   check_sizes a b;
@@ -53,6 +53,17 @@ let order a b =
   | true, false -> `Gt
   | false, true -> `Lt
   | false, false -> `Concurrent
+
+let compare_total a b =
+  check_sizes a b;
+  let n = Array.length a in
+  let rec go i =
+    if i >= n then 0
+    else
+      let c = Int.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
 
 let sum t = Array.fold_left ( + ) 0 t
 

@@ -44,6 +44,12 @@ val equal : t -> t -> bool
 val order : t -> t -> [ `Eq | `Lt | `Gt | `Concurrent ]
 (** Full classification under the partial order. *)
 
+val compare_total : t -> t -> int
+(** Lexicographic comparison — an arbitrary {e total} order extending
+    [equal], for use as a deterministic tie-breaker (e.g. canonical state
+    hashing in the model checker).  Unrelated to the causal partial
+    order: concurrent stamps still compare unequal, consistently. *)
+
 val sum : t -> int
 (** Total number of events counted — handy in tests and traces. *)
 

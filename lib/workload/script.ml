@@ -24,6 +24,21 @@ let opt_value opts key =
       | _ -> None)
     opts
 
+(* Every trailing token must be a known key=value option; a typo like
+   [role sender] or [mc=1x] surfacing as a silently-defaulted run is far
+   worse than a parse error. *)
+let check_opts lineno ~allowed opts =
+  List.iter
+    (fun tok ->
+      match String.index_opt tok '=' with
+      | None -> fail lineno "unexpected token %S (options are key=value)" tok
+      | Some i ->
+        let key = String.sub tok 0 i in
+        if not (List.mem key allowed) then
+          fail lineno "unknown option %S (allowed: %s)" key
+            (String.concat ", " allowed))
+    opts
+
 let parse_int lineno what s =
   match int_of_string_opt s with
   | Some v -> v
@@ -34,6 +49,7 @@ let parse_graph lineno args =
   match args with
   | [ "waxman"; n ] -> Net.Topo_gen.waxman (Sim.Rng.create 1) ~n:(num n) ~target_degree:3.5 ()
   | "waxman" :: n :: opts ->
+    check_opts lineno ~allowed:[ "seed" ] opts;
     let seed =
       match opt_value opts "seed" with
       | Some s -> parse_int lineno "seed" s
@@ -88,6 +104,11 @@ let find_mc lineno mcs opts =
     | Some m -> m
     | None -> fail lineno "mc %d not declared (use a 'mc %d <type>' line first)" id id)
 
+let graph_of_args ~line args =
+  match parse_graph line args with
+  | g -> Ok g
+  | exception Parse_error (_, m) -> Error m
+
 let parse text =
   try
     let graph = ref None in
@@ -117,6 +138,7 @@ let parse text =
           let act =
             match action with
             | "join" :: sw :: opts ->
+              check_opts lineno ~allowed:[ "mc"; "role" ] opts;
               let sw = parse_int lineno "switch" sw in
               let mc = find_mc lineno !mcs opts in
               let role =
@@ -126,6 +148,7 @@ let parse text =
               in
               Events.Join { switch = sw; mc; role }
             | "leave" :: sw :: opts ->
+              check_opts lineno ~allowed:[ "mc" ] opts;
               Events.Leave
                 {
                   switch = parse_int lineno "switch" sw;
@@ -147,28 +170,28 @@ let parse text =
       | None -> raise (Parse_error (0, "missing 'graph' directive"))
     in
     let config = !config in
+    (* Validate event targets against the graph, reporting the offending
+       line. *)
+    let n = Net.Graph.n_nodes graph in
+    List.iter
+      (fun (lineno, _, action) ->
+        match action with
+        | Events.Join { switch; _ } | Events.Leave { switch; _ } ->
+          if switch < 0 || switch >= n then
+            fail lineno "switch %d out of range (graph has %d switches)" switch n
+        | Events.Link_down (u, v) | Events.Link_up (u, v) ->
+          if not (Net.Graph.has_edge graph u v) then
+            fail lineno "no link (%d, %d) in the graph" u v)
+      !events;
     let round = Dgmc.Config.round_length config ~graph in
     let events =
       List.rev_map
-        (fun (lineno, (v, rounds), action) ->
+        (fun (_, (v, rounds), action) ->
           let time = if rounds then v *. round else v in
-          ignore lineno;
           { Events.time; action })
         !events
       |> Events.sort
     in
-    (* Validate event targets against the graph. *)
-    let n = Net.Graph.n_nodes graph in
-    List.iter
-      (fun (e : Events.t) ->
-        match e.action with
-        | Events.Join { switch; _ } | Events.Leave { switch; _ } ->
-          if switch < 0 || switch >= n then
-            raise (Parse_error (0, Printf.sprintf "switch %d out of range" switch))
-        | Events.Link_down (u, v) | Events.Link_up (u, v) ->
-          if not (Net.Graph.has_edge graph u v) then
-            raise (Parse_error (0, Printf.sprintf "no link (%d, %d)" u v)))
-      events;
     Ok { graph; config; mcs = List.rev !mcs; events }
   with Parse_error (line, msg) ->
     Error (if line = 0 then msg else Printf.sprintf "line %d: %s" line msg)
@@ -182,8 +205,12 @@ let load path =
     close_in ic;
     parse text
 
-let run ?trace t =
+let build ?trace t =
   let net = Dgmc.Protocol.create ~graph:t.graph ~config:t.config ?trace () in
   Events.apply_dgmc net t.events;
+  net
+
+let run ?trace t =
+  let net = build ?trace t in
   Dgmc.Protocol.run net;
   net

@@ -35,8 +35,18 @@ val parse : string -> (t, string) result
 (** Parse a script from its text.  The error carries the line number and
     a description. *)
 
+val graph_of_args : line:int -> string list -> (Net.Graph.t, string) result
+(** Build the graph a [graph] directive's arguments denote (e.g.
+    [["ring"; "6"]]).  Shared with the scenario linter ([Check.
+    Scenario_lint]) so linting and running agree on the network. *)
+
 val load : string -> (t, string) result
 (** Read and parse a file. *)
+
+val build : ?trace:Sim.Trace.t -> t -> Dgmc.Protocol.t
+(** Create the protocol instance and schedule every event {e without}
+    running — so callers can attach observers (e.g. [Check.Monitor])
+    before the first transition, then [Dgmc.Protocol.run] it. *)
 
 val run : ?trace:Sim.Trace.t -> t -> Dgmc.Protocol.t
 (** Build the protocol instance, schedule every event, and run to

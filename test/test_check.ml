@@ -1,0 +1,217 @@
+(* The D-GMC checker suite: model checker, runtime monitor, linter.
+
+   The exploration tests are the heart: they drive real Switch.t
+   instances through EVERY causally-possible LSA delivery order of a
+   race and check the invariant catalogue at each state — a much
+   stronger guarantee than the single schedule a simulation run picks.
+   The broken-variant test proves the checker has teeth: disabling
+   stale-proposal withdrawal (the paper's central mechanism) must
+   produce a counterexample. *)
+
+let mc1 = Dgmc.Mc_id.make Symmetric 1
+
+let join switch = Check.Harness.Join { switch; mc = mc1; role = Dgmc.Member.Both }
+
+let base_scenario ?(config = Dgmc.Config.atm_lan) ~setup ~race () =
+  { Check.Explore.graph = Net.Topo_gen.ring 4; config; setup; race }
+
+(* --- exhaustive exploration of the correct protocol --- *)
+
+let test_two_concurrent_joins () =
+  let scenario = base_scenario ~setup:[] ~race:[ join 0; join 2 ] () in
+  let o = Check.Explore.run scenario in
+  Format.printf "two-joins: %a@." Check.Explore.pp_outcome o;
+  (match o.violation with
+  | Some v ->
+    Alcotest.failf "unexpected violation: %s\ntrace:\n%s" v.message
+      (String.concat "\n" v.trace)
+  | None -> ());
+  Alcotest.(check bool) "exploration complete" true o.complete;
+  Alcotest.(check bool) "reached terminal states" true (o.terminals > 0);
+  Alcotest.(check bool) "exploration covers many interleavings" true
+    (o.states > 10)
+
+let test_join_vs_link_failure () =
+  (* Settle two members first, find a link their agreed tree uses, then
+     race a third join against that link's failure. *)
+  let graph = Net.Topo_gen.ring 4 in
+  let probe =
+    Check.Harness.create ~graph ~config:Dgmc.Config.atm_lan ()
+  in
+  Check.Harness.inject probe (join 0);
+  Check.Harness.inject probe (join 2);
+  Check.Harness.settle probe;
+  let tree =
+    match Dgmc.Switch.topology (Check.Harness.switches probe).(0) mc1 with
+    | Some t -> t
+    | None -> Alcotest.fail "no settled topology to fail a link of"
+  in
+  let u, v =
+    match Mctree.Tree.edges tree with
+    | e :: _ -> e
+    | [] -> Alcotest.fail "settled topology has no edges"
+  in
+  let scenario =
+    base_scenario
+      ~setup:[ join 0; join 2 ]
+      ~race:[ join 1; Check.Harness.Link_down (u, v) ]
+      ()
+  in
+  let o = Check.Explore.run scenario in
+  Format.printf "join-vs-linkdown (%d,%d): %a@." u v Check.Explore.pp_outcome o;
+  (match o.violation with
+  | Some v ->
+    Alcotest.failf "unexpected violation: %s\ntrace:\n%s" v.message
+      (String.concat "\n" v.trace)
+  | None -> ());
+  Alcotest.(check bool) "exploration complete" true o.complete;
+  Alcotest.(check bool) "reached terminal states" true (o.terminals > 0)
+
+(* --- the checker catches a broken protocol variant --- *)
+
+let test_broken_variant_caught () =
+  (* Disable Figure 5's flag-on-stale-stamp step: when concurrent events
+     collide, no switch any longer realises its proposal was computed in
+     ignorance, so the network settles into permanent disagreement. *)
+  let config = { Dgmc.Config.atm_lan with flag_stale_senders = false } in
+  let o =
+    Check.Explore.run (base_scenario ~config ~setup:[] ~race:[ join 0; join 2 ] ())
+  in
+  match o.violation with
+  | None ->
+    Alcotest.fail
+      "disabling the stale-sender recompute flag was not caught by the checker"
+  | Some v ->
+    (* The acceptance criterion: a minimal counterexample, printed. *)
+    Format.printf
+      "broken variant caught (no recompute flag on stale senders):@.%s@.\
+       minimal trace (%d steps):@."
+      v.message (List.length v.trace);
+    List.iteri (fun i d -> Format.printf "  %2d. %s@." (i + 1) d) v.trace;
+    Alcotest.(check bool) "counterexample has a trace" true (v.trace <> [])
+
+let test_no_withdrawal_self_heals () =
+  (* The other fault knob: skipping Figure 4's stale-proposal withdrawal
+     floods proposals whose basis is already outdated.  The exhaustive
+     search proves this implementation ABSORBS that fault on this
+     configuration: acceptance is gated on [stamp >= E], so a stale
+     proposal is rejected wherever it could mislead, and its stale stamp
+     arms the receiver's recompute flag.  A genuinely useful
+     model-checking result — and the reason the checker must also carry
+     a variant it does catch (above). *)
+  let config =
+    { Dgmc.Config.atm_lan with withdraw_stale_proposals = false }
+  in
+  let o =
+    Check.Explore.run (base_scenario ~config ~setup:[] ~race:[ join 0; join 2 ] ())
+  in
+  Format.printf "no-withdrawal (2 joins): %a@." Check.Explore.pp_outcome o;
+  (match o.violation with
+  | Some v ->
+    Alcotest.failf
+      "expected self-healing, got: %s\ntrace:\n%s" v.message
+      (String.concat "\n" v.trace)
+  | None -> ());
+  Alcotest.(check bool) "exploration complete" true o.complete
+
+(* --- runtime monitor on a full protocol run --- *)
+
+let test_monitor_clean_run () =
+  let graph = Net.Topo_gen.ring 6 in
+  let net =
+    Dgmc.Protocol.create ~graph ~config:Dgmc.Config.atm_lan ()
+  in
+  let m = Check.Monitor.attach net in
+  Dgmc.Protocol.schedule_join net ~at:0.0 ~switch:0 mc1 Dgmc.Member.Both;
+  Dgmc.Protocol.schedule_join net ~at:0.0 ~switch:3 mc1 Dgmc.Member.Both;
+  Dgmc.Protocol.schedule_leave net ~at:5.0 ~switch:0 mc1;
+  Dgmc.Protocol.run net;
+  Check.Monitor.check_terminal m;
+  Alcotest.(check bool) "monitor swept" true (Check.Monitor.sweeps m > 0);
+  Check.Monitor.assert_ok m
+
+(* --- linter unit tests --- *)
+
+let lint_lines text =
+  List.map
+    (fun (d : Check.Scenario_lint.diagnostic) ->
+      (d.line, d.severity = Check.Scenario_lint.Error))
+    (Check.Scenario_lint.lint text)
+
+let test_lint_clean () =
+  let text =
+    "graph ring 6\nconfig atm\nmc 1 symmetric\nat 0 join 0 mc=1\n\
+     at 1r leave 0 mc=1\n"
+  in
+  Alcotest.(check (list (pair int bool))) "no diagnostics" [] (lint_lines text)
+
+let test_lint_catches_errors () =
+  let text =
+    String.concat "\n"
+      [
+        "graph ring 4";
+        "mc 1 symmetric";
+        "mc 1 symmetric";  (* 3: duplicate mc *)
+        "at 0 join 9 mc=1";  (* 4: switch out of range *)
+        "at 1 join 0 mc=7";  (* 5: undeclared mc *)
+        "at 2 leave 2 mc=1";  (* 6: leave without join *)
+        "at 3 linkdown 0 2";  (* 7: no such link on a ring *)
+        "at 4 join 1 role=captain mc=1";  (* 8: bad role *)
+        "at -1 join 1 mc=1";  (* 9: negative time *)
+        "at 5 join 1 banana mc=1";  (* 10: stray token *)
+      ]
+  in
+  let lines =
+    List.filter_map (fun (l, is_err) -> if is_err then Some l else None)
+      (lint_lines text)
+  in
+  Alcotest.(check (list int)) "one error per broken line"
+    [ 3; 4; 5; 6; 7; 8; 9; 10 ]
+    (List.sort_uniq compare lines)
+
+let test_lint_warnings () =
+  let text =
+    String.concat "\n"
+      [
+        "graph ring 4";
+        "mc 1 symmetric";
+        "mc 2 symmetric";  (* unused -> warning *)
+        "at 2 join 0 mc=1";
+        "at 1 join 1 mc=1";  (* time moves backwards -> warning *)
+        "at 3 linkup 0 1";  (* already up -> warning *)
+      ]
+  in
+  let diags = Check.Scenario_lint.lint text in
+  Alcotest.(check int) "no errors" 0 (Check.Scenario_lint.errors diags);
+  Alcotest.(check int) "three warnings" 3 (Check.Scenario_lint.warnings diags)
+
+let test_lint_missing_graph () =
+  let diags = Check.Scenario_lint.lint "config atm\nmc 1 symmetric\n" in
+  Alcotest.(check bool) "missing graph is an error" true
+    (Check.Scenario_lint.errors diags > 0)
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "explore",
+        [
+          Alcotest.test_case "two concurrent joins: exhaustive, no violations"
+            `Slow test_two_concurrent_joins;
+          Alcotest.test_case "join vs link failure: exhaustive, no violations"
+            `Slow test_join_vs_link_failure;
+          Alcotest.test_case "broken variant (no stale-sender flag) is caught"
+            `Quick test_broken_variant_caught;
+          Alcotest.test_case "no-withdrawal variant provably self-heals" `Slow
+            test_no_withdrawal_self_heals;
+        ] );
+      ( "monitor",
+        [ Alcotest.test_case "clean lifecycle run" `Quick test_monitor_clean_run ] );
+      ( "lint",
+        [
+          Alcotest.test_case "clean scenario" `Quick test_lint_clean;
+          Alcotest.test_case "errors with line numbers" `Quick
+            test_lint_catches_errors;
+          Alcotest.test_case "warnings" `Quick test_lint_warnings;
+          Alcotest.test_case "missing graph" `Quick test_lint_missing_graph;
+        ] );
+    ]

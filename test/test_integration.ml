@@ -16,6 +16,7 @@ let assert_converged name net =
 let lifecycle_phases config seed n () =
   let graph = Experiments.Harness.graph_for ~seed ~n in
   let net = Dgmc.Protocol.create ~graph ~config () in
+  let monitor = Check.Monitor.attach net in
   let rng = Sim.Rng.create (seed * 31) in
   let window =
     Float.max config.Dgmc.Config.tc
@@ -74,7 +75,11 @@ let lifecycle_phases config seed n () =
   for i = 0 to n - 1 do
     if Dgmc.Switch.members (Dgmc.Protocol.switch net i) mc <> None then
       Alcotest.failf "zombie state at switch %d" i
-  done
+  done;
+  (* The runtime monitor swept the invariant catalogue on every state
+     change across all four phases. *)
+  Check.Monitor.check_terminal monitor;
+  Check.Monitor.assert_ok monitor
 
 (* ------------------------------------------------------------------ *)
 (* Harness runs *)

@@ -1,6 +1,7 @@
 (* Corpus test: every scenario script shipped in scenarios/ must parse,
-   run to quiescence, and leave every declared MC in network-wide
-   agreement.  (The dune rule passes the directory as a dependency.) *)
+   lint clean, run to quiescence under the runtime invariant monitor,
+   and leave every declared MC in network-wide agreement.  (The dune
+   rule passes the directory as a dependency.) *)
 
 (* dune runtest executes in _build/default/test; `dune exec` from the
    project root.  Accept both. *)
@@ -14,10 +15,21 @@ let scenario_files () =
 
 let run_scenario file () =
   let path = Filename.concat scenario_dir file in
+  (match Check.Scenario_lint.lint_file path with
+  | Stdlib.Error msg -> Alcotest.failf "%s: %s" file msg
+  | Stdlib.Ok diags ->
+    if Check.Scenario_lint.errors diags > 0 then
+      Alcotest.failf "%s: lint errors:\n%s" file
+        (String.concat "\n"
+           (List.map (Check.Scenario_lint.render ~file) diags)));
   match Workload.Script.load path with
   | Error msg -> Alcotest.failf "%s: parse error: %s" file msg
   | Ok script ->
-    let net = Workload.Script.run script in
+    let net = Workload.Script.build script in
+    let monitor = Check.Monitor.attach net in
+    Dgmc.Protocol.run net;
+    Check.Monitor.check_terminal monitor;
+    Check.Monitor.assert_ok monitor;
     List.iter
       (fun mc ->
         match Dgmc.Protocol.divergence net mc with

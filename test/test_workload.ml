@@ -402,7 +402,22 @@ let test_script_errors () =
   expect_error "graph ring 6\nmc 1 symmetric\nat 0 linkdown 0 3" "no link";
   expect_error "graph ring 6\nmc 1 symmetric\nat -1 join 0 mc=1" "non-negative";
   expect_error "graph ring 6\nfrobnicate" "unknown directive";
-  expect_error "graph ring 6\nmc 1 teapot" "unknown MC type"
+  expect_error "graph ring 6\nmc 1 teapot" "unknown MC type";
+  (* Malformed key=value payloads and stray tokens. *)
+  expect_error "graph ring 6\nmc 1 symmetric\nat 0 join 0 mc=banana"
+    "expected an integer";
+  expect_error "graph ring 6\nmc 1 symmetric\nat 0 join 0" "mc=";
+  expect_error "graph ring 6\nmc 1 symmetric\nat 0 join 0 role=captain mc=1"
+    "unknown role";
+  expect_error "graph ring 6\nmc 1 symmetric\nat 0 join 0 mc=1 banana"
+    "unexpected";
+  expect_error "graph ring 6\nmc 1 symmetric\nat 0 linkdown 0" "linkdown";
+  expect_error "graph ring 6\nmc 1 symmetric\nat zero join 0 mc=1" "time";
+  (* Every diagnostic carries the offending line number. *)
+  expect_error "graph ring 6\nmc 1 symmetric\nat 0 join 99 mc=1" "line 3:";
+  expect_error "graph ring 6\nfrobnicate" "line 2:";
+  expect_error "graph ring 6\nmc 1 symmetric\nat 0 join 0 mc=1\nat 1 linkdown 0 3"
+    "line 4:"
 
 let () =
   Alcotest.run "workload"
