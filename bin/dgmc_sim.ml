@@ -283,12 +283,46 @@ let script_cmd =
             "Attach the runtime invariant monitor (Check.Monitor) and fail \
              if any D-GMC invariant is violated during the run.")
   in
-  let run file trace_flag dot check =
+  let faults_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Run under a fault plan, e.g. 'drop=0.3,dup=0.1,jitter=0.5' \
+             (keys: drop, dup, reorder, jitter, span).  Overrides the \
+             script's own 'faults' directive and switches flooding to the \
+             reliable (ack + retransmit) mode.")
+  in
+  let fault_seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fault-seed" ]
+          ~doc:"Seed of the fault plan's random stream (default 1).")
+  in
+  let run file trace_flag dot check faults_spec fault_seed =
     match Workload.Script.load file with
     | Error msg ->
       Printf.eprintf "%s: %s\n" file msg;
       exit 2
     | Ok script ->
+      let script =
+        let faults =
+          match faults_spec with
+          | None -> script.Workload.Script.faults
+          | Some s -> (
+            match Faults.Plan.spec_of_string s with
+            | Ok spec -> Some spec
+            | Error msg ->
+              Printf.eprintf "--faults: %s\n" msg;
+              exit 2)
+        in
+        let fault_seed =
+          Option.value ~default:script.Workload.Script.fault_seed fault_seed
+        in
+        { script with Workload.Script.faults; fault_seed }
+      in
       let trace = if trace_flag then Sim.Trace.create () else Sim.Trace.disabled in
       let net = Workload.Script.build ~trace script in
       let monitor = if check then Some (Check.Monitor.attach net) else None in
@@ -321,6 +355,17 @@ let script_cmd =
         "events %d, computations %d (%d withdrawn), MC floodings %d, link          floodings %d, messages %d@."
         t.events t.computations t.computations_withdrawn t.mc_floodings
         t.link_floodings t.messages;
+      (match Dgmc.Protocol.faults net with
+      | None -> ()
+      | Some plan ->
+        let c = Faults.Plan.counters plan in
+        Format.printf "reliable flooding: %d acks, %d retransmissions@."
+          t.acks t.retransmissions;
+        Format.printf
+          "faults: %d transmissions, %d delivered, %d dropped, %d duplicated, \
+           %d reordered, %d blocked@."
+          c.transmissions c.delivered c.dropped c.duplicated c.reordered
+          (c.blocked_crash + c.blocked_partition));
       (match monitor with
       | Some m ->
         (match Check.Monitor.violations m with
@@ -342,7 +387,9 @@ let script_cmd =
   Cmd.v
     (Cmd.info "script"
        ~doc:"Run a scenario file (see lib/workload/script.mli for the format).")
-    Term.(const run $ file_arg $ trace_arg $ dot_arg $ check_arg)
+    Term.(
+      const run $ file_arg $ trace_arg $ dot_arg $ check_arg $ faults_arg
+      $ fault_seed_arg)
 
 (* ------------------------------------------------------------------ *)
 (* topo: inspect generated topologies *)
@@ -373,12 +420,109 @@ let topo_cmd =
     (Cmd.info "topo" ~doc:"Inspect the experiment topology for a seed/size.")
     Term.(const run $ n_arg $ seed_arg $ dump_arg $ dot_arg)
 
+(* ------------------------------------------------------------------ *)
+(* fuzz: the default term, so `dgmc_sim --fuzz --seed N` works without a
+   subcommand — that literal spelling is what failure reports print. *)
+
+let fuzz_run ~seed ~iterations ~n_max ~mcs_max ~events_max ~verbose =
+  let progress s =
+    if verbose then
+      Format.printf "%a@."
+        Check.Fuzz.pp_case
+        (Check.Fuzz.case_of_seed ~n_max ~mcs_max ~events_max s)
+  in
+  let o =
+    Check.Fuzz.run ~n_max ~mcs_max ~events_max ~progress ~seed ~iterations ()
+  in
+  let agg f = List.fold_left (fun a s -> a + f s) 0 o.Check.Fuzz.o_stats in
+  Printf.printf "fuzz: %d/%d cases passed (seeds %d..%d)\n"
+    (List.length o.o_stats) iterations seed
+    (seed + iterations - 1);
+  Printf.printf
+    "  protocol: %d events, %d computations (%d withdrawn), %d messages, %d \
+     acks, %d retransmissions\n"
+    (agg (fun s -> s.Check.Fuzz.s_totals.events))
+    (agg (fun s -> s.Check.Fuzz.s_totals.computations))
+    (agg (fun s -> s.Check.Fuzz.s_totals.computations_withdrawn))
+    (agg (fun s -> s.Check.Fuzz.s_totals.messages))
+    (agg (fun s -> s.Check.Fuzz.s_totals.acks))
+    (agg (fun s -> s.Check.Fuzz.s_totals.retransmissions));
+  Printf.printf
+    "  faults:   %d transmissions, %d dropped, %d duplicated, %d reordered, \
+     %d blocked\n"
+    (agg (fun s -> s.Check.Fuzz.s_faults.transmissions))
+    (agg (fun s -> s.Check.Fuzz.s_faults.dropped))
+    (agg (fun s -> s.Check.Fuzz.s_faults.duplicated))
+    (agg (fun s -> s.Check.Fuzz.s_faults.reordered))
+    (agg (fun s ->
+         s.Check.Fuzz.s_faults.blocked_crash
+         + s.Check.Fuzz.s_faults.blocked_partition));
+  Printf.printf "  monitor:  %d invariant sweeps\n"
+    (agg (fun s -> s.Check.Fuzz.s_sweeps));
+  match o.o_failures with
+  | [] -> ()
+  | failures ->
+    List.iter
+      (fun f -> Format.printf "%a@." Check.Fuzz.pp_failure f)
+      failures;
+    exit 1
+
+let default_term =
+  let fuzz_arg =
+    Arg.(
+      value & flag
+      & info [ "fuzz" ]
+          ~doc:
+            "Run the deterministic protocol fuzzer: random topologies, \
+             workloads and fault plans from $(b,--seed), full protocol + \
+             invariant monitor per case, shrinking and a replayable repro \
+             line on failure.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~doc:"Base seed; iteration $(i,i) fuzzes seed + i.")
+  in
+  let iterations_arg =
+    Arg.(value & opt int 25 & info [ "iterations" ] ~doc:"Fuzz cases to run.")
+  in
+  let n_max_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "n-max" ] ~doc:"Upper bound on switches per case (min 4).")
+  in
+  let mcs_max_arg =
+    Arg.(
+      value & opt int 3 & info [ "mcs-max" ] ~doc:"Upper bound on MCs per case.")
+  in
+  let events_max_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "events-max" ] ~doc:"Upper bound on workload events per case.")
+  in
+  let verbose_arg =
+    Arg.(
+      value & flag
+      & info [ "verbose" ] ~doc:"Print each generated case before running it.")
+  in
+  let run fuzz seed iterations n_max mcs_max events_max verbose =
+    if not fuzz then `Help (`Pager, None)
+    else begin
+      fuzz_run ~seed ~iterations ~n_max ~mcs_max ~events_max ~verbose;
+      `Ok ()
+    end
+  in
+  Term.(
+    ret
+      (const run $ fuzz_arg $ seed_arg $ iterations_arg $ n_max_arg
+     $ mcs_max_arg $ events_max_arg $ verbose_arg))
+
 let () =
   let doc = "D-GMC multipoint-connection protocol simulation study" in
   let info = Cmd.info "dgmc_sim" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info
+       (Cmd.group ~default:default_term info
           [
             fig6_cmd; fig7_cmd; fig8_cmd; compare_cmd; cbt_cmd; hierarchy_cmd;
             run_cmd; script_cmd; topo_cmd;

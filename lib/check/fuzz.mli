@@ -1,0 +1,91 @@
+(** Deterministic protocol fuzzing under fault injection.
+
+    One integer seed determines an entire fuzz case: a random topology, a
+    random multi-MC membership/link workload, and a random fault plan
+    (loss, duplication, reordering, jitter, plus bounded switch-crash and
+    partition windows).  The case runs the full {!Dgmc.Protocol} network
+    with reliable flooding and the runtime invariant monitor
+    ({!Monitor}) attached, then demands the whole catalogue: no invariant
+    violation during the run, engine quiescence, and — once all scheduled
+    faults are over and every downed link restored — network-wide
+    agreement on every MC's member list and installed topology with
+    [C = E = R] (the terminal laws).
+
+    Fault windows are generated shorter than the reliable-flooding
+    retransmission span, so every flood can bridge them; this is what
+    makes "converges after fault quiescence" a fair demand (a window
+    longer than the retry budget models a {e durable} partition, which
+    the paper leaves to protocol-level link events and database
+    resynchronisation).
+
+    On failure the workload is shrunk (greedy event removal, re-running
+    the deterministic case each time) and the failure report carries a
+    replayable reproduction line: the same seed regenerates the same
+    case, byte for byte. *)
+
+type case = {
+  seed : int;  (** The generation seed; regenerates everything below. *)
+  graph : Net.Graph.t;  (** Pristine topology (copied for each run). *)
+  config : Dgmc.Config.t;  (** Reliable flood mode, ATM or WAN regime. *)
+  regime : string;  (** ["atm"] or ["wan"], for reports. *)
+  fault_spec : Faults.Plan.spec;
+  fault_seed : int;
+  crashes : (int * float * float) list;  (** (switch, from, until). *)
+  partitions : (int list * float * float) list;  (** (side, from, until). *)
+  mcs : Dgmc.Mc_id.t list;
+  events : Workload.Events.t list;
+}
+
+type stats = {
+  s_totals : Dgmc.Protocol.totals;
+  s_faults : Faults.Plan.counters;
+  s_sweeps : int;  (** Monitor sweeps performed. *)
+}
+
+type failure = {
+  f_case : case;
+  f_problems : string list;  (** Violations and divergence reasons. *)
+  f_shrunk : Workload.Events.t list;
+      (** Minimal failing sub-workload of [f_case.events]. *)
+  f_shrink_runs : int;  (** Simulations spent shrinking. *)
+}
+
+type outcome = {
+  o_iterations : int;
+  o_failures : failure list;  (** In seed order; empty on success. *)
+  o_stats : stats list;  (** Per passing iteration, in seed order. *)
+}
+
+val case_of_seed :
+  ?n_max:int -> ?mcs_max:int -> ?events_max:int -> int -> case
+(** Generate the case a seed denotes.  [n_max] (default 20) bounds the
+    switch count from above (the minimum is 4), [mcs_max] (default 3)
+    the number of MCs, [events_max] (default 20) the workload length
+    (link restorations may add a few more). *)
+
+val run_case : case -> (stats, string list) result
+(** Execute one case end to end.  [Error problems] lists every invariant
+    violation and divergence reason; deterministic — equal cases yield
+    equal results. *)
+
+val run :
+  ?n_max:int ->
+  ?mcs_max:int ->
+  ?events_max:int ->
+  ?progress:(int -> unit) ->
+  seed:int ->
+  iterations:int ->
+  unit ->
+  outcome
+(** Run cases for seeds [seed .. seed + iterations - 1], shrinking each
+    failure.  [progress] is called with each case's seed before it
+    runs. *)
+
+val repro_line : failure -> string
+(** The command that replays the failing case, e.g.
+    ["dgmc_sim --fuzz --seed 47 --iterations 1"]. *)
+
+val pp_case : Format.formatter -> case -> unit
+
+val pp_failure : Format.formatter -> failure -> unit
+(** Full failure report: case, problems, shrunk workload, repro line. *)

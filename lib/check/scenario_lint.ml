@@ -33,6 +33,7 @@ let lint text =
   let warn line fmt = emit Warning line fmt in
   let graph = ref None in
   let graph_declared = ref false in
+  let faults_declared = ref false in
   let config = ref Dgmc.Config.atm_lan in
   let mcs = ref [] in (* (decl line, id) — in declaration order *)
   let used = ref [] in (* mc ids referenced by some event *)
@@ -104,6 +105,17 @@ let lint text =
         | _ ->
           err line "config: expected 'atm' or 'wan', got %S"
             (String.concat " " args))
+      | "faults" :: args -> (
+        if !faults_declared then
+          warn line "duplicate 'faults' directive overrides the previous one";
+        faults_declared := true;
+        match Workload.Script.faults_of_args ~line args with
+        | Ok (spec, _) ->
+          if Faults.Plan.spec_is_transparent spec then
+            warn line
+              "fault plan injects nothing (all probabilities and delays \
+               are zero)"
+        | Error m -> err line "%s" m)
       | [ "mc"; id; kind ] ->
         (match parse_int line "mc id" id with
         | None -> ()

@@ -31,7 +31,12 @@ let scratch config kind image members ~self =
       let root =
         match Member.senders members with r :: _ -> r | [] -> List.hd ids
       in
-      let receivers = List.filter (fun x -> x <> root) (Member.receivers members) in
+      (* Every member is a terminal: secondary senders reach the shared
+         source-rooted tree over shortest paths too, or they could not
+         inject traffic into it (found by the protocol fuzzer: a
+         sender-only second member used to be left off the tree, which
+         the agreement check rightly rejects). *)
+      let receivers = List.filter (fun x -> x <> root) ids in
       try Mctree.Spt.source_rooted image ~root ~receivers
       with Failure _ -> (
         (* Partition: root the tree in this switch's component — at the

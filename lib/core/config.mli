@@ -12,6 +12,9 @@ type t = {
   tc : float;  (** Topology-computation latency at a switch (seconds). *)
   t_hop : float;  (** Per-hop LSA transmission time (seconds). *)
   flood_mode : Lsr.Flooding.mode;
+      (** [Hop_by_hop] (default) and [Ideal] assume lossless delivery;
+          use [Reliable] (ack + retransmit) when running under a
+          {!Faults.Plan} that can lose or reorder messages. *)
   steiner : steiner;
       (** From-scratch heuristic for shared trees (symmetric and
           receiver-only MCs). *)

@@ -9,6 +9,8 @@ type totals = {
   proposals_flooded : int;
   proposals_accepted : int;
   messages : int;
+  acks : int;
+  retransmissions : int;
 }
 
 module Mc_table = Hashtbl.Make (struct
@@ -23,6 +25,7 @@ type t = {
   engine : Sim.Engine.t;
   graph : Net.Graph.t;
   config : Config.t;
+  faults : Faults.Plan.t option;
   switches : Switch.t array;
   flooding : payload Lsr.Flooding.t;
   seqs : Lsr.Lsa.Seq.counter array;
@@ -35,7 +38,7 @@ type t = {
   mutable observers : (unit -> unit) list;
 }
 
-let create ~graph ~config ?(trace = Sim.Trace.disabled) () =
+let create ~graph ~config ?faults ?(trace = Sim.Trace.disabled) () =
   let n = Net.Graph.n_nodes graph in
   if n < 2 then invalid_arg "Protocol.create: need at least 2 switches";
   let engine = Sim.Engine.create () in
@@ -49,15 +52,25 @@ let create ~graph ~config ?(trace = Sim.Trace.disabled) () =
       Switch.link_event switches.(switch) ~u:ev.u ~v:ev.v ~up:ev.up
         ~detector:false
   in
+  let transmit =
+    match faults with
+    | None -> None
+    | Some plan ->
+      Some
+        (fun ~src ~dst ~base_delay ->
+          Faults.Plan.transmit plan ~src ~dst ~now:(Sim.Engine.now engine)
+            ~base_delay)
+  in
   let flooding =
     Lsr.Flooding.create ~engine ~graph ~t_hop:config.Config.t_hop
-      ~mode:config.Config.flood_mode ~deliver ()
+      ~mode:config.Config.flood_mode ?transmit ~deliver ()
   in
   let net =
     {
       engine;
       graph;
       config;
+      faults;
       switches;
       flooding;
       seqs = Array.init n (fun _ -> Lsr.Lsa.Seq.create ());
@@ -90,6 +103,8 @@ let add_observer t f = t.observers <- t.observers @ [ f ]
 let graph t = t.graph
 
 let config t = t.config
+
+let faults t = t.faults
 
 let n_switches t = Array.length t.switches
 
@@ -194,6 +209,8 @@ let totals t =
     proposals_flooded = !proposals_flooded;
     proposals_accepted = !proposals_accepted;
     messages = Lsr.Flooding.messages_sent t.flooding;
+    acks = Lsr.Flooding.acks_sent t.flooding;
+    retransmissions = Lsr.Flooding.retransmissions t.flooding;
   }
 
 let reset_counters t =

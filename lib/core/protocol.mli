@@ -26,17 +26,35 @@ type totals = {
   link_floodings : int;  (** Non-MC (link event) flooding operations. *)
   proposals_flooded : int;
   proposals_accepted : int;
-  messages : int;  (** Per-link LSA transmissions. *)
+  messages : int;
+      (** First-copy per-link LSA transmissions — comparable across
+          flooding modes (see {!Lsr.Flooding.messages_sent}). *)
+  acks : int;  (** Reliable flooding: acknowledgements sent. *)
+  retransmissions : int;  (** Reliable flooding: data copies retransmitted. *)
 }
 
 type t
 
 val create :
-  graph:Net.Graph.t -> config:Config.t -> ?trace:Sim.Trace.t -> unit -> t
+  graph:Net.Graph.t ->
+  config:Config.t ->
+  ?faults:Faults.Plan.t ->
+  ?trace:Sim.Trace.t ->
+  unit ->
+  t
 (** Build a network of [Net.Graph.n_nodes graph] switches, each booted
-    with a converged link-state image of [graph]. *)
+    with a converged link-state image of [graph].
+
+    [faults] subjects every per-link LSA (and ack) transmission to the
+    given fault plan — loss, duplication, reordering, jitter, crash and
+    partition windows — in the engine's simulated time.  Pair it with
+    [config.flood_mode = Reliable], or floods will silently lose LSAs
+    and the network will not converge. *)
 
 val engine : t -> Sim.Engine.t
+
+val faults : t -> Faults.Plan.t option
+(** The fault plan delivery runs under, if any. *)
 
 val add_observer : t -> (unit -> unit) -> unit
 (** Register a callback invoked after every protocol state change at any

@@ -1,49 +1,163 @@
-type mode = Hop_by_hop | Ideal
+type mode = Hop_by_hop | Ideal | Reliable
+
+type reliability = { rto : float; rto_max : float; max_retries : int }
+
+let default_reliability = { rto = 4.0; rto_max = 64.0; max_retries = 10 }
+
+type transmit = src:int -> dst:int -> base_delay:float -> float list
+
+(* Retransmit state for one in-flight (src, dst, lsa) transfer.  Entries
+   live in [pending] and age out on ack or on retry exhaustion. *)
+type rtx = {
+  mutable rtx_handle : Sim.Engine.handle option;
+  mutable tries : int;
+  mutable timeout : float;
+}
 
 type 'a t = {
   engine : Sim.Engine.t;
   graph : Net.Graph.t;
   t_hop : float;
   mode : mode;
+  rel : reliability;
+  transmit : transmit;
   deliver : switch:int -> 'a Lsa.t -> unit;
   seen : (int * int, unit) Hashtbl.t array;
       (** Per switch: (origin, seq) pairs already received. *)
+  pending : (int * int * (int * int), rtx) Hashtbl.t;
+      (** Reliable mode: (src, dst, lsa id) transfers awaiting an ack. *)
   mutable floods : int;
   mutable messages : int;
+  mutable acks : int;
+  mutable rtx_count : int;
+  mutable abandoned : int;
 }
 
-let create ~engine ~graph ~t_hop ?(mode = Hop_by_hop) ~deliver () =
+let default_transmit ~src:_ ~dst:_ ~base_delay = [ base_delay ]
+
+let create ~engine ~graph ~t_hop ?(mode = Hop_by_hop)
+    ?(reliability = default_reliability) ?(transmit = default_transmit)
+    ~deliver () =
   if t_hop <= 0.0 then invalid_arg "Flooding.create: t_hop must be positive";
+  if reliability.rto <= 2.0 then
+    invalid_arg
+      "Flooding.create: rto must exceed 2 hop times (one ack round trip)";
+  if reliability.rto_max < reliability.rto then
+    invalid_arg "Flooding.create: rto_max must be >= rto";
+  if reliability.max_retries < 0 then
+    invalid_arg "Flooding.create: max_retries must be non-negative";
   {
     engine;
     graph;
     t_hop;
     mode;
+    rel = reliability;
+    transmit;
     deliver;
     seen = Array.init (Net.Graph.n_nodes graph) (fun _ -> Hashtbl.create 64);
+    pending = Hashtbl.create 64;
     floods = 0;
     messages = 0;
+    acks = 0;
+    rtx_count = 0;
+    abandoned = 0;
   }
+
+(* Schedule every surviving copy of one link transmission.  Link state is
+   re-checked at arrival time, so a message in flight over a link that
+   fails is lost, as on a real wire. *)
+let transmit_copies t ~src ~dst k =
+  List.iter
+    (fun delay ->
+      ignore
+        (Sim.Engine.schedule t.engine ~delay (fun () ->
+             if Net.Graph.link_is_up t.graph src dst then k ())))
+    (t.transmit ~src ~dst ~base_delay:t.t_hop)
+
+(* ------------------------------------------------------------------ *)
+(* Hop-by-hop (fire and forget) *)
 
 let rec receive t lsa ~at:switch ~from =
   let key = Lsa.id lsa in
   if not (Hashtbl.mem t.seen.(switch) key) then begin
     Hashtbl.replace t.seen.(switch) key ();
     t.deliver ~switch lsa;
-    (* Forward on every live link except the arrival link.  Link state is
-       re-checked at arrival time, so an LSA in flight over a link that
-       fails is lost, as on a real wire. *)
+    (* Forward on every live link except the arrival link. *)
     List.iter
       (fun (next, _) ->
         if next <> from then begin
           t.messages <- t.messages + 1;
-          ignore
-            (Sim.Engine.schedule t.engine ~delay:t.t_hop (fun () ->
-                 if Net.Graph.link_is_up t.graph switch next then
-                   receive t lsa ~at:next ~from:switch))
+          transmit_copies t ~src:switch ~dst:next (fun () ->
+              receive t lsa ~at:next ~from:switch)
         end)
       (Net.Graph.neighbors t.graph switch)
   end
+
+(* ------------------------------------------------------------------ *)
+(* Reliable (ack + retransmit) *)
+
+let rec arm_retransmit t key lsa rtx =
+  let src, dst, _ = key in
+  rtx.rtx_handle <-
+    Some
+      (Sim.Engine.schedule t.engine ~delay:rtx.timeout (fun () ->
+           (* The entry is removed the moment an ack arrives, so reaching
+              this point with it still present means the transfer is
+              unacknowledged. *)
+           if Hashtbl.mem t.pending key then
+             if rtx.tries >= t.rel.max_retries then begin
+               Hashtbl.remove t.pending key;
+               t.abandoned <- t.abandoned + 1
+             end
+             else begin
+               rtx.tries <- rtx.tries + 1;
+               t.rtx_count <- t.rtx_count + 1;
+               transmit_copies t ~src ~dst (fun () ->
+                   receive_reliable t lsa ~at:dst ~from:src);
+               rtx.timeout <-
+                 Float.min (2.0 *. rtx.timeout) (t.rel.rto_max *. t.t_hop);
+               arm_retransmit t key lsa rtx
+             end))
+
+and send_reliable t ~src ~dst lsa =
+  let key = (src, dst, Lsa.id lsa) in
+  if not (Hashtbl.mem t.pending key) then begin
+    t.messages <- t.messages + 1;
+    transmit_copies t ~src ~dst (fun () ->
+        receive_reliable t lsa ~at:dst ~from:src);
+    let rtx =
+      { rtx_handle = None; tries = 0; timeout = t.rel.rto *. t.t_hop }
+    in
+    Hashtbl.add t.pending key rtx;
+    arm_retransmit t key lsa rtx
+  end
+
+and send_ack t ~src ~dst key =
+  t.acks <- t.acks + 1;
+  transmit_copies t ~src ~dst (fun () -> ack_received t key)
+
+and ack_received t key =
+  match Hashtbl.find_opt t.pending key with
+  | Some rtx ->
+    Option.iter Sim.Engine.cancel rtx.rtx_handle;
+    Hashtbl.remove t.pending key
+  | None -> ()  (* late duplicate ack, or the sender already gave up *)
+
+and receive_reliable t lsa ~at:switch ~from =
+  (* Every arriving copy is acked, duplicates included: this copy may be
+     a retransmission whose predecessor's ack was lost. *)
+  send_ack t ~src:switch ~dst:from (from, switch, Lsa.id lsa);
+  let key = Lsa.id lsa in
+  if not (Hashtbl.mem t.seen.(switch) key) then begin
+    Hashtbl.replace t.seen.(switch) key ();
+    t.deliver ~switch lsa;
+    List.iter
+      (fun (next, _) ->
+        if next <> from then send_reliable t ~src:switch ~dst:next lsa)
+      (Net.Graph.neighbors t.graph switch)
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let flood t lsa =
   t.floods <- t.floods + 1;
@@ -54,10 +168,13 @@ let flood t lsa =
     List.iter
       (fun (next, _) ->
         t.messages <- t.messages + 1;
-        ignore
-          (Sim.Engine.schedule t.engine ~delay:t.t_hop (fun () ->
-               if Net.Graph.link_is_up t.graph origin next then
-                 receive t lsa ~at:next ~from:origin)))
+        transmit_copies t ~src:origin ~dst:next (fun () ->
+            receive t lsa ~at:next ~from:origin))
+      (Net.Graph.neighbors t.graph origin)
+  | Reliable ->
+    Hashtbl.replace t.seen.(origin) (Lsa.id lsa) ();
+    List.iter
+      (fun (next, _) -> send_reliable t ~src:origin ~dst:next lsa)
       (Net.Graph.neighbors t.graph origin)
   | Ideal ->
     let hops = Net.Bfs.hops t.graph origin in
@@ -76,9 +193,20 @@ let floods_started t = t.floods
 
 let messages_sent t = t.messages
 
+let acks_sent t = t.acks
+
+let retransmissions t = t.rtx_count
+
+let deliveries_abandoned t = t.abandoned
+
+let pending_retransmits t = Hashtbl.length t.pending
+
 let reset_counters t =
   t.floods <- 0;
-  t.messages <- 0
+  t.messages <- 0;
+  t.acks <- 0;
+  t.rtx_count <- 0;
+  t.abandoned <- 0
 
 let flood_diameter ~graph ~t_hop =
   float_of_int (Net.Bfs.hop_diameter graph) *. t_hop

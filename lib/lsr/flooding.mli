@@ -1,4 +1,4 @@
-(** Reliable flooding of LSAs over the network.
+(** Flooding of LSAs over the network, with an optional reliable mode.
 
     The default mode propagates hop by hop: each switch, on first receipt
     of an (origin, seq) pair, delivers the LSA locally and forwards it on
@@ -12,11 +12,50 @@
     delivery times on a static graph; it differs only under mid-flood
     topology changes.
 
-    The instance also keeps the two signaling-overhead counters the
-    paper's evaluation reports: flooding operations and per-link message
-    transmissions. *)
+    [Reliable] mode is hop-by-hop flooding hardened for lossy delivery:
+    every per-link data transmission is acknowledged by the receiver, and
+    the sender retransmits on a capped exponential backoff until acked or
+    a retry budget is exhausted (so a dead neighbor times out cleanly
+    instead of being retried forever).  Duplicate-suppression on
+    (origin, seq) guarantees [deliver] still fires exactly once per
+    switch however many copies arrive; per-destination retransmit state
+    ages out on ack or on retry exhaustion.  Under the default
+    (transparent) [transmit] hook its data-message schedule is exactly
+    [Hop_by_hop]'s; the acks ride on top.
 
-type mode = Hop_by_hop | Ideal
+    {b Fault injection.}  All per-link transmissions — [Hop_by_hop] and
+    [Reliable] data, and [Reliable] acks — pass through the [transmit]
+    hook, which maps one submitted transmission to the delivery delays of
+    its copies ([[]] = lost).  Plug [Faults.Plan.transmit] in to subject
+    the flood to loss, duplication, reordering, jitter, crashes and
+    partitions; the default hook delivers one copy after [base_delay].
+    [Ideal] mode bypasses links entirely and ignores the hook.
+
+    {b Counters.}  The instance keeps the signaling-overhead counters the
+    paper's evaluation reports — flooding operations and first-copy
+    per-link data transmissions ({!messages_sent}) — plus, in reliable
+    mode, separate {!acks_sent}, {!retransmissions} and
+    {!deliveries_abandoned} counters, so the paper's figures stay
+    comparable across modes: lossless [Reliable] ≡ [Hop_by_hop] on
+    {!messages_sent}, with reliability's cost isolated in the ack and
+    retransmission counters. *)
+
+type mode = Hop_by_hop | Ideal | Reliable
+
+type reliability = {
+  rto : float;
+      (** Initial retransmit timeout, as a multiple of [t_hop].  Must
+          exceed [2] (a round trip) to avoid spurious retransmissions on
+          a clean link. *)
+  rto_max : float;  (** Backoff cap, as a multiple of [t_hop]. *)
+  max_retries : int;
+      (** Retransmissions per (link, LSA) before the sender gives up. *)
+}
+
+val default_reliability : reliability
+(** [rto = 4], [rto_max = 64], [max_retries = 10]. *)
+
+type transmit = src:int -> dst:int -> base_delay:float -> float list
 
 type 'a t
 
@@ -25,6 +64,8 @@ val create :
   graph:Net.Graph.t ->
   t_hop:float ->
   ?mode:mode ->
+  ?reliability:reliability ->
+  ?transmit:transmit ->
   deliver:(switch:int -> 'a Lsa.t -> unit) ->
   unit ->
   'a t
@@ -39,8 +80,22 @@ val floods_started : 'a t -> int
 (** Number of {!flood} calls. *)
 
 val messages_sent : 'a t -> int
-(** Total link transmissions (hop-by-hop mode) or deliveries (ideal
-    mode). *)
+(** First-copy data transmissions per link (hop-by-hop and reliable
+    modes) or deliveries (ideal mode).  Retransmissions and acks are
+    counted separately so this figure is comparable across modes. *)
+
+val acks_sent : 'a t -> int
+(** Reliable mode: acknowledgements submitted (0 in other modes). *)
+
+val retransmissions : 'a t -> int
+(** Reliable mode: data copies retransmitted after a timeout. *)
+
+val deliveries_abandoned : 'a t -> int
+(** Reliable mode: (link, LSA) transfers abandoned after exhausting
+    [max_retries] — the clean timeout for an unreachable neighbor. *)
+
+val pending_retransmits : 'a t -> int
+(** Reliable mode: (link, LSA) transfers currently awaiting an ack. *)
 
 val reset_counters : 'a t -> unit
 

@@ -3,6 +3,8 @@ type t = {
   config : Dgmc.Config.t;
   mcs : Dgmc.Mc_id.t list;
   events : Events.t list;
+  faults : Faults.Plan.spec option;
+  fault_seed : int;
 }
 
 exception Parse_error of int * string
@@ -109,10 +111,36 @@ let graph_of_args ~line args =
   | g -> Ok g
   | exception Parse_error (_, m) -> Error m
 
+(* "faults drop=0.3 dup=0.1 seed=7" — fault keys go to Faults.Plan's
+   parser; [seed] is handled here.  Shared with the linter. *)
+let faults_of_args ~line args =
+  match
+    let seed = ref 1 in
+    let fault_args =
+      List.filter
+        (fun tok ->
+          match String.index_opt tok '=' with
+          | Some i when String.sub tok 0 i = "seed" ->
+            seed :=
+              parse_int line "seed"
+                (String.sub tok (i + 1) (String.length tok - i - 1));
+            false
+          | _ -> true)
+        args
+    in
+    match Faults.Plan.spec_of_string (String.concat "," fault_args) with
+    | Ok spec -> Ok (spec, !seed)
+    | Error m -> raise (Parse_error (line, m))
+  with
+  | result -> result
+  | exception Parse_error (_, m) -> Error m
+
 let parse text =
   try
     let graph = ref None in
     let config = ref Dgmc.Config.atm_lan in
+    let faults = ref None in
+    let fault_seed = ref 1 in
     let mcs = ref [] in
     (* (time, rounds?, action builder) — resolved once graph+config known. *)
     let events = ref [] in
@@ -128,6 +156,12 @@ let parse text =
         | [] -> ()
         | "graph" :: args -> graph := Some (parse_graph lineno args)
         | "config" :: args -> config := parse_config lineno args
+        | "faults" :: args -> (
+          match faults_of_args ~line:lineno args with
+          | Ok (spec, seed) ->
+            faults := Some spec;
+            fault_seed := seed
+          | Error m -> fail lineno "%s" m)
         | [ "mc"; id; kind ] ->
           let id = parse_int lineno "mc id" id in
           if List.exists (fun (m : Dgmc.Mc_id.t) -> m.id = id) !mcs then
@@ -192,7 +226,15 @@ let parse text =
         !events
       |> Events.sort
     in
-    Ok { graph; config; mcs = List.rev !mcs; events }
+    Ok
+      {
+        graph;
+        config;
+        mcs = List.rev !mcs;
+        events;
+        faults = !faults;
+        fault_seed = !fault_seed;
+      }
   with Parse_error (line, msg) ->
     Error (if line = 0 then msg else Printf.sprintf "line %d: %s" line msg)
 
@@ -206,7 +248,17 @@ let load path =
     parse text
 
 let build ?trace t =
-  let net = Dgmc.Protocol.create ~graph:t.graph ~config:t.config ?trace () in
+  (* A scenario with faults needs reliable flooding: the lossless modes
+     have no recovery from an injected drop, and the run would diverge
+     for reasons that say nothing about the protocol. *)
+  let config, faults =
+    match t.faults with
+    | None -> (t.config, None)
+    | Some spec ->
+      ( { t.config with flood_mode = Lsr.Flooding.Reliable },
+        Some (Faults.Plan.create ~spec ~seed:t.fault_seed ()) )
+  in
+  let net = Dgmc.Protocol.create ~graph:t.graph ~config ?faults ?trace () in
   Events.apply_dgmc net t.events;
   net
 

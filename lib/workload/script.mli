@@ -10,6 +10,9 @@
     graph waxman 30 seed=5        # or: grid R C | ring N | line N | star N
     config atm                    # or: wan
 
+    # optional fault plan; its presence switches flooding to Reliable
+    faults drop=0.3 dup=0.1 reorder=0.2 jitter=0.5 seed=7
+
     # connections: id and type
     mc 1 symmetric                # or: receiver-only | asymmetric
 
@@ -29,6 +32,10 @@ type t = {
   config : Dgmc.Config.t;
   mcs : Dgmc.Mc_id.t list;
   events : Events.t list;
+  faults : Faults.Plan.spec option;
+      (** When set, {!build} runs the network under this fault plan with
+          [Reliable] flooding (overriding [config.flood_mode]). *)
+  fault_seed : int;  (** Seed of the fault plan's random stream. *)
 }
 
 val parse : string -> (t, string) result
@@ -39,6 +46,11 @@ val graph_of_args : line:int -> string list -> (Net.Graph.t, string) result
 (** Build the graph a [graph] directive's arguments denote (e.g.
     [["ring"; "6"]]).  Shared with the scenario linter ([Check.
     Scenario_lint]) so linting and running agree on the network. *)
+
+val faults_of_args :
+  line:int -> string list -> (Faults.Plan.spec * int, string) result
+(** Parse a [faults] directive's arguments (e.g. [["drop=0.3"; "seed=7"]])
+    into a fault spec and plan seed.  Shared with the linter. *)
 
 val load : string -> (t, string) result
 (** Read and parse a file. *)

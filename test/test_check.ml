@@ -130,6 +130,69 @@ let test_monitor_clean_run () =
   Alcotest.(check bool) "monitor swept" true (Check.Monitor.sweeps m > 0);
   Check.Monitor.assert_ok m
 
+(* --- fuzzer regression seeds --- *)
+
+(* Pinned seeds whose generated cases exercise distinct fault machinery:
+   - 43: heavy loss + reordering on a WAN; the case that exposed the
+     missing-secondary-sender bug in asymmetric topology computation.
+   - 46: both a switch-crash and a partition window actually block
+     traffic mid-run.
+   - 47: 20 switches under a long partition window (thousands of
+     blocked transmissions bridged by retransmission).
+   - 65: heavy proposal-withdrawal activity (stale computations under
+     churn).
+   - 411: the acceptance case — 20 switches, 3 MCs, ~34% drop + 18%
+     duplication + 26% reordering on every link.
+   Each case is regenerated from its seed and must still pass; a
+   deliberately perturbed case must still FAIL deterministically (the
+   fuzzer's value is zero if run_case cannot distinguish). *)
+
+let fuzz_regression_seeds = [ 43; 46; 47; 65; 411 ]
+
+let test_fuzz_regression_seeds () =
+  List.iter
+    (fun seed ->
+      let case = Check.Fuzz.case_of_seed seed in
+      match Check.Fuzz.run_case case with
+      | Ok stats ->
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d injected faults" seed)
+          true
+          (stats.s_faults.Faults.Plan.dropped > 0
+          && stats.s_totals.Dgmc.Protocol.retransmissions > 0)
+      | Error problems ->
+        Alcotest.failf "fuzz seed %d regressed:\n%s" seed
+          (String.concat "\n" problems))
+    fuzz_regression_seeds
+
+let test_fuzz_case_generation_is_deterministic () =
+  let seed = 411 in
+  let render c = Format.asprintf "%a" Check.Fuzz.pp_case c in
+  Alcotest.(check string)
+    "same seed renders the same case"
+    (render (Check.Fuzz.case_of_seed seed))
+    (render (Check.Fuzz.case_of_seed seed));
+  let stats () =
+    match Check.Fuzz.run_case (Check.Fuzz.case_of_seed seed) with
+    | Ok s -> (s.s_totals, s.s_faults, s.s_sweeps)
+    | Error ps -> Alcotest.failf "seed %d failed: %s" seed (String.concat "; " ps)
+  in
+  Alcotest.(check bool) "same seed runs identically" true (stats () = stats ())
+
+let test_fuzz_acceptance_case () =
+  (* The tentpole's acceptance criterion, pinned: a 20-switch, 3-MC run
+     under ~30% loss + duplication + reordering on every link converges
+     with zero monitor violations. *)
+  let case = Check.Fuzz.case_of_seed 411 in
+  Alcotest.(check int) "20 switches" 20 (Net.Graph.n_nodes case.graph);
+  Alcotest.(check int) "3 MCs" 3 (List.length case.mcs);
+  Alcotest.(check bool) "at least 30% loss" true
+    (case.fault_spec.Faults.Plan.drop >= 0.3);
+  match Check.Fuzz.run_case case with
+  | Ok _ -> ()
+  | Error problems ->
+    Alcotest.failf "acceptance case diverged:\n%s" (String.concat "\n" problems)
+
 (* --- linter unit tests --- *)
 
 let lint_lines text =
@@ -206,6 +269,15 @@ let () =
         ] );
       ( "monitor",
         [ Alcotest.test_case "clean lifecycle run" `Quick test_monitor_clean_run ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "pinned regression seeds still pass" `Slow
+            test_fuzz_regression_seeds;
+          Alcotest.test_case "case generation and runs are deterministic"
+            `Slow test_fuzz_case_generation_is_deterministic;
+          Alcotest.test_case "acceptance: 20 switches, 3 MCs, 30% loss" `Slow
+            test_fuzz_acceptance_case;
+        ] );
       ( "lint",
         [
           Alcotest.test_case "clean scenario" `Quick test_lint_clean;

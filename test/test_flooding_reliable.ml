@@ -1,0 +1,182 @@
+(* Tests for the reliable (ack + retransmit) flooding mode: delivery
+   under heavy loss, exactly-once semantics, bounded retransmission,
+   clean timeout against an unreachable neighbor, and counter
+   comparability with the lossless hop-by-hop mode. *)
+
+let check = Alcotest.check
+
+(* A flooding instance under a fault plan; returns the instance, the
+   engine, and the delivery log. *)
+let make ?reliability ?transmit ?(mode = Lsr.Flooding.Reliable) graph ~t_hop =
+  let engine = Sim.Engine.create () in
+  let log = ref [] in
+  let deliver ~switch lsa = log := (switch, Lsr.Lsa.id lsa) :: !log in
+  let f =
+    Lsr.Flooding.create ~engine ~graph ~t_hop ~mode ?reliability ?transmit
+      ~deliver ()
+  in
+  (f, engine, log)
+
+let faulty_transmit plan engine ~src ~dst ~base_delay =
+  Faults.Plan.transmit plan ~src ~dst ~now:(Sim.Engine.now engine) ~base_delay
+
+let test_all_delivered_under_loss () =
+  let graph = Net.Topo_gen.waxman (Sim.Rng.create 5) ~n:15 ~target_degree:3.5 () in
+  let spec =
+    { Faults.Plan.spec_default with drop = 0.3; duplicate = 0.2; reorder = 0.2 }
+  in
+  let plan = Faults.Plan.create ~spec ~seed:11 () in
+  let engine_ref = ref None in
+  let transmit ~src ~dst ~base_delay =
+    faulty_transmit plan (Option.get !engine_ref) ~src ~dst ~base_delay
+  in
+  let f, engine, log = make graph ~t_hop:1.0 ~transmit in
+  engine_ref := Some engine;
+  (* Several LSAs from several origins, overlapping in time. *)
+  let ids = [ (0, 0); (7, 0); (3, 0); (0, 1); (11, 0) ] in
+  List.iter
+    (fun (origin, seq) ->
+      ignore
+        (Sim.Engine.schedule engine
+           ~delay:(float_of_int (seq * 3))
+           (fun () -> Lsr.Flooding.flood f (Lsr.Lsa.make ~origin ~seq ()))))
+    ids;
+  Sim.Engine.run engine;
+  check Alcotest.bool "loss actually injected" true
+    ((Faults.Plan.counters plan).Faults.Plan.dropped > 0);
+  check Alcotest.bool "retransmissions happened" true
+    (Lsr.Flooding.retransmissions f > 0);
+  (* Every switch except the origin received every LSA, exactly once. *)
+  let n = Net.Graph.n_nodes graph in
+  List.iter
+    (fun (origin, seq) ->
+      for sw = 0 to n - 1 do
+        let copies =
+          List.length
+            (List.filter (fun (s, id) -> s = sw && id = (origin, seq)) !log)
+        in
+        let expected = if sw = origin then 0 else 1 in
+        check Alcotest.int
+          (Printf.sprintf "switch %d, lsa (%d,%d)" sw origin seq)
+          expected copies
+      done)
+    ids;
+  check Alcotest.int "no transfer left pending" 0
+    (Lsr.Flooding.pending_retransmits f);
+  check Alcotest.int "no transfer abandoned" 0
+    (Lsr.Flooding.deliveries_abandoned f)
+
+let test_bounded_retransmissions () =
+  (* Drop everything: the sender must give up after exactly max_retries
+     retransmissions per (link, LSA) transfer — it must not retry
+     forever (the engine would never quiesce). *)
+  let graph = Net.Topo_gen.line 2 in
+  let transmit ~src:_ ~dst:_ ~base_delay:_ = [] in
+  let reliability = { Lsr.Flooding.default_reliability with max_retries = 3 } in
+  let f, engine, log = make graph ~t_hop:1.0 ~transmit ~reliability in
+  Lsr.Flooding.flood f (Lsr.Lsa.make ~origin:0 ~seq:0 ());
+  Sim.Engine.run engine;
+  check Alcotest.int "nothing delivered" 0 (List.length !log);
+  check Alcotest.int "one first copy" 1 (Lsr.Flooding.messages_sent f);
+  check Alcotest.int "exactly max_retries retransmissions" 3
+    (Lsr.Flooding.retransmissions f);
+  check Alcotest.int "transfer abandoned" 1
+    (Lsr.Flooding.deliveries_abandoned f);
+  check Alcotest.int "state aged out" 0 (Lsr.Flooding.pending_retransmits f)
+
+let test_partitioned_switch_times_out () =
+  (* Switch 3 hangs off a line; a fault plan blocks it permanently (the
+     window outlives the whole retry schedule).  The rest of the network
+     converges, the transfers toward 3 are abandoned, and the engine
+     quiesces cleanly. *)
+  let graph = Net.Topo_gen.line 4 in
+  let plan = Faults.Plan.create ~seed:2 () in
+  Faults.Plan.crash_switch plan ~switch:3 ~from_:0.0 ~until:1e12;
+  let engine_ref = ref None in
+  let transmit ~src ~dst ~base_delay =
+    faulty_transmit plan (Option.get !engine_ref) ~src ~dst ~base_delay
+  in
+  let f, engine, log = make graph ~t_hop:1.0 ~transmit in
+  engine_ref := Some engine;
+  Lsr.Flooding.flood f (Lsr.Lsa.make ~origin:0 ~seq:0 ());
+  Sim.Engine.run engine;
+  let receivers = List.sort compare (List.map fst !log) in
+  check Alcotest.(list int) "reachable switches delivered" [ 1; 2 ] receivers;
+  check Alcotest.int "transfer to the dead switch abandoned" 1
+    (Lsr.Flooding.deliveries_abandoned f);
+  check Alcotest.int "retry state aged out" 0
+    (Lsr.Flooding.pending_retransmits f);
+  check Alcotest.int "full retry budget spent"
+    Lsr.Flooding.default_reliability.max_retries
+    (Lsr.Flooding.retransmissions f)
+
+let test_exactly_once_under_duplication () =
+  (* Duplicate aggressively, never drop: every data message arrives at
+     least twice, yet deliver fires once per (switch, origin, seq). *)
+  let graph = Net.Topo_gen.ring 8 in
+  let spec = { Faults.Plan.spec_default with duplicate = 1.0 } in
+  let plan = Faults.Plan.create ~spec ~seed:9 () in
+  let engine_ref = ref None in
+  let transmit ~src ~dst ~base_delay =
+    faulty_transmit plan (Option.get !engine_ref) ~src ~dst ~base_delay
+  in
+  let f, engine, log = make graph ~t_hop:1.0 ~transmit in
+  engine_ref := Some engine;
+  Lsr.Flooding.flood f (Lsr.Lsa.make ~origin:0 ~seq:4 ());
+  Lsr.Flooding.flood f (Lsr.Lsa.make ~origin:2 ~seq:0 ());
+  Sim.Engine.run engine;
+  check Alcotest.bool "duplicates injected" true
+    ((Faults.Plan.counters plan).Faults.Plan.duplicated > 0);
+  let sorted = List.sort compare !log in
+  check Alcotest.bool "exactly once per (switch, lsa)" true
+    (List.length sorted = List.length (List.sort_uniq compare sorted));
+  check Alcotest.int "14 deliveries (7 switches x 2 LSAs)" 14
+    (List.length sorted)
+
+let test_lossless_reliable_matches_hop_by_hop () =
+  (* Satellite: counter semantics.  Without faults, Reliable sends
+     exactly Hop_by_hop's data messages; its cost is isolated in acks
+     (one per received data copy) with zero retransmissions. *)
+  let graph = Net.Topo_gen.waxman (Sim.Rng.create 3) ~n:12 ~target_degree:3.5 () in
+  let run mode =
+    let f, engine, log = make graph ~t_hop:1.0 ~mode in
+    List.iter
+      (fun origin -> Lsr.Flooding.flood f (Lsr.Lsa.make ~origin ~seq:0 ()))
+      [ 0; 5; 9 ];
+    Sim.Engine.run engine;
+    (f, List.sort compare !log)
+  in
+  let hop, hop_log = run Lsr.Flooding.Hop_by_hop in
+  let rel, rel_log = run Lsr.Flooding.Reliable in
+  check Alcotest.bool "same deliveries" true (hop_log = rel_log);
+  check Alcotest.int "messages_sent identical"
+    (Lsr.Flooding.messages_sent hop)
+    (Lsr.Flooding.messages_sent rel);
+  check Alcotest.int "hop-by-hop sends no acks" 0 (Lsr.Flooding.acks_sent hop);
+  (* Every received data copy is acked, and without loss there is
+     exactly one copy per data message. *)
+  check Alcotest.int "one ack per data message"
+    (Lsr.Flooding.messages_sent rel)
+    (Lsr.Flooding.acks_sent rel);
+  check Alcotest.int "no retransmissions without loss" 0
+    (Lsr.Flooding.retransmissions rel);
+  check Alcotest.int "nothing abandoned" 0
+    (Lsr.Flooding.deliveries_abandoned rel)
+
+let () =
+  Alcotest.run "flooding_reliable"
+    [
+      ( "reliable",
+        [
+          Alcotest.test_case "every LSA delivered under 30% loss" `Quick
+            test_all_delivered_under_loss;
+          Alcotest.test_case "retransmissions are bounded" `Quick
+            test_bounded_retransmissions;
+          Alcotest.test_case "permanently blocked switch times out cleanly"
+            `Quick test_partitioned_switch_times_out;
+          Alcotest.test_case "exactly-once deliver under duplication" `Quick
+            test_exactly_once_under_duplication;
+          Alcotest.test_case "lossless reliable = hop-by-hop modulo acks"
+            `Quick test_lossless_reliable_matches_hop_by_hop;
+        ] );
+    ]
