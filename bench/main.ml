@@ -4,14 +4,87 @@
    micro-benchmarks of the computational kernels (one per table/figure).
 
    Usage: main.exe [fig6] [fig7] [fig8] [compare] [cbt] [ablation] [hierarchy]
-   [extra] [micro] [quick]
+   [extra] [micro] [quick] [--domains N] [--json FILE]
    With no section argument, everything runs.  [quick] shrinks the seed
-   set (3 instead of 10 graphs per size) for a fast smoke run. *)
+   set (3 instead of 10 graphs per size) for a fast smoke run.
+   [--domains N] spreads the figure sweeps' (size × seed) cells over N
+   OCaml domains via Runner.Pool; every table is byte-identical for any
+   N (the timing-reporting sections — ablation's host-time columns and
+   the bechamel micro-benchmarks — report wall clock by design and vary
+   run to run regardless of N).  [--json FILE] additionally records
+   per-figure cell timings, speedup vs the sequential estimate, and
+   commit/seed metadata — the BENCH_dgmc.json perf trajectory. *)
 
 let quick = ref false
 
+let domains = ref 1
+
+(* The figure seed sets are 1..k; their base names the whole family. *)
+let master_seed = 1
+
 let seeds () =
   if !quick then [ 1; 2; 3 ] else Experiments.Figures.default_seeds
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_dgmc.json accumulation *)
+
+let bench_sections : Metrics.Bench.section list ref = ref []
+
+let record name (t : Experiments.Figures.timing) =
+  bench_sections :=
+    {
+      Metrics.Bench.name;
+      elapsed_s = t.Experiments.Figures.elapsed_s;
+      seq_estimate_s = t.Experiments.Figures.seq_estimate_s;
+      domains = t.Experiments.Figures.domains_used;
+      cells =
+        List.map
+          (fun (c : Experiments.Figures.cell_time) ->
+            {
+              Metrics.Bench.series = c.Experiments.Figures.ct_series;
+              size = c.Experiments.Figures.ct_size;
+              seed = c.Experiments.Figures.ct_seed;
+              wall_s = c.Experiments.Figures.ct_wall_s;
+            })
+          t.Experiments.Figures.cells;
+    }
+    :: !bench_sections
+
+let read_file path =
+  try Some (In_channel.with_open_text path In_channel.input_all)
+  with Sys_error _ -> None
+
+(* Enough git plumbing to stamp the record without shelling out: HEAD,
+   one level of symbolic ref, packed-refs fallback. *)
+let commit () =
+  match Sys.getenv_opt "DGMC_COMMIT" with
+  | Some c -> c
+  | None -> (
+    match read_file ".git/HEAD" with
+    | None -> "unknown"
+    | Some head -> (
+      let head = String.trim head in
+      match String.length head >= 5 && String.sub head 0 5 = "ref: " with
+      | false -> head
+      | true -> (
+        let r = String.sub head 5 (String.length head - 5) in
+        match read_file (".git/" ^ r) with
+        | Some sha -> String.trim sha
+        | None -> (
+          match read_file ".git/packed-refs" with
+          | None -> "unknown"
+          | Some txt ->
+            let matching =
+              List.find_opt
+                (fun line ->
+                  match String.index_opt line ' ' with
+                  | Some i -> String.sub line (i + 1) (String.length line - i - 1) = r
+                  | None -> false)
+                (String.split_on_char '\n' txt)
+            in
+            (match matching with
+            | Some line -> String.sub line 0 (String.index line ' ')
+            | None -> "unknown")))))
 
 let heading title =
   Printf.printf "\n================================================================\n";
@@ -40,22 +113,27 @@ let print_bursty title note (r : Experiments.Figures.bursty_result) =
   Printf.printf "all runs converged to network-wide agreement: %b\n" r.all_converged
 
 let fig6 () =
+  let r = Experiments.Figures.fig6 ~domains:!domains ~seeds:(seeds ()) () in
+  record "fig6" r.Experiments.Figures.b_timing;
   print_bursty "Figure 6 - Experiment 1: bursty events, computation dominates"
     "(Tc = 400 us, t_hop = 4 us; 10-member join burst within one flooding \
      diameter;\n mean +/- 95% CI over the random graphs of each size)"
-    (Experiments.Figures.fig6 ~seeds:(seeds ()) ())
+    r
 
 let fig7 () =
+  let r = Experiments.Figures.fig7 ~domains:!domains ~seeds:(seeds ()) () in
+  record "fig7" r.Experiments.Figures.b_timing;
   print_bursty "Figure 7 - Experiment 2: bursty events, communication dominates"
     "(Tc = 100 us, t_hop = 5 ms - WAN regime; same workload as Figure 6)"
-    (Experiments.Figures.fig7 ~seeds:(seeds ()) ())
+    r
 
 let fig8 () =
   heading "Figure 8 - Experiment 3: normal traffic periods";
   print_endline
     "(established 5-member MC; 40 Poisson membership events, mean gap 50 \
      rounds;\n events handled individually => both ratios stay minimal)";
-  let r = Experiments.Figures.fig8 ~seeds:(seeds ()) () in
+  let r = Experiments.Figures.fig8 ~domains:!domains ~seeds:(seeds ()) () in
+  record "fig8" r.Experiments.Figures.n_timing;
   let row (n, p) =
     let f = List.assoc n r.n_floodings.points in
     [ string_of_int n; ci p; ci f ]
@@ -72,7 +150,10 @@ let compare () =
     "(same bursty workload; brute-force recomputes at every switch per \
      event;\n MOSPF recomputes at every on-tree router per source after each \
      change)";
-  let c = Experiments.Figures.compare_protocols ~seeds:(seeds ()) () in
+  let c =
+    Experiments.Figures.compare_protocols ~domains:!domains ~seeds:(seeds ()) ()
+  in
+  record "compare" c.Experiments.Figures.c_timing;
   let row n =
     let get (s : Experiments.Figures.series) = ci (List.assoc n s.points) in
     [
@@ -192,7 +273,7 @@ let hierarchy () =
   print_endline " event: flat D-GMC floods all n switches, the hierarchy floods";
   print_endline " one area plus the logical level when area membership flips)";
   let rows =
-    Experiments.Scale.hier_vs_flat
+    Experiments.Scale.hier_vs_flat ~domains:!domains
       ~seeds:(if !quick then [ 1; 2 ] else [ 1; 2; 3; 4; 5 ])
       ()
   in
@@ -345,10 +426,41 @@ let micro () =
     ~headers:[ "benchmark"; "time/run" ]
     (List.sort Stdlib.compare !rows |> List.map (fun (n, v) -> [ n; pretty v ]))
 
+let usage () =
+  prerr_endline
+    "usage: main.exe [SECTION...] [quick] [--domains N] [--json FILE]\n\
+     sections: fig6 fig7 fig8 compare cbt ablation hierarchy extra micro";
+  exit 2
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  quick := List.mem "quick" args;
-  let sections = List.filter (fun a -> a <> "quick") args in
+  let json = ref None in
+  let rec parse = function
+    | [] -> []
+    | "quick" :: rest ->
+      quick := true;
+      parse rest
+    | "--domains" :: v :: rest -> (
+      match int_of_string_opt v with
+      | Some d when d >= 1 ->
+        domains := d;
+        parse rest
+      | _ -> usage ())
+    | [ "--domains" ] -> usage ()
+    | "--json" :: v :: rest ->
+      json := Some v;
+      parse rest
+    | [ "--json" ] -> usage ()
+    | a :: rest when String.length a >= 2 && String.sub a 0 2 = "--" -> (
+      match String.index_opt a '=' with
+      | Some i ->
+        parse
+          (String.sub a 0 i
+           :: String.sub a (i + 1) (String.length a - i - 1)
+           :: rest)
+      | None -> usage ())
+    | a :: rest -> a :: parse rest
+  in
+  let sections = parse (List.tl (Array.to_list Sys.argv)) in
   let all = sections = [] in
   let want s = all || List.mem s sections in
   if want "fig6" then fig6 ();
@@ -360,4 +472,17 @@ let () =
   if want "hierarchy" then hierarchy ();
   if want "extra" then extra ();
   if want "micro" then micro ();
+  (match !json with
+  | None -> ()
+  | Some path ->
+    let meta =
+      {
+        Metrics.Bench.commit = commit ();
+        master_seed;
+        domains = !domains;
+        quick = !quick;
+      }
+    in
+    Metrics.Bench.write ~path ~meta (List.rev !bench_sections);
+    Printf.printf "bench record written to %s\n" path);
   print_newline ()

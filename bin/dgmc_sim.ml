@@ -424,7 +424,7 @@ let topo_cmd =
 (* fuzz: the default term, so `dgmc_sim --fuzz --seed N` works without a
    subcommand — that literal spelling is what failure reports print. *)
 
-let fuzz_run ~seed ~iterations ~n_max ~mcs_max ~events_max ~verbose =
+let fuzz_run ~seed ~iterations ~n_max ~mcs_max ~events_max ~domains ~verbose =
   let progress s =
     if verbose then
       Format.printf "%a@."
@@ -432,7 +432,8 @@ let fuzz_run ~seed ~iterations ~n_max ~mcs_max ~events_max ~verbose =
         (Check.Fuzz.case_of_seed ~n_max ~mcs_max ~events_max s)
   in
   let o =
-    Check.Fuzz.run ~n_max ~mcs_max ~events_max ~progress ~seed ~iterations ()
+    Check.Fuzz.run ~n_max ~mcs_max ~events_max ~domains ~progress ~seed
+      ~iterations ()
   in
   let agg f = List.fold_left (fun a s -> a + f s) 0 o.Check.Fuzz.o_stats in
   Printf.printf "fuzz: %d/%d cases passed (seeds %d..%d)\n"
@@ -500,22 +501,32 @@ let default_term =
       value & opt int 20
       & info [ "events-max" ] ~doc:"Upper bound on workload events per case.")
   in
+  let domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ]
+          ~doc:
+            "Run fuzz cases on this many OCaml domains (Runner.Pool).  \
+             Each case is a pure function of its seed, so the outcome — \
+             pass/fail counts, counters, shrunk workloads, repro lines — \
+             is byte-identical for any value.")
+  in
   let verbose_arg =
     Arg.(
       value & flag
       & info [ "verbose" ] ~doc:"Print each generated case before running it.")
   in
-  let run fuzz seed iterations n_max mcs_max events_max verbose =
+  let run fuzz seed iterations n_max mcs_max events_max domains verbose =
     if not fuzz then `Help (`Pager, None)
     else begin
-      fuzz_run ~seed ~iterations ~n_max ~mcs_max ~events_max ~verbose;
+      fuzz_run ~seed ~iterations ~n_max ~mcs_max ~events_max ~domains ~verbose;
       `Ok ()
     end
   in
   Term.(
     ret
       (const run $ fuzz_arg $ seed_arg $ iterations_arg $ n_max_arg
-     $ mcs_max_arg $ events_max_arg $ verbose_arg))
+     $ mcs_max_arg $ events_max_arg $ domains_arg $ verbose_arg))
 
 let () =
   let doc = "D-GMC multipoint-connection protocol simulation study" in

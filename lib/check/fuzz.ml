@@ -276,25 +276,33 @@ let shrink case =
 (* ------------------------------------------------------------------ *)
 (* Batch driver *)
 
-let run ?n_max ?mcs_max ?events_max ?(progress = ignore) ~seed ~iterations () =
-  let failures = ref [] in
-  let stats = ref [] in
-  for i = 0 to iterations - 1 do
-    let case_seed = seed + i in
-    progress case_seed;
-    let case = case_of_seed ?n_max ?mcs_max ?events_max case_seed in
-    match run_case case with
-    | Ok s -> stats := s :: !stats
-    | Error problems ->
-      let f_shrunk, f_shrink_runs = shrink case in
-      failures :=
-        { f_case = case; f_problems = problems; f_shrunk; f_shrink_runs }
-        :: !failures
-  done;
+let run ?n_max ?mcs_max ?events_max ?domains ?(progress = ignore) ~seed
+    ~iterations () =
+  let seeds = List.init iterations (fun i -> seed + i) in
+  (* The progress callback fires in seed order before the batch is
+     dispatched: worker domains never touch the caller's output stream,
+     so a parallel batch prints exactly what a sequential one does. *)
+  List.iter progress seeds;
+  (* Everything a case does — generation, execution, shrinking — is a
+     pure function of its seed, so the per-seed tasks commute and the
+     outcome is identical for any domain count. *)
+  let outcomes =
+    Runner.Pool.map ?domains
+      (fun case_seed ->
+        let case = case_of_seed ?n_max ?mcs_max ?events_max case_seed in
+        match run_case case with
+        | Ok s -> Ok s
+        | Error problems ->
+          let f_shrunk, f_shrink_runs = shrink case in
+          Error { f_case = case; f_problems = problems; f_shrunk; f_shrink_runs })
+      seeds
+  in
   {
     o_iterations = iterations;
-    o_failures = List.rev !failures;
-    o_stats = List.rev !stats;
+    o_failures =
+      List.filter_map (function Error f -> Some f | Ok _ -> None) outcomes;
+    o_stats =
+      List.filter_map (function Ok s -> Some s | Error _ -> None) outcomes;
   }
 
 (* ------------------------------------------------------------------ *)

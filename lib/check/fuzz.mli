@@ -68,18 +68,37 @@ val run_case : case -> (stats, string list) result
     violation and divergence reason; deterministic — equal cases yield
     equal results. *)
 
+val run_events : case -> Workload.Events.t list -> (stats, string list) result
+(** [run_case] with the case's workload replaced by [events] — the probe
+    the shrinker applies to sub-workloads. *)
+
+val max_shrink_runs : int
+(** Budget of probe simulations one shrink may spend (200). *)
+
+val shrink : case -> Workload.Events.t list * int
+(** Greedy one-event removal to a fixed point: returns a sub-workload
+    that still fails (assuming the case itself fails) from which no
+    single event can be removed without the failure disappearing, plus
+    the number of probe runs spent (capped at {!max_shrink_runs}).
+    Deterministic. *)
+
 val run :
   ?n_max:int ->
   ?mcs_max:int ->
   ?events_max:int ->
+  ?domains:int ->
   ?progress:(int -> unit) ->
   seed:int ->
   iterations:int ->
   unit ->
   outcome
 (** Run cases for seeds [seed .. seed + iterations - 1], shrinking each
-    failure.  [progress] is called with each case's seed before it
-    runs. *)
+    failure.  [domains] (default 1) spreads the cases over a
+    {!Runner.Pool}; generation, execution and shrinking are pure
+    functions of each case's seed, so the outcome — stats, failures,
+    shrunk workloads, repro lines — is identical for any domain count.
+    [progress] is called with every case's seed, in order, before the
+    batch starts. *)
 
 val repro_line : failure -> string
 (** The command that replays the failing case, e.g.

@@ -1,6 +1,11 @@
-let last_incremental = ref false
+(* Domain-local so parallel experiment runners (Runner.Pool) don't race
+   on this introspection flag; each task observes its own last
+   computation. *)
+let last_incremental_key = Domain.DLS.new_key (fun () -> ref false)
 
-let was_incremental () = !last_incremental
+let set_last_incremental v = Domain.DLS.get last_incremental_key := v
+
+let was_incremental () = !(Domain.DLS.get last_incremental_key)
 
 (* Restrict member ids to the image component containing the computing
    switch, so that a partitioned network still yields a usable topology
@@ -15,7 +20,7 @@ let steiner config image terminals =
   | Config.Sph -> Mctree.Steiner.sph image terminals
 
 let scratch config kind image members ~self =
-  last_incremental := false;
+  set_last_incremental false;
   let ids = Member.ids members in
   match ids with
   | [] -> Mctree.Tree.empty
@@ -75,7 +80,7 @@ let incremental config kind image members ~self current =
              (Mctree.Incremental.needs_recompute
                 ~threshold:config.Config.drift_threshold image grown)
       then begin
-        last_incremental := true;
+        set_last_incremental true;
         grown
       end
       else scratch config kind image members ~self
@@ -83,7 +88,7 @@ let incremental config kind image members ~self current =
 
 let topology config kind image members ~self ~current =
   if Member.is_empty members then begin
-    last_incremental := false;
+    set_last_incremental false;
     Mctree.Tree.empty
   end
   else

@@ -3,23 +3,86 @@ type series = {
   points : (int * Metrics.Stats.summary) list;
 }
 
+type cell_time = {
+  ct_series : string;
+  ct_size : int;
+  ct_seed : int;
+  ct_wall_s : float;
+}
+
+type timing = {
+  elapsed_s : float;
+  seq_estimate_s : float;
+  domains_used : int;
+  cells : cell_time list;
+}
+
 type bursty_result = {
   proposals : series;
   floodings : series;
   convergence : series;
   all_converged : bool;
+  b_timing : timing;
 }
 
 let default_sizes = [ 20; 40; 60; 80; 100 ]
 
 let default_seeds = List.init 10 (fun i -> i + 1)
 
-let bursty config ~sizes ~seeds ~members =
-  let runs =
+(* Run one (size × seed) sweep through the domain pool and regroup the
+   flat results by size.  Each cell derives all randomness from its own
+   (seed, n), so results are identical for any domain count; only the
+   wall-clock timings vary. *)
+let sweep_cells ?domains ~series_label ~sizes ~seeds run =
+  let cells =
+    List.concat_map (fun n -> List.map (fun seed -> (n, seed)) seeds) sizes
+  in
+  let timed, batch =
+    Runner.Pool.map_timed ?domains (fun (n, seed) -> run ~seed ~n) cells
+  in
+  let tagged = List.combine cells timed in
+  let by_size =
     List.map
       (fun n ->
-        (n, List.map (fun seed -> Harness.bursty_run ~seed ~n ~config ~members) seeds))
+        ( n,
+          List.filter_map
+            (fun ((n', _), (t : _ Runner.Pool.timed)) ->
+              if n' = n then Some t.Runner.Pool.value else None)
+            tagged ))
       sizes
+  in
+  let timing =
+    {
+      elapsed_s = batch.Runner.Pool.elapsed_s;
+      seq_estimate_s = batch.Runner.Pool.seq_estimate_s;
+      domains_used = batch.Runner.Pool.domains;
+      cells =
+        List.map
+          (fun ((n, seed), (t : _ Runner.Pool.timed)) ->
+            {
+              ct_series = series_label;
+              ct_size = n;
+              ct_seed = seed;
+              ct_wall_s = t.Runner.Pool.stats.Runner.Pool.wall_s;
+            })
+          tagged;
+    }
+  in
+  (by_size, timing)
+
+let merge_timings ts =
+  {
+    elapsed_s = List.fold_left (fun a t -> a +. t.elapsed_s) 0.0 ts;
+    seq_estimate_s = List.fold_left (fun a t -> a +. t.seq_estimate_s) 0.0 ts;
+    domains_used =
+      List.fold_left (fun a t -> max a t.domains_used) 1 ts;
+    cells = List.concat_map (fun t -> t.cells) ts;
+  }
+
+let bursty ?domains config ~sizes ~seeds ~members =
+  let runs, timing =
+    sweep_cells ?domains ~series_label:"dgmc" ~sizes ~seeds
+      (fun ~seed ~n -> Harness.bursty_run ~seed ~n ~config ~members)
   in
   let series label extract =
     {
@@ -40,31 +103,30 @@ let bursty config ~sizes ~seeds ~members =
       List.for_all
         (fun (_, rs) -> List.for_all (fun r -> r.Harness.converged) rs)
         runs;
+    b_timing = timing;
   }
 
-let fig6 ?(sizes = default_sizes) ?(seeds = default_seeds) ?(members = 10) () =
-  bursty Dgmc.Config.atm_lan ~sizes ~seeds ~members
+let fig6 ?domains ?(sizes = default_sizes) ?(seeds = default_seeds)
+    ?(members = 10) () =
+  bursty ?domains Dgmc.Config.atm_lan ~sizes ~seeds ~members
 
-let fig7 ?(sizes = default_sizes) ?(seeds = default_seeds) ?(members = 10) () =
-  bursty Dgmc.Config.wan ~sizes ~seeds ~members
+let fig7 ?domains ?(sizes = default_sizes) ?(seeds = default_seeds)
+    ?(members = 10) () =
+  bursty ?domains Dgmc.Config.wan ~sizes ~seeds ~members
 
 type normal_result = {
   n_proposals : series;
   n_floodings : series;
   n_all_converged : bool;
+  n_timing : timing;
 }
 
-let fig8 ?(sizes = default_sizes) ?(seeds = default_seeds) ?(events = 40)
-    ?(gap_rounds = 50.0) () =
+let fig8 ?domains ?(sizes = default_sizes) ?(seeds = default_seeds)
+    ?(events = 40) ?(gap_rounds = 50.0) () =
   let config = Dgmc.Config.atm_lan in
-  let runs =
-    List.map
-      (fun n ->
-        ( n,
-          List.map
-            (fun seed -> Harness.poisson_run ~seed ~n ~config ~events ~gap_rounds)
-            seeds ))
-      sizes
+  let runs, timing =
+    sweep_cells ?domains ~series_label:"dgmc" ~sizes ~seeds
+      (fun ~seed ~n -> Harness.poisson_run ~seed ~n ~config ~events ~gap_rounds)
   in
   let series label extract =
     {
@@ -82,6 +144,7 @@ let fig8 ?(sizes = default_sizes) ?(seeds = default_seeds) ?(events = 40)
       List.for_all
         (fun (_, rs) -> List.for_all (fun r -> r.Harness.converged) rs)
         runs;
+    n_timing = timing;
   }
 
 type comparison = {
@@ -92,15 +155,18 @@ type comparison = {
   dgmc_floodings : series;
   brute_floodings : series;
   mospf_floodings : series;
+  c_timing : timing;
 }
 
-let compare_protocols ?(sizes = default_sizes) ?(seeds = default_seeds)
-    ?(members = 10) ?(sources = 3) () =
+let compare_protocols ?domains ?(sizes = default_sizes)
+    ?(seeds = default_seeds) ?(members = 10) ?(sources = 3) () =
   let config = Dgmc.Config.atm_lan in
+  let timings = ref [] in
   let sweep label runner =
-    let per_size =
-      List.map (fun n -> (n, List.map (fun seed -> runner ~seed ~n) seeds)) sizes
+    let per_size, timing =
+      sweep_cells ?domains ~series_label:label ~sizes ~seeds runner
     in
+    timings := timing :: !timings;
     let reduce extract =
       {
         label;
@@ -132,6 +198,7 @@ let compare_protocols ?(sizes = default_sizes) ?(seeds = default_seeds)
     dgmc_floodings = dgmc_f;
     brute_floodings = brute_f;
     mospf_floodings = mospf_f;
+    c_timing = merge_timings (List.rev !timings);
   }
 
 type cbt_row = {

@@ -13,11 +13,32 @@ type series = {
   points : (int * Metrics.Stats.summary) list;  (** (network size, summary). *)
 }
 
+type cell_time = {
+  ct_series : string;  (** Which sweep the cell belongs to (protocol). *)
+  ct_size : int;  (** Network size of the cell. *)
+  ct_seed : int;  (** Graph seed of the cell. *)
+  ct_wall_s : float;  (** Wall-clock seconds spent simulating the cell. *)
+}
+
+type timing = {
+  elapsed_s : float;  (** Wall clock for the whole sweep. *)
+  seq_estimate_s : float;
+      (** Sum of per-cell wall times — the sequential estimate, so
+          speedup = [seq_estimate_s /. elapsed_s]. *)
+  domains_used : int;
+  cells : cell_time list;
+}
+(** Where the time went.  Timings are the only part of a result that is
+    {e not} deterministic; every data series is byte-identical for any
+    [?domains] (each cell derives its randomness from its own (seed,
+    size), see {!Runner.Pool}). *)
+
 type bursty_result = {
   proposals : series;  (** Figure (a): topology computations per event. *)
   floodings : series;  (** Figure (b): flooding operations per event. *)
   convergence : series;  (** Figure (c): convergence time in rounds. *)
   all_converged : bool;  (** Every run reached network-wide agreement. *)
+  b_timing : timing;
 }
 
 val default_sizes : int list
@@ -25,11 +46,14 @@ val default_sizes : int list
 val default_seeds : int list
 
 val fig6 :
+  ?domains:int ->
   ?sizes:int list -> ?seeds:int list -> ?members:int -> unit -> bursty_result
 (** Experiment 1: bursty joins, computation-dominated regime
-    ({!Dgmc.Config.atm_lan}). *)
+    ({!Dgmc.Config.atm_lan}).  [domains] (default 1) spreads the
+    (size × seed) cells over that many OCaml domains. *)
 
 val fig7 :
+  ?domains:int ->
   ?sizes:int list -> ?seeds:int list -> ?members:int -> unit -> bursty_result
 (** Experiment 2: bursty joins, communication-dominated regime
     ({!Dgmc.Config.wan}). *)
@@ -38,9 +62,11 @@ type normal_result = {
   n_proposals : series;  (** Figure 8(a). *)
   n_floodings : series;  (** Figure 8(b). *)
   n_all_converged : bool;
+  n_timing : timing;
 }
 
 val fig8 :
+  ?domains:int ->
   ?sizes:int list ->
   ?seeds:int list ->
   ?events:int ->
@@ -58,9 +84,11 @@ type comparison = {
   dgmc_floodings : series;
   brute_floodings : series;
   mospf_floodings : series;
+  c_timing : timing;  (** All three sweeps merged. *)
 }
 
 val compare_protocols :
+  ?domains:int ->
   ?sizes:int list -> ?seeds:int list -> ?members:int -> ?sources:int -> unit -> comparison
 (** §4's claim quantified: per-event topology computations and floodings
     for D-GMC vs. the brute-force LSR protocol vs. MOSPF (with the given

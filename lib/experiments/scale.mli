@@ -22,6 +22,7 @@ type row = {
 }
 
 val hier_vs_flat :
+  ?domains:int ->
   ?seeds:int list ->
   ?areas:int ->
   ?per_area:int ->
@@ -29,4 +30,5 @@ val hier_vs_flat :
   unit ->
   row list
 (** Defaults: 10 areas × 20 switches (n = 200), 20 sparse membership
-    events confined to 3 areas, seeds 1-5. *)
+    events confined to 3 areas, seeds 1-5.  [domains] (default 1) runs
+    one seed per pool task; the rows are identical for any value. *)

@@ -1,0 +1,90 @@
+type cell = {
+  series : string;
+  size : int;
+  seed : int;
+  wall_s : float;
+}
+
+type section = {
+  name : string;
+  elapsed_s : float;
+  seq_estimate_s : float;
+  domains : int;
+  cells : cell list;
+}
+
+type meta = {
+  commit : string;
+  master_seed : int;
+  domains : int;
+  quick : bool;
+}
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let num f = if Float.is_finite f then Printf.sprintf "%.6g" f else "0"
+
+let speedup ~seq ~elapsed = if elapsed > 0.0 then seq /. elapsed else 1.0
+
+let cell_json c =
+  Printf.sprintf {|{"series": "%s", "size": %d, "seed": %d, "wall_s": %s}|}
+    (escape c.series) c.size c.seed (num c.wall_s)
+
+let section_json s =
+  let cells = String.concat ",\n        " (List.map cell_json s.cells) in
+  Printf.sprintf
+    {|    {
+      "name": "%s",
+      "elapsed_s": %s,
+      "seq_estimate_s": %s,
+      "speedup_vs_sequential": %s,
+      "domains": %d,
+      "cells": [
+        %s
+      ]
+    }|}
+    (escape s.name) (num s.elapsed_s) (num s.seq_estimate_s)
+    (num (speedup ~seq:s.seq_estimate_s ~elapsed:s.elapsed_s))
+    s.domains cells
+
+let to_string ~meta sections =
+  let elapsed = List.fold_left (fun a s -> a +. s.elapsed_s) 0.0 sections in
+  let seq = List.fold_left (fun a s -> a +. s.seq_estimate_s) 0.0 sections in
+  Printf.sprintf
+    {|{
+  "schema": "dgmc-bench/1",
+  "commit": "%s",
+  "master_seed": %d,
+  "domains": %d,
+  "quick": %b,
+  "elapsed_s": %s,
+  "seq_estimate_s": %s,
+  "speedup_vs_sequential": %s,
+  "figures": [
+%s
+  ]
+}
+|}
+    (escape meta.commit) meta.master_seed meta.domains meta.quick (num elapsed)
+    (num seq)
+    (num (speedup ~seq ~elapsed))
+    (String.concat ",\n" (List.map section_json sections))
+
+let write ~path ~meta sections =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ~meta sections))

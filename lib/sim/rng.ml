@@ -18,6 +18,20 @@ let split t =
   let seed = next_int64 t in
   { state = seed }
 
+let derive ~master ~index =
+  if index < 0 then invalid_arg "Rng.derive: negative index";
+  (* A pure function of (master, index): jump the master stream to slot
+     [index + 1] and mix once, so shard streams are independent of each
+     other and of the order in which shards are executed. *)
+  let t =
+    {
+      state =
+        Int64.add (Int64.of_int master)
+          (Int64.mul (Int64.of_int (index + 1)) golden_gamma);
+    }
+  in
+  { state = next_int64 t }
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Keep 62 bits so the value fits OCaml's 63-bit native int as a

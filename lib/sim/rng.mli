@@ -16,6 +16,13 @@ val split : t -> t
     Use one split per subsystem so adding draws in one place does not
     perturb the stream seen by another. *)
 
+val derive : master:int -> index:int -> t
+(** [derive ~master ~index] is the generator for shard [index] of the
+    stream family named by [master] — a pure function of both, so a
+    parallel runner assigning one shard per task gets the same stream
+    for a task no matter which worker runs it or in what order
+    (contrast {!split}, which advances shared state).  [index >= 0]. *)
+
 val int64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -129,6 +129,136 @@ let prop_deterministic_replay =
       | _ -> false)
 
 (* ------------------------------------------------------------------ *)
+(* Timestamp algebra properties
+
+   The vector-timestamp laws the protocol's reconciliation — and the
+   parallel runner's deterministic merge of per-cell results — lean on:
+   [geq] is a partial order, [compare_total] a total order consistent
+   with it, and [merge] a commutative, idempotent least upper bound. *)
+
+let pp_stamps ts =
+  String.concat " "
+    (List.map (fun t -> Format.asprintf "%a" Dgmc.Timestamp.pp t) ts)
+
+(* [k] same-size random stamps, entries 0..4 (small enough that equal
+   and comparable pairs actually occur). *)
+let stamps_gen k =
+  QCheck2.Gen.(
+    int_range 1 6 >>= fun size ->
+    map
+      (fun arrays -> List.map Dgmc.Timestamp.of_array arrays)
+      (list_repeat k (array_size (return size) (int_range 0 4))))
+
+(* A pair (a, b) with b pointwise <= a, so the geq-related branches are
+   exercised on every sample rather than by luck. *)
+let dominated_pair_gen =
+  QCheck2.Gen.(
+    int_range 1 6 >>= fun size ->
+    map
+      (fun (a, cuts) ->
+        let b = Array.mapi (fun i x -> max 0 (x - cuts.(i))) a in
+        (Dgmc.Timestamp.of_array a, Dgmc.Timestamp.of_array b))
+      (pair
+         (array_size (return size) (int_range 0 4))
+         (array_size (return size) (int_range 0 4))))
+
+let prop_geq_reflexive =
+  QCheck2.Test.make ~name:"timestamp: geq is reflexive" ~count:200
+    ~print:(fun ts -> pp_stamps ts)
+    (stamps_gen 1)
+    (function
+      | [ a ] -> Dgmc.Timestamp.geq a a
+      | _ -> false)
+
+let prop_geq_antisymmetric =
+  QCheck2.Test.make ~name:"timestamp: geq both ways iff equal" ~count:400
+    ~print:pp_stamps (stamps_gen 2)
+    (function
+      | [ a; b ] ->
+        Dgmc.Timestamp.(geq a b && geq b a) = Dgmc.Timestamp.equal a b
+      | _ -> false)
+
+let prop_geq_transitive =
+  QCheck2.Test.make ~name:"timestamp: geq is transitive" ~count:400
+    ~print:(fun ((a, b), cuts) ->
+      pp_stamps [ a; b ] ^ Printf.sprintf " cuts=%d" (Array.length cuts))
+    QCheck2.Gen.(
+      dominated_pair_gen >>= fun (a, b) ->
+      map
+        (fun cuts -> ((a, b), cuts))
+        (array_size (return (Dgmc.Timestamp.size a)) (int_range 0 4)))
+    (fun ((a, b), cuts) ->
+      (* c pointwise <= b <= a: the chain must collapse. *)
+      let c =
+        Dgmc.Timestamp.of_array
+          (Array.mapi
+             (fun i x -> max 0 (x - cuts.(i)))
+             (Dgmc.Timestamp.to_array b))
+      in
+      Dgmc.Timestamp.(geq a b && geq b c && geq a c))
+
+let prop_compare_total_consistent_with_geq =
+  QCheck2.Test.make
+    ~name:"timestamp: compare_total is a total order refining geq" ~count:400
+    ~print:pp_stamps (stamps_gen 3)
+    (function
+      | [ a; b; c ] ->
+        let ct = Dgmc.Timestamp.compare_total in
+        (* Zero exactly on equality. *)
+        (ct a b = 0) = Dgmc.Timestamp.equal a b
+        (* Antisymmetric. *)
+        && compare (ct a b) 0 = compare 0 (ct b a)
+        (* Transitive. *)
+        && ((not (ct a b <= 0 && ct b c <= 0)) || ct a c <= 0)
+        (* Refines the partial order: strict domination sorts after. *)
+        && ((not (Dgmc.Timestamp.gt a b)) || ct a b > 0)
+      | _ -> false)
+
+let prop_merge_idempotent_commutative_associative =
+  QCheck2.Test.make ~name:"timestamp: merge laws (idem, comm, assoc)"
+    ~count:400 ~print:pp_stamps (stamps_gen 3)
+    (function
+      | [ a; b; c ] ->
+        let open Dgmc.Timestamp in
+        equal (merge a a) a
+        && equal (merge a b) (merge b a)
+        && equal (merge (merge a b) c) (merge a (merge b c))
+      | _ -> false)
+
+let prop_merge_is_least_upper_bound =
+  QCheck2.Test.make ~name:"timestamp: merge is the least upper bound"
+    ~count:400
+    ~print:(fun (ts, _) -> pp_stamps ts)
+    QCheck2.Gen.(
+      stamps_gen 2 >>= fun ts ->
+      map
+        (fun lift -> (ts, lift))
+        (array_size (return (Dgmc.Timestamp.size (List.hd ts))) (int_range 0 3)))
+    (fun (ts, lift) ->
+      match ts with
+      | [ a; b ] ->
+        let m = Dgmc.Timestamp.merge a b in
+        (* Upper bound of both ... *)
+        Dgmc.Timestamp.(geq m a && geq m b)
+        (* ... below every independently constructed upper bound. *)
+        &&
+        let u =
+          Dgmc.Timestamp.of_array
+            (Array.init (Dgmc.Timestamp.size a) (fun i ->
+                 max (Dgmc.Timestamp.get a i) (Dgmc.Timestamp.get b i)
+                 + lift.(i)))
+        in
+        Dgmc.Timestamp.geq u m
+      | _ -> false)
+
+let prop_merge_absorbs_dominated =
+  QCheck2.Test.make ~name:"timestamp: merge with a dominated stamp is identity"
+    ~count:400
+    ~print:(fun (a, b) -> pp_stamps [ a; b ])
+    dominated_pair_gen
+    (fun (a, b) -> Dgmc.Timestamp.(equal (merge a b) a && equal (merge b a) a))
+
+(* ------------------------------------------------------------------ *)
 (* Tree algorithm properties *)
 
 type tree_case = { g_seed : int; g_n : int; picks : int list }
@@ -406,6 +536,16 @@ let () =
           QCheck_alcotest.to_alcotest prop_random_scenarios_converge;
           QCheck_alcotest.to_alcotest prop_agreed_topology_is_valid;
           QCheck_alcotest.to_alcotest prop_deterministic_replay;
+        ] );
+      ( "timestamps",
+        [
+          QCheck_alcotest.to_alcotest prop_geq_reflexive;
+          QCheck_alcotest.to_alcotest prop_geq_antisymmetric;
+          QCheck_alcotest.to_alcotest prop_geq_transitive;
+          QCheck_alcotest.to_alcotest prop_compare_total_consistent_with_geq;
+          QCheck_alcotest.to_alcotest prop_merge_idempotent_commutative_associative;
+          QCheck_alcotest.to_alcotest prop_merge_is_least_upper_bound;
+          QCheck_alcotest.to_alcotest prop_merge_absorbs_dominated;
         ] );
       ( "trees",
         [
