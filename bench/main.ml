@@ -351,13 +351,13 @@ let micro () =
         (Staged.stage (fun () ->
              ignore
                (Experiments.Harness.bursty_run ~seed:1 ~n:20
-                  ~config:Dgmc.Config.atm_lan ~members:10)));
+                  ~config:Dgmc.Config.atm_lan ~members:10 ())));
       (* Figure 8 kernel: sparse-event run. *)
       Test.make ~name:"fig8 kernel: poisson run (n=20, 10 events)"
         (Staged.stage (fun () ->
              ignore
                (Experiments.Harness.poisson_run ~seed:1 ~n:20
-                  ~config:Dgmc.Config.atm_lan ~events:10 ~gap_rounds:50.0)));
+                  ~config:Dgmc.Config.atm_lan ~events:10 ~gap_rounds:50.0 ())));
       (* Comparison kernels: the per-switch work each protocol repeats. *)
       Test.make ~name:"steiner kmb (n=100, 10 members)"
         (Staged.stage (fun () -> ignore (Mctree.Steiner.kmb graph members)));
@@ -483,6 +483,25 @@ let () =
         quick = !quick;
       }
     in
-    Metrics.Bench.write ~path ~meta (List.rev !bench_sections);
+    (* The metrics section: protocol/switch/flood counters from a pinned,
+       fully instrumented probe run (deterministic for the master seed),
+       plus pool.task_* histograms from a parallel batch of the same
+       kernel.  The registry is not domain-safe, so worker tasks run
+       uninstrumented — the pool observes their wall/alloc stats on this
+       domain after the join, and the counter probe runs sequentially. *)
+    let registry = Metrics.Registry.create () in
+    let (_ : Experiments.Harness.run Runner.Pool.timed list), _ =
+      Runner.Pool.map_timed ~domains:!domains ~metrics:registry
+        (fun seed ->
+          Experiments.Harness.bursty_run ~seed ~n:20
+            ~config:Dgmc.Config.atm_lan ~members:10 ())
+        [ 1; 2; 3; 4 ]
+    in
+    ignore
+      (Experiments.Harness.bursty_run ~metrics:registry ~seed:master_seed
+         ~n:20 ~config:Dgmc.Config.atm_lan ~members:10 ());
+    Metrics.Bench.write ~path ~meta
+      ~metrics:(Metrics.Registry.snapshot registry)
+      (List.rev !bench_sections);
     Printf.printf "bench record written to %s\n" path);
   print_newline ()

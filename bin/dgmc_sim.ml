@@ -37,6 +37,54 @@ let maybe_csv path ~headers rows =
   | None -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Structured tracing (shared by run / script / fuzz) *)
+
+let trace_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Capture a structured causal trace of the run — LSA provenance \
+           (origination, per-link forwards, deliveries, drops), topology \
+           computations and installs, fault injections — and write it as \
+           JSON Lines (schema dgmc-trace/1) to $(docv), ready for \
+           $(b,dgmc_trace).  '-' prints the human-readable timeline to \
+           stdout instead.")
+
+let trace_cats_arg =
+  Arg.(
+    value
+    & opt (some (list string)) None
+    & info [ "trace-cats" ] ~docv:"CATS"
+        ~doc:
+          "Comma-separated trace categories to retain (flood, forward, \
+           deliver, drop, compute, proposal, install, fault, crash, \
+           recover, resync, ...).  Default: all.  Filtering affects \
+           retention only; event ids stay globally consistent, so causal \
+           parents in a filtered trace still refer to real events.")
+
+let make_trace ?cap file cats =
+  match file with
+  | None -> Sim.Trace.disabled
+  | Some _ -> Sim.Trace.create ?cap ?cats ()
+
+let finish_trace trace file =
+  match file with
+  | None -> ()
+  | Some "-" ->
+    List.iter
+      (fun e -> Format.printf "%a@." Sim.Trace.pp_entry e)
+      (Sim.Trace.entries trace)
+  | Some path ->
+    Sim.Trace.write_jsonl trace ~path;
+    Printf.eprintf "trace: %d event(s) written to %s%s\n%!"
+      (Sim.Trace.count trace) path
+      (match Sim.Trace.dropped trace with
+      | 0 -> ""
+      | d -> Printf.sprintf " (%d evicted by the ring buffer)" d)
+
+(* ------------------------------------------------------------------ *)
 (* fig6 / fig7 *)
 
 let print_bursty csv (r : Experiments.Figures.bursty_result) =
@@ -234,16 +282,18 @@ let run_cmd =
       & opt (enum [ ("bursty", `Bursty); ("normal", `Normal) ]) `Bursty
       & info [ "workload" ] ~doc:"Event pattern.")
   in
-  let run n seed members regime workload =
+  let run n seed members regime workload trace_file trace_cats =
     let config =
       match regime with `Atm -> Dgmc.Config.atm_lan | `Wan -> Dgmc.Config.wan
     in
+    let trace = make_trace trace_file trace_cats in
     let r =
       match workload with
-      | `Bursty -> Experiments.Harness.bursty_run ~seed ~n ~config ~members
+      | `Bursty ->
+        Experiments.Harness.bursty_run ~trace ~seed ~n ~config ~members ()
       | `Normal ->
-        Experiments.Harness.poisson_run ~seed ~n ~config ~events:40
-          ~gap_rounds:50.0
+        Experiments.Harness.poisson_run ~trace ~seed ~n ~config ~events:40
+          ~gap_rounds:50.0 ()
     in
     Printf.printf "switches:            %d\n" r.n;
     Printf.printf "events:              %d\n" r.events;
@@ -254,11 +304,14 @@ let run_cmd =
     | Some c -> Printf.printf "convergence:         %.2f rounds\n" c
     | None -> Printf.printf "convergence:         n/a\n");
     Printf.printf "network-wide agreement: %b\n" r.converged;
+    finish_trace trace trace_file;
     if not r.converged then exit 1
   in
   Cmd.v
     (Cmd.info "run" ~doc:"One D-GMC simulation run, reported in detail.")
-    Term.(const run $ n_arg $ seed_arg $ members_arg $ regime_arg $ workload_arg)
+    Term.(
+      const run $ n_arg $ seed_arg $ members_arg $ regime_arg $ workload_arg
+      $ trace_file_arg $ trace_cats_arg)
 
 (* ------------------------------------------------------------------ *)
 (* script: run a scenario file *)
@@ -266,9 +319,6 @@ let run_cmd =
 let script_cmd =
   let file_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Scenario script.")
-  in
-  let trace_arg =
-    Arg.(value & flag & info [ "trace" ] ~doc:"Print the protocol event timeline.")
   in
   let dot_arg =
     Arg.(
@@ -301,7 +351,7 @@ let script_cmd =
       & info [ "fault-seed" ]
           ~doc:"Seed of the fault plan's random stream (default 1).")
   in
-  let run file trace_flag dot check faults_spec fault_seed =
+  let run file trace_file trace_cats dot check faults_spec fault_seed =
     match Workload.Script.load file with
     | Error msg ->
       Printf.eprintf "%s: %s\n" file msg;
@@ -323,15 +373,14 @@ let script_cmd =
         in
         { script with Workload.Script.faults; fault_seed }
       in
-      let trace = if trace_flag then Sim.Trace.create () else Sim.Trace.disabled in
+      let trace = make_trace trace_file trace_cats in
       let net = Workload.Script.build ~trace script in
-      let monitor = if check then Some (Check.Monitor.attach net) else None in
+      let monitor =
+        if check then Some (Check.Monitor.attach ~trace net) else None
+      in
       Dgmc.Protocol.run net;
       Option.iter Check.Monitor.check_terminal monitor;
-      if trace_flag then
-        List.iter
-          (fun e -> Format.printf "%a@." Sim.Trace.pp_entry e)
-          (Sim.Trace.entries trace);
+      finish_trace trace trace_file;
       List.iter
         (fun mc ->
           Format.printf "%a: %s@." Dgmc.Mc_id.pp mc
@@ -388,8 +437,8 @@ let script_cmd =
     (Cmd.info "script"
        ~doc:"Run a scenario file (see lib/workload/script.mli for the format).")
     Term.(
-      const run $ file_arg $ trace_arg $ dot_arg $ check_arg $ faults_arg
-      $ fault_seed_arg)
+      const run $ file_arg $ trace_file_arg $ trace_cats_arg $ dot_arg
+      $ check_arg $ faults_arg $ fault_seed_arg)
 
 (* ------------------------------------------------------------------ *)
 (* topo: inspect generated topologies *)
@@ -423,6 +472,29 @@ let topo_cmd =
 (* ------------------------------------------------------------------ *)
 (* fuzz: the default term, so `dgmc_sim --fuzz --seed N` works without a
    subcommand — that literal spelling is what failure reports print. *)
+
+(* Trace capture re-runs one case with full observability: the seed
+   regenerates the identical case, so the captured trace is exactly the
+   failing (or passing) run.  Shrinking is skipped — the trace records
+   the unshrunk case the repro line names. *)
+let fuzz_traced ~seed ~iterations ~n_max ~mcs_max ~events_max ~trace_file
+    ~trace_cats =
+  if iterations <> 1 then begin
+    prerr_endline
+      "dgmc_sim --fuzz --trace: tracing captures a single case; pass \
+       --iterations 1 (and --seed N for the case to capture).";
+    exit 2
+  end;
+  let trace = make_trace ~cap:200_000 (Some trace_file) trace_cats in
+  let case = Check.Fuzz.case_of_seed ~n_max ~mcs_max ~events_max seed in
+  let outcome = Check.Fuzz.run_case ~trace case in
+  finish_trace trace (Some trace_file);
+  match outcome with
+  | Ok _ -> Printf.printf "fuzz: seed %d passed (1 case)\n" seed
+  | Error problems ->
+    Printf.printf "fuzz: seed %d FAILED:\n" seed;
+    List.iter (fun p -> Printf.printf "  %s\n" p) problems;
+    exit 1
 
 let fuzz_run ~seed ~iterations ~n_max ~mcs_max ~events_max ~domains ~verbose =
   let progress s =
@@ -516,17 +588,25 @@ let default_term =
       value & flag
       & info [ "verbose" ] ~doc:"Print each generated case before running it.")
   in
-  let run fuzz seed iterations n_max mcs_max events_max domains verbose =
+  let run fuzz seed iterations n_max mcs_max events_max domains verbose
+      trace_file trace_cats =
     if not fuzz then `Help (`Pager, None)
     else begin
-      fuzz_run ~seed ~iterations ~n_max ~mcs_max ~events_max ~domains ~verbose;
+      (match trace_file with
+      | Some trace_file ->
+        fuzz_traced ~seed ~iterations ~n_max ~mcs_max ~events_max ~trace_file
+          ~trace_cats
+      | None ->
+        fuzz_run ~seed ~iterations ~n_max ~mcs_max ~events_max ~domains
+          ~verbose);
       `Ok ()
     end
   in
   Term.(
     ret
       (const run $ fuzz_arg $ seed_arg $ iterations_arg $ n_max_arg
-     $ mcs_max_arg $ events_max_arg $ domains_arg $ verbose_arg))
+     $ mcs_max_arg $ events_max_arg $ domains_arg $ verbose_arg
+     $ trace_file_arg $ trace_cats_arg))
 
 let () =
   let doc = "D-GMC multipoint-connection protocol simulation study" in

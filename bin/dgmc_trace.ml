@@ -1,0 +1,337 @@
+(* dgmc_trace — analyzer for dgmc-trace/1 JSONL captures.
+
+   Reads a trace written by `dgmc_sim ... --trace FILE` and answers the
+   questions a diverged or slow run raises: what caused this event
+   (--chain), how did each MC's installed topology evolve
+   (--convergence), where did a switch's view depart from the network's
+   (--divergence), and what happened overall (--summary, the default). *)
+
+open Cmdliner
+
+let load path =
+  match Sim.Trace.read_jsonl ~path with
+  | Ok a -> a
+  | Error msg ->
+    Printf.eprintf "%s: %s\n" path msg;
+    exit 2
+
+let index entries =
+  let tbl = Hashtbl.create (List.length entries * 2) in
+  List.iter (fun (e : Sim.Trace.entry) -> Hashtbl.replace tbl e.id e) entries;
+  tbl
+
+(* The switch an event happened at (transmissions count at the sender). *)
+let switch_of (ev : Sim.Trace.event) =
+  match ev with
+  | Lsa_originated { switch; _ }
+  | Lsa_delivered { switch; _ }
+  | Compute_started { switch; _ }
+  | Proposal_made { switch; _ }
+  | Topology_installed { switch; _ }
+  | Crash { switch }
+  | Recover { switch }
+  | Resync { switch; _ } -> Some switch
+  | Lsa_forwarded { src; _ } | Lsa_dropped { src; _ } | Fault_injected { src; _ }
+    -> Some src
+  | Note _ -> None
+
+let installs entries =
+  List.filter_map
+    (fun (e : Sim.Trace.entry) ->
+      match e.event with
+      | Topology_installed i -> Some (e, i.switch, i.mc, i.members, i.tree)
+      | _ -> None)
+    entries
+
+(* One MC "view": what agreement is defined over — member list + tree. *)
+let view_of ~members ~tree = members ^ " " ^ tree
+
+let mcs_of entries =
+  List.sort_uniq compare
+    (List.filter_map
+       (fun (e : Sim.Trace.entry) ->
+         match e.event with
+         | Topology_installed { mc; _ } -> Some mc
+         | _ -> None)
+       entries)
+
+(* ------------------------------------------------------------------ *)
+(* summary *)
+
+let summary (a : Sim.Trace.archive) =
+  let entries = a.a_entries in
+  Printf.printf "events: %d retained, %d emitted, %d evicted\n"
+    (List.length entries) a.a_emitted a.a_dropped;
+  (match entries with
+  | [] -> ()
+  | first :: _ ->
+    let t_max =
+      List.fold_left
+        (fun m (e : Sim.Trace.entry) -> Float.max m e.time)
+        first.Sim.Trace.time entries
+    in
+    Printf.printf "time span: [%g, %g]\n" first.Sim.Trace.time t_max);
+  let count_by f =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (e : Sim.Trace.entry) ->
+        match f e with
+        | None -> ()
+        | Some k ->
+          Hashtbl.replace tbl k
+            (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+      entries;
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  in
+  print_string "by category:\n";
+  List.iter
+    (fun (cat, n) -> Printf.printf "  %-12s %6d\n" cat n)
+    (count_by (fun e -> Some (Sim.Trace.category e.Sim.Trace.event)));
+  let per_switch =
+    count_by (fun (e : Sim.Trace.entry) -> switch_of e.event)
+  in
+  if per_switch <> [] then begin
+    print_string "by switch:\n";
+    List.iter
+      (fun (sw, n) -> Printf.printf "  switch %-4d %6d\n" sw n)
+      per_switch
+  end;
+  List.iter
+    (fun mc ->
+      let is = List.filter (fun (_, _, m, _, _) -> m = mc) (installs entries) in
+      let final = Hashtbl.create 8 in
+      List.iter
+        (fun (_, sw, _, members, tree) ->
+          Hashtbl.replace final sw (view_of ~members ~tree))
+        is;
+      let views =
+        List.sort_uniq compare
+          (Hashtbl.fold (fun _ v acc -> v :: acc) final [])
+      in
+      Printf.printf "%s: %d install(s) at %d switch(es), %d final view(s)\n" mc
+        (List.length is) (Hashtbl.length final) (List.length views))
+    (mcs_of entries)
+
+(* ------------------------------------------------------------------ *)
+(* chain *)
+
+let chain (a : Sim.Trace.archive) id =
+  let tbl = index a.a_entries in
+  match Hashtbl.find_opt tbl id with
+  | None ->
+    Printf.eprintf
+      "no event #%d in this trace (%d emitted; it may have been evicted by \
+       the ring buffer or filtered by --trace-cats)\n"
+      id a.a_emitted;
+    exit 1
+  | Some e ->
+    let rec ancestry (e : Sim.Trace.entry) acc =
+      let acc = e :: acc in
+      if e.parent < 0 then acc
+      else
+        match Hashtbl.find_opt tbl e.parent with
+        | Some p -> ancestry p acc
+        | None ->
+          (* parent emitted but not retained: truncated chain *)
+          Printf.printf "(ancestry truncated: #%d not retained)\n" e.parent;
+          acc
+    in
+    List.iter
+      (fun e -> Format.printf "%a@." Sim.Trace.pp_entry e)
+      (ancestry e [])
+
+(* ------------------------------------------------------------------ *)
+(* convergence *)
+
+let convergence (a : Sim.Trace.archive) =
+  let entries = a.a_entries in
+  List.iter
+    (fun mc ->
+      Printf.printf "%s:\n" mc;
+      let is = List.filter (fun (_, _, m, _, _) -> m = mc) (installs entries) in
+      List.iter
+        (fun ((e : Sim.Trace.entry), sw, _, members, tree) ->
+          Printf.printf "  [%12.6f] #%-5d switch %-3d installs %s %s\n" e.time
+            e.id sw members tree)
+        is;
+      let final = Hashtbl.create 8 in
+      List.iter
+        (fun (_, sw, _, members, tree) ->
+          Hashtbl.replace final sw (view_of ~members ~tree))
+        is;
+      let views =
+        List.sort_uniq compare
+          (Hashtbl.fold (fun _ v acc -> v :: acc) final [])
+      in
+      match views with
+      | [ v ] ->
+        Printf.printf "  converged: all %d installing switch(es) end on %s\n"
+          (Hashtbl.length final) v
+      | vs -> Printf.printf "  DIVERGED: %d distinct final views\n" (List.length vs))
+    (mcs_of entries)
+
+(* ------------------------------------------------------------------ *)
+(* divergence *)
+
+(* The final majority view per MC, then — for each switch that ends
+   elsewhere — the first install event after that switch's own last
+   install whose view differs from the switch's final view: the point
+   where the network's history departs from the lagging switch's.  The
+   causal chain of that event (--chain) names the LSA the switch missed. *)
+let divergence (a : Sim.Trace.archive) =
+  let entries = a.a_entries in
+  let diverged = ref false in
+  List.iter
+    (fun mc ->
+      let is = List.filter (fun (_, _, m, _, _) -> m = mc) (installs entries) in
+      let final = Hashtbl.create 8 in
+      (* last install per switch, in id order so later replaces earlier *)
+      List.iter
+        (fun ((e : Sim.Trace.entry), sw, _, members, tree) ->
+          Hashtbl.replace final sw (e, view_of ~members ~tree))
+        is;
+      let votes = Hashtbl.create 8 in
+      Hashtbl.iter
+        (fun _ (_, v) ->
+          Hashtbl.replace votes v
+            (1 + Option.value ~default:0 (Hashtbl.find_opt votes v)))
+        final;
+      let majority =
+        (* most switches; ties broken towards the lexicographically
+           smaller view, so the report is deterministic *)
+        Hashtbl.fold
+          (fun v n best ->
+            match best with
+            | Some (bv, bn) when bn > n || (bn = n && bv <= v) -> best
+            | _ -> Some (v, n))
+          votes None
+      in
+      match majority with
+      | None -> ()
+      | Some (maj, _) ->
+        let lagging =
+          List.sort compare
+            (Hashtbl.fold
+               (fun sw ((e : Sim.Trace.entry), v) acc ->
+                 if v = maj then acc else (sw, e, v) :: acc)
+               final [])
+        in
+        if lagging = [] then
+          Printf.printf
+            "%s: no divergence — %d installing switch(es) agree on %s\n" mc
+            (Hashtbl.length final) maj
+        else begin
+          diverged := true;
+          Printf.printf "%s: majority view %s\n" mc maj;
+          List.iter
+            (fun (sw, (last : Sim.Trace.entry), v) ->
+              Printf.printf
+                "  switch %d departs: last installed %s (#%d, t=%g)\n" sw v
+                last.id last.time;
+              (let departure =
+                 List.find_opt
+                   (fun ((e : Sim.Trace.entry), _, _, members, tree) ->
+                     e.id > last.id && view_of ~members ~tree <> v)
+                   is
+               in
+               match departure with
+               | Some (e, osw, _, members, tree) ->
+                 Printf.printf
+                   "    first event it missed: #%d t=%g switch %d installs %s \
+                    %s\n"
+                   e.id e.time osw members tree;
+                 Printf.printf
+                   "    causal ancestry: dgmc_trace --chain %d\n" e.id
+               | None ->
+                 Printf.printf
+                   "    no later install in the trace — switch %d installed \
+                    last yet differs (it departed on its own)\n"
+                   sw);
+              (* what this switch missed or lived through *)
+              let drops =
+                List.filter
+                  (fun (e : Sim.Trace.entry) ->
+                    match e.event with
+                    | Lsa_dropped { dst; _ } -> dst = sw
+                    | _ -> false)
+                  entries
+              in
+              if drops <> [] then
+                Printf.printf "    LSA copies dropped towards it: %d\n"
+                  (List.length drops);
+              List.iter
+                (fun (e : Sim.Trace.entry) ->
+                  match e.event with
+                  | Crash { switch } when switch = sw ->
+                    Printf.printf "    crashed at t=%g (#%d)\n" e.time e.id
+                  | Recover { switch } when switch = sw ->
+                    Printf.printf "    recovered at t=%g (#%d)\n" e.time e.id
+                  | _ -> ())
+                entries)
+            lagging
+        end)
+    (mcs_of entries);
+  if !diverged then exit 1
+
+(* ------------------------------------------------------------------ *)
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"TRACE"
+        ~doc:"JSONL trace (schema dgmc-trace/1) from dgmc_sim --trace.")
+
+let chain_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "chain" ] ~docv:"ID"
+        ~doc:
+          "Print the causal ancestry of event $(docv), root first: the \
+           chain of originations, forwards and deliveries that led to it.")
+
+let convergence_arg =
+  Arg.(
+    value & flag
+    & info [ "convergence" ]
+        ~doc:"Per-MC install timeline: every Topology_installed event, then \
+              whether the final views agree.")
+
+let divergence_arg =
+  Arg.(
+    value & flag
+    & info [ "divergence" ]
+        ~doc:
+          "Per-MC divergence report: the majority final view, each switch \
+           that ends elsewhere, and the first install event it missed \
+           (exit 1 when any MC diverged).")
+
+let summary_arg =
+  Arg.(
+    value & flag
+    & info [ "summary" ]
+        ~doc:"Event counts by category and switch, per-MC install totals \
+              (the default when no other mode is given).")
+
+let () =
+  let doc = "Analyze dgmc-trace/1 causal traces" in
+  let run file chain_id conv div summ =
+    let a = load file in
+    match (chain_id, conv, div, summ) with
+    | Some id, false, false, false -> chain a id
+    | None, true, false, false -> convergence a
+    | None, false, true, false -> divergence a
+    | None, false, false, (true | false) -> summary a
+    | _ ->
+      prerr_endline
+        "dgmc_trace: --chain, --convergence, --divergence and --summary are \
+         mutually exclusive";
+      exit 2
+  in
+  let term =
+    Term.(
+      const run $ file_arg $ chain_arg $ convergence_arg $ divergence_arg
+      $ summary_arg)
+  in
+  exit (Cmd.eval (Cmd.v (Cmd.info "dgmc_trace" ~version:"1.0.0" ~doc) term))

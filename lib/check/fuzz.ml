@@ -208,14 +208,14 @@ let build_plan case =
     case.partitions;
   plan
 
-let run_events case events =
+let run_events ?(trace = Sim.Trace.disabled) case events =
   let plan = build_plan case in
   let net =
     Dgmc.Protocol.create
       ~graph:(Net.Graph.copy case.graph)
-      ~config:case.config ~faults:plan ()
+      ~config:case.config ~faults:plan ~trace ()
   in
-  let monitor = Monitor.attach net in
+  let monitor = Monitor.attach ~trace net in
   Workload.Events.apply_dgmc net events;
   Dgmc.Protocol.run net ~max_events:max_engine_events;
   let problems = ref [] in
@@ -248,7 +248,7 @@ let run_events case events =
       }
   | problems -> Error problems
 
-let run_case case = run_events case case.events
+let run_case ?trace case = run_events ?trace case case.events
 
 (* ------------------------------------------------------------------ *)
 (* Shrinking *)
@@ -350,4 +350,6 @@ let pp_failure ppf f =
   List.iter
     (fun e -> Format.fprintf ppf "  %a@," Workload.Events.pp e)
     f.f_shrunk;
-  Format.fprintf ppf "reproduce: %s@]" (repro_line f)
+  Format.fprintf ppf "reproduce: %s@," (repro_line f);
+  Format.fprintf ppf "capture a causal trace: %s --trace seed-%d.jsonl@]"
+    (repro_line f) f.f_case.seed

@@ -63,12 +63,24 @@ val case_of_seed :
     the number of MCs, [events_max] (default 20) the workload length
     (link restorations may add a few more). *)
 
-val run_case : case -> (stats, string list) result
+val run_case : ?trace:Sim.Trace.t -> case -> (stats, string list) result
 (** Execute one case end to end.  [Error problems] lists every invariant
     violation and divergence reason; deterministic — equal cases yield
-    equal results. *)
+    equal results.
 
-val run_events : case -> Workload.Events.t list -> (stats, string list) result
+    An enabled [trace] captures the run's full causal event record —
+    LSA provenance, per-switch installs, fault injections, and any
+    invariant violations (via {!Monitor.attach}).  A fuzz case can flood
+    heavily; create the trace with a bounded ring (e.g.
+    [Sim.Trace.create ~cap:200_000 ()]) so a pathological case degrades
+    to keeping the newest events instead of exhausting memory.  Tracing
+    never changes the simulated run: same seed, same outcome. *)
+
+val run_events :
+  ?trace:Sim.Trace.t ->
+  case ->
+  Workload.Events.t list ->
+  (stats, string list) result
 (** [run_case] with the case's workload replaced by [events] — the probe
     the shrinker applies to sub-workloads. *)
 

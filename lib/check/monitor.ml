@@ -2,6 +2,7 @@ let cap = 100
 
 type t = {
   net : Dgmc.Protocol.t;
+  trace : Sim.Trace.t;
   mutable sweeps : int;
   mutable boundary_pending : bool;
       (* a delay-0 boundary sweep is already in the engine's calendar *)
@@ -17,7 +18,12 @@ let record t v =
   let s = Invariant.to_string v in
   if (not (Hashtbl.mem t.seen s)) && Hashtbl.length t.seen < cap then begin
     Hashtbl.add t.seen s ();
-    t.violations <- s :: t.violations
+    t.violations <- s :: t.violations;
+    if Sim.Trace.enabled t.trace then
+      ignore
+        (Sim.Trace.emit t.trace
+           ~time:(Sim.Engine.now (Dgmc.Protocol.engine t.net))
+           (Note { category = "violation"; message = s }))
   end
 
 let sweep ~boundary t =
@@ -59,10 +65,11 @@ let sweep ~boundary t =
       (Hashtbl.copy t.history)
   done
 
-let attach net =
+let attach ?(trace = Sim.Trace.disabled) net =
   let t =
     {
       net;
+      trace;
       sweeps = 0;
       boundary_pending = false;
       seen = Hashtbl.create 16;

@@ -18,9 +18,11 @@
 
 type t
 
-val attach : Dgmc.Protocol.t -> t
+val attach : ?trace:Sim.Trace.t -> Dgmc.Protocol.t -> t
 (** Register on the protocol's observer hook and sweep once
-    immediately. *)
+    immediately.  An enabled [trace] receives each first-seen violation
+    as a ["violation"] note at the simulated time it was detected, so a
+    captured trace places invariant breakage on the causal timeline. *)
 
 val sweeps : t -> int
 (** Number of sweeps performed so far. *)

@@ -3,6 +3,10 @@ type computation = {
   event : Mc_lsa.event;
   proposal : Mctree.Tree.t;
   handle : Sim.Engine.handle;
+  trace_id : int;
+      (** The [Compute_started] trace event, or [-1] untraced — the
+          completion fires from an engine timer, where the ambient trace
+          context is long gone, so causality is carried explicitly. *)
 }
 
 type t = {

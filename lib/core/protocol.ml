@@ -30,6 +30,8 @@ type t = {
   flooding : payload Lsr.Flooding.t;
   seqs : Lsr.Lsa.Seq.counter array;
   truth : Member.t Mc_table.t;  (** Ground-truth membership per MC. *)
+  trace : Sim.Trace.t;
+  metrics : Metrics.Registry.t option;
   mutable events : int;
   mutable mc_floodings : int;
   mutable link_floodings : int;
@@ -38,12 +40,13 @@ type t = {
   mutable observers : (unit -> unit) list;
 }
 
-let create ~graph ~config ?faults ?(trace = Sim.Trace.disabled) () =
+let create ~graph ~config ?faults ?(trace = Sim.Trace.disabled) ?metrics () =
   let n = Net.Graph.n_nodes graph in
   if n < 2 then invalid_arg "Protocol.create: need at least 2 switches";
   let engine = Sim.Engine.create () in
   let switches =
-    Array.init n (fun id -> Switch.create ~id ~n ~config ~engine ~graph ~trace ())
+    Array.init n (fun id ->
+        Switch.create ~id ~n ~config ~engine ~graph ~trace ?metrics ())
   in
   let deliver ~switch (lsa : payload Lsr.Lsa.t) =
     match lsa.payload with
@@ -56,6 +59,7 @@ let create ~graph ~config ?faults ?(trace = Sim.Trace.disabled) () =
     match faults with
     | None -> None
     | Some plan ->
+      Faults.Plan.instrument plan ~trace ?metrics ();
       Some
         (fun ~src ~dst ~base_delay ->
           Faults.Plan.transmit plan ~src ~dst ~now:(Sim.Engine.now engine)
@@ -63,7 +67,7 @@ let create ~graph ~config ?faults ?(trace = Sim.Trace.disabled) () =
   in
   let flooding =
     Lsr.Flooding.create ~engine ~graph ~t_hop:config.Config.t_hop
-      ~mode:config.Config.flood_mode ?transmit ~deliver ()
+      ~mode:config.Config.flood_mode ?transmit ~trace ?metrics ~deliver ()
   in
   let net =
     {
@@ -75,6 +79,8 @@ let create ~graph ~config ?faults ?(trace = Sim.Trace.disabled) () =
       flooding;
       seqs = Array.init n (fun _ -> Lsr.Lsa.Seq.create ());
       truth = Mc_table.create 8;
+      trace;
+      metrics;
       events = 0;
       mc_floodings = 0;
       link_floodings = 0;
@@ -83,17 +89,72 @@ let create ~graph ~config ?faults ?(trace = Sim.Trace.disabled) () =
       observers = [];
     }
   in
+  let bump name =
+    match metrics with
+    | Some m -> Metrics.Registry.incr m name
+    | None -> ()
+  in
   Array.iteri
     (fun id sw ->
-      Switch.set_flood sw (fun mc_lsa ->
+      Switch.set_flood sw (fun (mc_lsa : Mc_lsa.t) ->
           net.mc_floodings <- net.mc_floodings + 1;
+          bump "protocol.mc_floodings";
           let seq = Lsr.Lsa.Seq.next net.seqs.(id) in
-          Lsr.Flooding.flood net.flooding
-            (Lsr.Lsa.make ~origin:id ~seq (Mc mc_lsa)));
+          let lsa = Lsr.Lsa.make ~origin:id ~seq (Mc mc_lsa) in
+          if Sim.Trace.enabled trace then begin
+            let oid =
+              Sim.Trace.emit trace ~time:(Sim.Engine.now engine)
+                (Lsa_originated
+                   {
+                     switch = id;
+                     mc = Format.asprintf "%a" Mc_id.pp mc_lsa.mc;
+                     seq;
+                     ev = Mc_lsa.event_to_string mc_lsa.event;
+                     proposal = mc_lsa.proposal <> None;
+                     stamp = Timestamp.to_array mc_lsa.stamp;
+                   })
+            in
+            Sim.Trace.with_context trace oid (fun () ->
+                Lsr.Flooding.flood net.flooding lsa)
+          end
+          else Lsr.Flooding.flood net.flooding lsa);
       Switch.set_on_change sw (fun () ->
           net.last_change <- Some (Sim.Engine.now engine);
           List.iter (fun f -> f ()) net.observers))
     switches;
+  (* Traced runs get the fault plan's scheduled windows marked on the
+     timeline, so an analyzer can correlate what a switch missed with
+     when it was down.  Scheduled only when tracing: untraced runs must
+     keep a byte-identical event calendar. *)
+  (match faults with
+  | Some plan when Sim.Trace.enabled trace ->
+    let mark ~time event =
+      ignore
+        (Sim.Engine.schedule_at engine ~time (fun () ->
+             ignore (Sim.Trace.emit trace ~time event)))
+    in
+    List.iter
+      (fun (sw, (from_, until)) ->
+        mark ~time:from_ (Sim.Trace.Crash { switch = sw });
+        mark ~time:until (Sim.Trace.Recover { switch = sw }))
+      (Faults.Plan.crash_windows plan);
+    List.iter
+      (fun (side, (from_, until)) ->
+        let side_str = String.concat "," (List.map string_of_int side) in
+        mark ~time:from_
+          (Sim.Trace.Note
+             {
+               category = "partition";
+               message = Printf.sprintf "partition {%s} begins" side_str;
+             });
+        mark ~time:until
+          (Sim.Trace.Note
+             {
+               category = "partition";
+               message = Printf.sprintf "partition {%s} heals" side_str;
+             }))
+      (Faults.Plan.partition_windows plan)
+  | _ -> ());
   net
 
 let engine t = t.engine
@@ -113,8 +174,14 @@ let switch t i = t.switches.(i)
 (* ------------------------------------------------------------------ *)
 (* Event injection *)
 
+let bump t name =
+  match t.metrics with
+  | Some m -> Metrics.Registry.incr m name
+  | None -> ()
+
 let note_event t =
   t.events <- t.events + 1;
+  bump t "protocol.events";
   if t.first_event = None then t.first_event <- Some (Sim.Engine.now t.engine)
 
 let check_switch t i =
@@ -136,10 +203,28 @@ let leave t ~switch:i mc =
   Mc_table.replace t.truth mc (Member.leave (truth_members t mc) i);
   Switch.host_leave t.switches.(i) mc
 
-let flood_link_event t ~from ev =
+let flood_link_event t ~from (ev : Lsr.Lsdb.link_event) =
   t.link_floodings <- t.link_floodings + 1;
+  bump t "protocol.link_floodings";
   let seq = Lsr.Lsa.Seq.next t.seqs.(from) in
-  Lsr.Flooding.flood t.flooding (Lsr.Lsa.make ~origin:from ~seq (Link ev))
+  let lsa = Lsr.Lsa.make ~origin:from ~seq (Link ev) in
+  if Sim.Trace.enabled t.trace then begin
+    let oid =
+      Sim.Trace.emit t.trace ~time:(Sim.Engine.now t.engine)
+        (Lsa_originated
+           {
+             switch = from;
+             mc = "";
+             seq;
+             ev = (if ev.up then "link-up" else "link-down");
+             proposal = false;
+             stamp = [||];
+           })
+    in
+    Sim.Trace.with_context t.trace oid (fun () ->
+        Lsr.Flooding.flood t.flooding lsa)
+  end
+  else Lsr.Flooding.flood t.flooding lsa
 
 let link_change t u v ~up =
   if not (Net.Graph.has_edge t.graph u v) then

@@ -40,6 +40,7 @@ val create :
   config:Config.t ->
   ?faults:Faults.Plan.t ->
   ?trace:Sim.Trace.t ->
+  ?metrics:Metrics.Registry.t ->
   unit ->
   t
 (** Build a network of [Net.Graph.n_nodes graph] switches, each booted
@@ -49,7 +50,21 @@ val create :
     given fault plan — loss, duplication, reordering, jitter, crash and
     partition windows — in the engine's simulated time.  Pair it with
     [config.flood_mode = Reliable], or floods will silently lose LSAs
-    and the network will not converge. *)
+    and the network will not converge.
+
+    An enabled [trace] captures the full causal story of a run: every
+    flood starts with an [Lsa_originated] event (MC LSAs carry the MC
+    id, advertised event and R stamp; link LSAs carry ["link-up"] /
+    ["link-down"]), and the per-hop forwarding, delivery, protocol
+    reaction and eventual [Topology_installed] it causes are chained to
+    it through parent ids.  When a fault plan is present its scheduled
+    crash windows additionally appear as [Crash]/[Recover] marks (and
+    partitions as ["partition"] notes) — these extra trace entries are
+    only scheduled when tracing is on, so untraced runs stay
+    byte-for-byte deterministic.  [metrics] mirrors the counters of
+    {!totals} (and the per-switch/flooding/fault internals) into a
+    {!Metrics.Registry} under [protocol.*], [switch.*], [flood.*] and
+    [faults.*] names. *)
 
 val engine : t -> Sim.Engine.t
 

@@ -34,9 +34,11 @@ type t = {
   mutable on_change : unit -> unit;
   stats : stats;
   trace : Sim.Trace.t;
+  metrics : Metrics.Registry.t option;
 }
 
-let create ~id ~n ~config ~engine ~graph ?(trace = Sim.Trace.disabled) () =
+let create ~id ~n ~config ~engine ~graph ?(trace = Sim.Trace.disabled) ?metrics
+    () =
   {
     id;
     n;
@@ -57,6 +59,7 @@ let create ~id ~n ~config ~engine ~graph ?(trace = Sim.Trace.disabled) () =
         lsas_received = 0;
       };
     trace;
+    metrics;
   }
 
 let id t = t.id
@@ -71,6 +74,20 @@ let set_on_change t f = t.on_change <- f
 
 let tracef t category fmt =
   Sim.Trace.recordf t.trace ~time:(Sim.Engine.now t.engine) ~category fmt
+
+let traced t = Sim.Trace.enabled t.trace
+
+(* Emit a structured event; -1 when tracing is off.  Callers build the
+   payload inside a [traced t] guard so the hot path stays one branch. *)
+let emit t ?parent event =
+  Sim.Trace.emit t.trace ~time:(Sim.Engine.now t.engine) ?parent event
+
+let metric t name =
+  match t.metrics with
+  | Some m -> Metrics.Registry.incr m ~switch:t.id name
+  | None -> ()
+
+let mc_str mc = Format.asprintf "%a" Mc_id.pp mc
 
 (* ------------------------------------------------------------------ *)
 (* State table *)
@@ -124,16 +141,31 @@ let maybe_delete t mc (st : Mc_state.t) =
 
 let flood_lsa t mc ~event ~proposal ?members ~stamp () =
   (match proposal with
-  | Some _ -> t.stats.proposals_flooded <- t.stats.proposals_flooded + 1
-  | None -> t.stats.event_lsas_flooded <- t.stats.event_lsas_flooded + 1);
-  tracef t "flood" "%a %s %s" Mc_id.pp mc
-    (Mc_lsa.event_to_string event)
-    (match proposal with Some _ -> "with proposal" | None -> "event-only");
+  | Some _ ->
+    t.stats.proposals_flooded <- t.stats.proposals_flooded + 1;
+    metric t "switch.proposals_flooded"
+  | None ->
+    t.stats.event_lsas_flooded <- t.stats.event_lsas_flooded + 1;
+    metric t "switch.event_lsas_flooded");
   t.flood (Mc_lsa.make ~src:t.id ~event ~mc ?proposal ?members ~stamp ())
 
-let install t (st : Mc_state.t) ~stamp ~tree =
+let install t (st : Mc_state.t) mc ~stamp ~tree =
   st.c <- stamp;
   st.topology <- tree;
+  metric t "switch.installs";
+  if traced t then
+    ignore
+      (emit t
+         (Topology_installed
+            {
+              switch = t.id;
+              mc = mc_str mc;
+              r = Timestamp.to_array st.r;
+              e = Timestamp.to_array st.e;
+              c = Timestamp.to_array stamp;
+              members = Format.asprintf "%a" Member.pp st.members;
+              tree = Format.asprintf "%a" Mctree.Tree.pp tree;
+            }));
   t.on_change ()
 
 let compute_proposal t (st : Mc_state.t) (mc : Mc_id.t) =
@@ -168,6 +200,18 @@ let rec event_handler t mc event =
        is fixed by the inputs now; validity is re-checked at +Tc. *)
     let old_r = st.r in
     let proposal = compute_proposal t st mc in
+    let trace_id =
+      if traced t then
+        emit t
+          (Compute_started
+             {
+               switch = t.id;
+               mc = mc_str mc;
+               trigger = "event:" ^ Mc_lsa.event_to_string event;
+               r = Timestamp.to_array old_r;
+             })
+      else -1
+    in
     let rec comp =
       lazy
         ({
@@ -177,13 +221,12 @@ let rec event_handler t mc event =
            handle =
              Sim.Engine.schedule t.engine ~delay:t.config.tc (fun () ->
                  event_completion t mc st (Lazy.force comp));
+           trace_id;
          }
           : Mc_state.computation)
     in
     let comp = Lazy.force comp in
-    st.event_computations <- st.event_computations @ [ comp ];
-    tracef t "compute" "%a event %s: started" Mc_id.pp mc
-      (Mc_lsa.event_to_string event)
+    st.event_computations <- st.event_computations @ [ comp ]
   end
   else begin
     (* Lines 15-17: outstanding LSAs — flood the bare event and defer the
@@ -198,6 +241,7 @@ and event_completion t mc (st : Mc_state.t) (comp : Mc_state.computation) =
   remove_computation st comp;
   if state_current t mc st then begin
     t.stats.computations <- t.stats.computations + 1;
+    metric t "switch.computations";
     if
       Timestamp.equal comp.old_r st.r
       (* Fault injection (Config.withdraw_stale_proposals = false): treat
@@ -208,18 +252,43 @@ and event_completion t mc (st : Mc_state.t) (comp : Mc_state.computation) =
       (* Line 7-10: proposal still valid — flood it and adopt it.  The
          member snapshot corresponds to [old_r] (= R, no events arrived
          during the computation). *)
-      flood_lsa t mc ~event:comp.event ~proposal:(Some comp.proposal)
-        ~members:st.members ~stamp:comp.old_r ();
-      st.c <- comp.old_r;
-      st.flag <- false;
-      st.topology <- comp.proposal;
-      t.on_change ()
+      let pid =
+        if traced t then
+          emit t ~parent:comp.trace_id
+            (Proposal_made
+               {
+                 switch = t.id;
+                 mc = mc_str mc;
+                 withdrawn = false;
+                 stamp = Timestamp.to_array comp.old_r;
+               })
+        else -1
+      in
+      Sim.Trace.with_context t.trace pid (fun () ->
+          flood_lsa t mc ~event:comp.event ~proposal:(Some comp.proposal)
+            ~members:st.members ~stamp:comp.old_r ();
+          st.flag <- false;
+          install t st mc ~stamp:comp.old_r ~tree:comp.proposal)
     end
     else begin
       (* Lines 11-13: R advanced during the computation — withdraw, but
          the event itself must still be advertised. *)
       t.stats.computations_withdrawn <- t.stats.computations_withdrawn + 1;
-      flood_lsa t mc ~event:comp.event ~proposal:None ~stamp:comp.old_r ();
+      metric t "switch.computations_withdrawn";
+      let pid =
+        if traced t then
+          emit t ~parent:comp.trace_id
+            (Proposal_made
+               {
+                 switch = t.id;
+                 mc = mc_str mc;
+                 withdrawn = true;
+                 stamp = Timestamp.to_array comp.old_r;
+               })
+        else -1
+      in
+      Sim.Trace.with_context t.trace pid (fun () ->
+          flood_lsa t mc ~event:comp.event ~proposal:None ~stamp:comp.old_r ());
       st.flag <- true
     end;
     maybe_delete t mc st
@@ -338,7 +407,8 @@ let rec run_invocation t mc (st : Mc_state.t) =
       in
       if replaces then begin
         t.stats.proposals_accepted <- t.stats.proposals_accepted + 1;
-        install t st ~stamp ~tree
+        metric t "switch.proposals_accepted";
+        install t st mc ~stamp ~tree
       end
     | None -> ()
   end;
@@ -347,6 +417,18 @@ let rec run_invocation t mc (st : Mc_state.t) =
 and start_triggered t mc (st : Mc_state.t) =
   let old_r = st.r in
   let proposal = compute_proposal t st mc in
+  let trace_id =
+    if traced t then
+      emit t
+        (Compute_started
+           {
+             switch = t.id;
+             mc = mc_str mc;
+             trigger = "receive-lsa";
+             r = Timestamp.to_array old_r;
+           })
+    else -1
+  in
   let rec comp =
     lazy
       ({
@@ -356,11 +438,11 @@ and start_triggered t mc (st : Mc_state.t) =
          handle =
            Sim.Engine.schedule t.engine ~delay:t.config.tc (fun () ->
                triggered_completion t mc st (Lazy.force comp));
+         trace_id;
        }
         : Mc_state.computation)
   in
-  st.triggered <- Some (Lazy.force comp);
-  tracef t "compute" "%a triggered: started" Mc_id.pp mc
+  st.triggered <- Some (Lazy.force comp)
 
 (* Lines 22-31, run at computation completion. *)
 and triggered_completion t mc (st : Mc_state.t) (comp : Mc_state.computation) =
@@ -368,18 +450,35 @@ and triggered_completion t mc (st : Mc_state.t) (comp : Mc_state.computation) =
     st.triggered <- None;
     if state_current t mc st then begin
       t.stats.computations <- t.stats.computations + 1;
+      metric t "switch.computations";
       if Queue.is_empty st.mailbox && Timestamp.equal comp.old_r st.r then begin
         (* Lines 23-27: still up to date — flood, install, expect no
            more. *)
-        flood_lsa t mc ~event:Mc_lsa.No_event ~proposal:(Some comp.proposal)
-          ~members:st.members ~stamp:comp.old_r ();
-        st.e <- comp.old_r;
-        st.flag <- false;
-        install t st ~stamp:comp.old_r ~tree:comp.proposal
+        let pid =
+          if traced t then
+            emit t ~parent:comp.trace_id
+              (Proposal_made
+                 {
+                   switch = t.id;
+                   mc = mc_str mc;
+                   withdrawn = false;
+                   stamp = Timestamp.to_array comp.old_r;
+                 })
+          else -1
+        in
+        Sim.Trace.with_context t.trace pid (fun () ->
+            flood_lsa t mc ~event:Mc_lsa.No_event
+              ~proposal:(Some comp.proposal) ~members:st.members
+              ~stamp:comp.old_r ();
+            st.e <- comp.old_r;
+            st.flag <- false;
+            install t st mc ~stamp:comp.old_r ~tree:comp.proposal)
       end
-      else
+      else begin
         (* Lines 28-30: obsolete — withdraw silently. *)
         t.stats.computations_withdrawn <- t.stats.computations_withdrawn + 1;
+        metric t "switch.computations_withdrawn"
+      end;
       if not (Queue.is_empty st.mailbox) then run_invocation t mc st
       else maybe_delete t mc st
     end
@@ -396,38 +495,42 @@ let resync t ~peer =
       let learned = not (Timestamp.equal merged_r st.r) in
       st.e <- Timestamp.merge st.e pst.e;
       if learned then begin
-        (* Merge R before adopting the peer's membership cursors: each
-           cursor is covered by the peer's R, so observers fired from the
-           loop below never see a cursor ahead of R. *)
-        st.r <- merged_r;
-        (* Adopt the peer's per-source membership knowledge where it is
-           newer; its member entry for source [s] reflects all of [s]'s
-           events up to pst.membership_seen.(s). *)
-        Array.iteri
-          (fun src peer_seen ->
-            if peer_seen > st.membership_seen.(src) then begin
-              st.membership_seen.(src) <- peer_seen;
-              (match Member.role pst.members src with
-              | Some role -> st.members <- Member.join st.members src role
-              | None -> st.members <- Member.leave st.members src);
-              t.on_change ()
-            end)
-          pst.membership_seen;
-        (* Adopt the peer's installed topology when based on newer state
-           (same acceptance rule as for received proposals). *)
-        if
-          Timestamp.gt pst.c st.c
-          || (Timestamp.equal pst.c st.c
-             && Mctree.Tree.compare pst.topology st.topology < 0)
-        then install t st ~stamp:pst.c ~tree:pst.topology;
-        st.flag <- true;
-        tracef t "resync" "%a pulled newer state from switch %d" Mc_id.pp mc
-          peer.id;
-        if
-          st.triggered = None
-          && Timestamp.geq st.r st.e
-          && Timestamp.gt st.r st.c
-        then start_triggered t mc st
+        let rid =
+          if traced t then
+            emit t (Resync { switch = t.id; peer = peer.id; mc = mc_str mc })
+          else -1
+        in
+        Sim.Trace.with_context t.trace rid (fun () ->
+            (* Merge R before adopting the peer's membership cursors: each
+               cursor is covered by the peer's R, so observers fired from
+               the loop below never see a cursor ahead of R. *)
+            st.r <- merged_r;
+            (* Adopt the peer's per-source membership knowledge where it
+               is newer; its member entry for source [s] reflects all of
+               [s]'s events up to pst.membership_seen.(s). *)
+            Array.iteri
+              (fun src peer_seen ->
+                if peer_seen > st.membership_seen.(src) then begin
+                  st.membership_seen.(src) <- peer_seen;
+                  (match Member.role pst.members src with
+                  | Some role -> st.members <- Member.join st.members src role
+                  | None -> st.members <- Member.leave st.members src);
+                  t.on_change ()
+                end)
+              pst.membership_seen;
+            (* Adopt the peer's installed topology when based on newer
+               state (same acceptance rule as for received proposals). *)
+            if
+              Timestamp.gt pst.c st.c
+              || (Timestamp.equal pst.c st.c
+                 && Mctree.Tree.compare pst.topology st.topology < 0)
+            then install t st mc ~stamp:pst.c ~tree:pst.topology;
+            st.flag <- true;
+            if
+              st.triggered = None
+              && Timestamp.geq st.r st.e
+              && Timestamp.gt st.r st.c
+            then start_triggered t mc st)
       end)
     peer.mcs
 
@@ -453,6 +556,7 @@ let link_event t ~u ~v ~up ~detector =
 
 let receive t lsa =
   t.stats.lsas_received <- t.stats.lsas_received + 1;
+  metric t "switch.lsas_received";
   match get_state t lsa.Mc_lsa.mc with
   | None when not (Mc_lsa.is_event lsa) ->
     (* A bare proposal for an MC this switch holds no state for: the MC

@@ -32,9 +32,21 @@ val create :
   engine:Sim.Engine.t ->
   graph:Net.Graph.t ->
   ?trace:Sim.Trace.t ->
+  ?metrics:Metrics.Registry.t ->
   unit ->
   t
-(** [graph] seeds the switch's private link-state image (a deep copy). *)
+(** [graph] seeds the switch's private link-state image (a deep copy).
+
+    An enabled [trace] receives structured events for every protocol
+    transition: [Compute_started] when a topology computation begins
+    (trigger [event:<v>] for [EventHandler], [receive-lsa] for the
+    triggered entity), [Proposal_made] at completion (with [withdrawn]
+    set when the result was stale), [Topology_installed] whenever [C]
+    and the installed tree change (carrying the full R/E/C vectors,
+    member list and tree), and [Resync] per MC pulled from a peer; the
+    flooding and adoption these cause are linked to them causally.
+    [metrics] mirrors {!stats} into [switch.*] counters labelled with
+    this switch's id. *)
 
 val id : t -> int
 

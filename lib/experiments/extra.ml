@@ -12,7 +12,7 @@ let burst_size ?(seeds = Figures.default_seeds) ?(n = 60)
   List.map
     (fun members ->
       let runs =
-        List.map (fun seed -> Harness.bursty_run ~seed ~n ~config ~members) seeds
+        List.map (fun seed -> Harness.bursty_run ~seed ~n ~config ~members ()) seeds
       in
       {
         members;

@@ -82,7 +82,7 @@ let merge_timings ts =
 let bursty ?domains config ~sizes ~seeds ~members =
   let runs, timing =
     sweep_cells ?domains ~series_label:"dgmc" ~sizes ~seeds
-      (fun ~seed ~n -> Harness.bursty_run ~seed ~n ~config ~members)
+      (fun ~seed ~n -> Harness.bursty_run ~seed ~n ~config ~members ())
   in
   let series label extract =
     {
@@ -126,7 +126,7 @@ let fig8 ?domains ?(sizes = default_sizes) ?(seeds = default_seeds)
   let config = Dgmc.Config.atm_lan in
   let runs, timing =
     sweep_cells ?domains ~series_label:"dgmc" ~sizes ~seeds
-      (fun ~seed ~n -> Harness.poisson_run ~seed ~n ~config ~events ~gap_rounds)
+      (fun ~seed ~n -> Harness.poisson_run ~seed ~n ~config ~events ~gap_rounds ())
   in
   let series label extract =
     {
@@ -180,7 +180,7 @@ let compare_protocols ?domains ?(sizes = default_sizes)
       reduce (fun r -> r.Harness.floodings_per_event) )
   in
   let dgmc_c, dgmc_f =
-    sweep "dgmc" (fun ~seed ~n -> Harness.bursty_run ~seed ~n ~config ~members)
+    sweep "dgmc" (fun ~seed ~n -> Harness.bursty_run ~seed ~n ~config ~members ())
   in
   let brute_c, brute_f =
     sweep "brute-force" (fun ~seed ~n ->

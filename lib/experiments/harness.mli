@@ -24,16 +24,28 @@ val graph_for : seed:int -> n:int -> Net.Graph.t
     (see DESIGN.md). *)
 
 val bursty_run :
-  seed:int -> n:int -> config:Dgmc.Config.t -> members:int -> run
+  ?trace:Sim.Trace.t ->
+  ?metrics:Metrics.Registry.t ->
+  seed:int ->
+  n:int ->
+  config:Dgmc.Config.t ->
+  members:int ->
+  unit ->
+  run
 (** Experiments 1 and 2: [members] switches join a fresh symmetric MC
-    within one flooding-diameter window — the conflicting-burst regime. *)
+    within one flooding-diameter window — the conflicting-burst regime.
+    [trace]/[metrics] are forwarded to {!Dgmc.Protocol.create} for
+    observability; they never change the measured run. *)
 
 val poisson_run :
+  ?trace:Sim.Trace.t ->
+  ?metrics:Metrics.Registry.t ->
   seed:int ->
   n:int ->
   config:Dgmc.Config.t ->
   events:int ->
   gap_rounds:float ->
+  unit ->
   run
 (** Experiment 3: an MC with 5 established members (set up and excluded
     from the measurement) churns through [events] membership events with

@@ -108,6 +108,8 @@ type t = {
   mutable c_blocked_partition : int;
   mutable events : event list;  (* newest first *)
   mutable n_events : int;
+  mutable sim_trace : Sim.Trace.t;
+  mutable metrics : Metrics.Registry.t option;
 }
 
 let create ?(spec = spec_default) ~seed () =
@@ -130,7 +132,13 @@ let create ?(spec = spec_default) ~seed () =
     c_blocked_partition = 0;
     events = [];
     n_events = 0;
+    sim_trace = Sim.Trace.disabled;
+    metrics = None;
   }
+
+let instrument t ?trace ?metrics () =
+  Option.iter (fun tr -> t.sim_trace <- tr) trace;
+  Option.iter (fun m -> t.metrics <- Some m) metrics
 
 let seed t = t.plan_seed
 
@@ -184,11 +192,34 @@ let separated t a b now =
       active w now && in_side membership a <> in_side membership b)
     t.partitions
 
+let fault_label = function
+  | Drop -> "drop"
+  | Duplicate -> "duplicate"
+  | Reorder extra -> Printf.sprintf "reorder(+%g)" extra
+  | Crash_block who -> Printf.sprintf "blocked(crash %d)" who
+  | Partition_block -> "blocked(partition)"
+
+let metric_of_fault = function
+  | Drop -> "faults.dropped"
+  | Duplicate -> "faults.duplicated"
+  | Reorder _ -> "faults.reordered"
+  | Crash_block _ -> "faults.blocked_crash"
+  | Partition_block -> "faults.blocked_partition"
+
+let bump t name =
+  match t.metrics with Some m -> Metrics.Registry.incr m name | None -> ()
+
 let record t ev =
   if t.n_events < trace_cap then begin
     t.events <- ev :: t.events;
     t.n_events <- t.n_events + 1
-  end
+  end;
+  bump t (metric_of_fault ev.fault);
+  if Sim.Trace.enabled t.sim_trace then
+    ignore
+      (Sim.Trace.emit t.sim_trace ~time:ev.time
+         (Fault_injected
+            { src = ev.src; dst = ev.dst; fault = fault_label ev.fault }))
 
 let link_spec t src dst =
   match Hashtbl.find_opt t.link_specs (min src dst, max src dst) with
@@ -199,6 +230,7 @@ let transmit t ~src ~dst ~now ~base_delay =
   if not (base_delay > 0.0) then
     invalid_arg "Faults.Plan.transmit: base_delay must be positive";
   t.c_transmissions <- t.c_transmissions + 1;
+  bump t "faults.transmissions";
   if crashed t src now || crashed t dst now then begin
     let who = if crashed t src now then src else dst in
     t.c_blocked_crash <- t.c_blocked_crash + 1;
@@ -252,6 +284,10 @@ let transmit t ~src ~dst ~now ~base_delay =
         else [ first ]
       in
       t.c_delivered <- t.c_delivered + List.length copies;
+      (match t.metrics with
+      | Some m ->
+        Metrics.Registry.incr m ~by:(List.length copies) "faults.delivered"
+      | None -> ());
       copies
     end
   end
@@ -268,6 +304,19 @@ let counters t =
   }
 
 let trace t = List.rev t.events
+
+let crash_windows t =
+  List.rev_map (fun (s, w) -> (s, (w.w_from, w.w_until))) t.crashes
+
+let partition_windows t =
+  List.rev_map
+    (fun (membership, w) ->
+      let side = ref [] in
+      for s = Array.length membership - 1 downto 0 do
+        if membership.(s) then side := s :: !side
+      done;
+      (!side, (w.w_from, w.w_until)))
+    t.partitions
 
 let pp_spec ppf s = Format.pp_print_string ppf (spec_to_string s)
 

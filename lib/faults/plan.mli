@@ -65,6 +65,14 @@ val create : ?spec:spec -> seed:int -> unit -> t
 
 val seed : t -> int
 
+val instrument :
+  t -> ?trace:Sim.Trace.t -> ?metrics:Metrics.Registry.t -> unit -> unit
+(** Attach observability sinks (only the arguments given are replaced).
+    With a trace, every injected fault additionally emits a
+    [Fault_injected] event; with a registry, the counters are mirrored
+    into [faults.*] metrics.  {!Protocol.create} calls this on the plan
+    it is handed. *)
+
 val default_spec : t -> spec
 
 val set_link_spec : t -> int -> int -> spec -> unit
@@ -84,6 +92,14 @@ val quiescent_after : t -> float
 (** The close of the last scheduled crash/partition window ([0.] when
     none are scheduled).  Probabilistic faults are memoryless and have
     no quiescence time. *)
+
+val crash_windows : t -> (int * (float * float)) list
+(** Scheduled crashes as [(switch, (from, until))], in scheduling order —
+    lets a traced run mark [Crash]/[Recover] events on the timeline. *)
+
+val partition_windows : t -> (int list * (float * float)) list
+(** Scheduled partitions as [(side, (from, until))], in scheduling
+    order. *)
 
 (** {1 Mediating transmissions} *)
 

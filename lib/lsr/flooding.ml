@@ -7,11 +7,14 @@ let default_reliability = { rto = 4.0; rto_max = 64.0; max_retries = 10 }
 type transmit = src:int -> dst:int -> base_delay:float -> float list
 
 (* Retransmit state for one in-flight (src, dst, lsa) transfer.  Entries
-   live in [pending] and age out on ack or on retry exhaustion. *)
+   live in [pending] and age out on ack or on retry exhaustion.
+   [rtx_first] is the trace id of the first data copy's forward event;
+   retransmissions and the final abandonment hang off it causally. *)
 type rtx = {
   mutable rtx_handle : Sim.Engine.handle option;
   mutable tries : int;
   mutable timeout : float;
+  rtx_first : int;
 }
 
 type 'a t = {
@@ -22,6 +25,8 @@ type 'a t = {
   rel : reliability;
   transmit : transmit;
   deliver : switch:int -> 'a Lsa.t -> unit;
+  trace : Sim.Trace.t;
+  metrics : Metrics.Registry.t option;
   seen : (int * int, unit) Hashtbl.t array;
       (** Per switch: (origin, seq) pairs already received. *)
   pending : (int * int * (int * int), rtx) Hashtbl.t;
@@ -37,7 +42,7 @@ let default_transmit ~src:_ ~dst:_ ~base_delay = [ base_delay ]
 
 let create ~engine ~graph ~t_hop ?(mode = Hop_by_hop)
     ?(reliability = default_reliability) ?(transmit = default_transmit)
-    ~deliver () =
+    ?(trace = Sim.Trace.disabled) ?metrics ~deliver () =
   if t_hop <= 0.0 then invalid_arg "Flooding.create: t_hop must be positive";
   if reliability.rto <= 2.0 then
     invalid_arg
@@ -54,6 +59,8 @@ let create ~engine ~graph ~t_hop ?(mode = Hop_by_hop)
     rel = reliability;
     transmit;
     deliver;
+    trace;
+    metrics;
     seen = Array.init (Net.Graph.n_nodes graph) (fun _ -> Hashtbl.create 64);
     pending = Hashtbl.create 64;
     floods = 0;
@@ -62,6 +69,15 @@ let create ~engine ~graph ~t_hop ?(mode = Hop_by_hop)
     rtx_count = 0;
     abandoned = 0;
   }
+
+let bump t ?switch name =
+  match t.metrics with
+  | Some m -> Metrics.Registry.incr m ?switch name
+  | None -> ()
+
+let traced t = Sim.Trace.enabled t.trace
+
+let now t = Sim.Engine.now t.engine
 
 (* Schedule every surviving copy of one link transmission.  Link state is
    re-checked at arrival time, so a message in flight over a link that
@@ -74,23 +90,68 @@ let transmit_copies t ~src ~dst k =
              if Net.Graph.link_is_up t.graph src dst then k ())))
     (t.transmit ~src ~dst ~base_delay:t.t_hop)
 
+(* Trace + schedule the copies of one data transmission; returns the
+   forward's trace id (-1 untraced).  [k fid] runs per copy that arrives
+   over a live link; fault losses and mid-flight link failures leave
+   [Lsa_dropped] children on the forward event instead. *)
+let send_data t ~src ~dst ~retransmit ~parent lsa k =
+  let origin = lsa.Lsa.origin and seq = lsa.Lsa.seq in
+  let fid =
+    if traced t then
+      Sim.Trace.emit t.trace ~time:(now t)
+        ?parent:(if parent >= 0 then Some parent else None)
+        (Lsa_forwarded { src; dst; origin; seq; retransmit })
+    else -1
+  in
+  let copies = t.transmit ~src ~dst ~base_delay:t.t_hop in
+  if copies = [] && traced t then
+    ignore
+      (Sim.Trace.emit t.trace ~time:(now t) ~parent:fid
+         (Lsa_dropped { src; dst; origin; seq; reason = "fault" }));
+  List.iter
+    (fun delay ->
+      ignore
+        (Sim.Engine.schedule t.engine ~delay (fun () ->
+             if Net.Graph.link_is_up t.graph src dst then k fid
+             else if traced t then
+               ignore
+                 (Sim.Trace.emit t.trace ~time:(now t) ~parent:fid
+                    (Lsa_dropped { src; dst; origin; seq; reason = "link-down" })))))
+    copies;
+  fid
+
+let deliver_traced t lsa ~switch ~source ~fid k =
+  let did =
+    if traced t then
+      Sim.Trace.emit t.trace ~time:(now t) ~parent:fid
+        (Lsa_delivered
+           { switch; source; origin = lsa.Lsa.origin; seq = lsa.Lsa.seq })
+    else -1
+  in
+  Sim.Trace.with_context t.trace did (fun () ->
+      t.deliver ~switch lsa;
+      k did)
+
 (* ------------------------------------------------------------------ *)
 (* Hop-by-hop (fire and forget) *)
 
-let rec receive t lsa ~at:switch ~from =
+let rec receive t lsa ~at:switch ~from ~fid =
   let key = Lsa.id lsa in
   if not (Hashtbl.mem t.seen.(switch) key) then begin
     Hashtbl.replace t.seen.(switch) key ();
-    t.deliver ~switch lsa;
-    (* Forward on every live link except the arrival link. *)
-    List.iter
-      (fun (next, _) ->
-        if next <> from then begin
-          t.messages <- t.messages + 1;
-          transmit_copies t ~src:switch ~dst:next (fun () ->
-              receive t lsa ~at:next ~from:switch)
-        end)
-      (Net.Graph.neighbors t.graph switch)
+    deliver_traced t lsa ~switch ~source:from ~fid (fun did ->
+        (* Forward on every live link except the arrival link. *)
+        List.iter
+          (fun (next, _) ->
+            if next <> from then begin
+              t.messages <- t.messages + 1;
+              bump t ~switch "flood.messages";
+              ignore
+                (send_data t ~src:switch ~dst:next ~retransmit:false
+                   ~parent:did lsa (fun fid ->
+                     receive t lsa ~at:next ~from:switch ~fid))
+            end)
+          (Net.Graph.neighbors t.graph switch))
   end
 
 (* ------------------------------------------------------------------ *)
@@ -107,26 +168,49 @@ let rec arm_retransmit t key lsa rtx =
            if Hashtbl.mem t.pending key then
              if rtx.tries >= t.rel.max_retries then begin
                Hashtbl.remove t.pending key;
-               t.abandoned <- t.abandoned + 1
+               t.abandoned <- t.abandoned + 1;
+               bump t ~switch:src "flood.abandoned";
+               if traced t then
+                 ignore
+                   (Sim.Trace.emit t.trace ~time:(now t) ~parent:rtx.rtx_first
+                      (Lsa_dropped
+                         {
+                           src;
+                           dst;
+                           origin = lsa.Lsa.origin;
+                           seq = lsa.Lsa.seq;
+                           reason = "abandoned";
+                         }))
              end
              else begin
                rtx.tries <- rtx.tries + 1;
                t.rtx_count <- t.rtx_count + 1;
-               transmit_copies t ~src ~dst (fun () ->
-                   receive_reliable t lsa ~at:dst ~from:src);
+               bump t ~switch:src "flood.retransmissions";
+               ignore
+                 (send_data t ~src ~dst ~retransmit:true ~parent:rtx.rtx_first
+                    lsa (fun fid ->
+                      receive_reliable t lsa ~at:dst ~from:src ~fid));
                rtx.timeout <-
                  Float.min (2.0 *. rtx.timeout) (t.rel.rto_max *. t.t_hop);
                arm_retransmit t key lsa rtx
              end))
 
-and send_reliable t ~src ~dst lsa =
+and send_reliable t ~src ~dst ~parent lsa =
   let key = (src, dst, Lsa.id lsa) in
   if not (Hashtbl.mem t.pending key) then begin
     t.messages <- t.messages + 1;
-    transmit_copies t ~src ~dst (fun () ->
-        receive_reliable t lsa ~at:dst ~from:src);
+    bump t ~switch:src "flood.messages";
+    let fid =
+      send_data t ~src ~dst ~retransmit:false ~parent lsa (fun fid ->
+          receive_reliable t lsa ~at:dst ~from:src ~fid)
+    in
     let rtx =
-      { rtx_handle = None; tries = 0; timeout = t.rel.rto *. t.t_hop }
+      {
+        rtx_handle = None;
+        tries = 0;
+        timeout = t.rel.rto *. t.t_hop;
+        rtx_first = fid;
+      }
     in
     Hashtbl.add t.pending key rtx;
     arm_retransmit t key lsa rtx
@@ -134,6 +218,7 @@ and send_reliable t ~src ~dst lsa =
 
 and send_ack t ~src ~dst key =
   t.acks <- t.acks + 1;
+  bump t ~switch:src "flood.acks";
   transmit_copies t ~src ~dst (fun () -> ack_received t key)
 
 and ack_received t key =
@@ -143,18 +228,19 @@ and ack_received t key =
     Hashtbl.remove t.pending key
   | None -> ()  (* late duplicate ack, or the sender already gave up *)
 
-and receive_reliable t lsa ~at:switch ~from =
+and receive_reliable t lsa ~at:switch ~from ~fid =
   (* Every arriving copy is acked, duplicates included: this copy may be
      a retransmission whose predecessor's ack was lost. *)
   send_ack t ~src:switch ~dst:from (from, switch, Lsa.id lsa);
   let key = Lsa.id lsa in
   if not (Hashtbl.mem t.seen.(switch) key) then begin
     Hashtbl.replace t.seen.(switch) key ();
-    t.deliver ~switch lsa;
-    List.iter
-      (fun (next, _) ->
-        if next <> from then send_reliable t ~src:switch ~dst:next lsa)
-      (Net.Graph.neighbors t.graph switch)
+    deliver_traced t lsa ~switch ~source:from ~fid (fun did ->
+        List.iter
+          (fun (next, _) ->
+            if next <> from then
+              send_reliable t ~src:switch ~dst:next ~parent:did lsa)
+          (Net.Graph.neighbors t.graph switch))
   end
 
 (* ------------------------------------------------------------------ *)
@@ -162,19 +248,26 @@ and receive_reliable t lsa ~at:switch ~from =
 let flood t lsa =
   t.floods <- t.floods + 1;
   let origin = lsa.Lsa.origin in
+  bump t ~switch:origin "flood.floods";
+  (* The ambient context at flood time (normally the Lsa_originated
+     event) roots the whole propagation tree; it must be captured here
+     because the per-copy callbacks run later, under other contexts. *)
+  let parent = Sim.Trace.context t.trace in
   match t.mode with
   | Hop_by_hop ->
     Hashtbl.replace t.seen.(origin) (Lsa.id lsa) ();
     List.iter
       (fun (next, _) ->
         t.messages <- t.messages + 1;
-        transmit_copies t ~src:origin ~dst:next (fun () ->
-            receive t lsa ~at:next ~from:origin))
+        bump t ~switch:origin "flood.messages";
+        ignore
+          (send_data t ~src:origin ~dst:next ~retransmit:false ~parent lsa
+             (fun fid -> receive t lsa ~at:next ~from:origin ~fid)))
       (Net.Graph.neighbors t.graph origin)
   | Reliable ->
     Hashtbl.replace t.seen.(origin) (Lsa.id lsa) ();
     List.iter
-      (fun (next, _) -> send_reliable t ~src:origin ~dst:next lsa)
+      (fun (next, _) -> send_reliable t ~src:origin ~dst:next ~parent lsa)
       (Net.Graph.neighbors t.graph origin)
   | Ideal ->
     let hops = Net.Bfs.hops t.graph origin in
@@ -182,10 +275,13 @@ let flood t lsa =
       (fun switch h ->
         if switch <> origin && h <> max_int then begin
           t.messages <- t.messages + 1;
+          bump t ~switch:origin "flood.messages";
           ignore
             (Sim.Engine.schedule t.engine
                ~delay:(float_of_int h *. t.t_hop)
-               (fun () -> t.deliver ~switch lsa))
+               (fun () ->
+                 deliver_traced t lsa ~switch ~source:origin ~fid:parent
+                   (fun _ -> ())))
         end)
       hops
 

@@ -60,9 +60,15 @@ let section_json s =
     (num (speedup ~seq:s.seq_estimate_s ~elapsed:s.elapsed_s))
     s.domains cells
 
-let to_string ~meta sections =
+let to_string ~meta ?metrics sections =
   let elapsed = List.fold_left (fun a s -> a +. s.elapsed_s) 0.0 sections in
   let seq = List.fold_left (fun a s -> a +. s.seq_estimate_s) 0.0 sections in
+  let metrics_field =
+    match metrics with
+    | None -> ""
+    | Some snap ->
+      Printf.sprintf "  \"metrics\": %s,\n" (Registry.snapshot_json snap)
+  in
   Printf.sprintf
     {|{
   "schema": "dgmc-bench/1",
@@ -73,7 +79,7 @@ let to_string ~meta sections =
   "elapsed_s": %s,
   "seq_estimate_s": %s,
   "speedup_vs_sequential": %s,
-  "figures": [
+%s  "figures": [
 %s
   ]
 }
@@ -81,10 +87,11 @@ let to_string ~meta sections =
     (escape meta.commit) meta.master_seed meta.domains meta.quick (num elapsed)
     (num seq)
     (num (speedup ~seq ~elapsed))
+    metrics_field
     (String.concat ",\n" (List.map section_json sections))
 
-let write ~path ~meta sections =
+let write ~path ~meta ?metrics sections =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string ~meta sections))
+    (fun () -> output_string oc (to_string ~meta ?metrics sections))

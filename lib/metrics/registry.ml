@@ -1,0 +1,256 @@
+(* Log-scale histogram: geometric buckets with ratio 2^(1/8), so any
+   quantile is recovered within ~4.4% relative error from the bucket
+   midpoint, while storage stays O(distinct magnitudes). *)
+
+let log_base = Float.log 2.0 /. 8.0
+
+type hist = {
+  mutable h_n : int;
+  mutable h_sum : float;
+  mutable h_lo : float;
+  mutable h_hi : float;
+  mutable nonpos : int;  (* samples <= 0 sort below every bucket *)
+  buckets : (int, int ref) Hashtbl.t;
+}
+
+type cell = Counter of int ref | Gauge of float ref | Hist of hist
+
+type key = { name : string; switch : int option }
+
+type t = { cells : (key, cell) Hashtbl.t }
+
+let create () = { cells = Hashtbl.create 64 }
+
+let is_empty t = Hashtbl.length t.cells = 0
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Hist _ -> "histogram"
+
+let cell_of t ?switch name ~make ~check =
+  let key = { name; switch } in
+  match Hashtbl.find_opt t.cells key with
+  | Some c ->
+    check c;
+    c
+  | None ->
+    let c = make () in
+    Hashtbl.replace t.cells key c;
+    c
+
+let wrong_kind name want got =
+  invalid_arg
+    (Printf.sprintf "Metrics.Registry: %s is a %s, not a %s" name
+       (kind_name got) want)
+
+let incr t ?switch ?(by = 1) name =
+  match
+    cell_of t ?switch name
+      ~make:(fun () -> Counter (ref 0))
+      ~check:(function Counter _ -> () | c -> wrong_kind name "counter" c)
+  with
+  | Counter r -> r := !r + by
+  | _ -> assert false
+
+let set_gauge t ?switch name v =
+  match
+    cell_of t ?switch name
+      ~make:(fun () -> Gauge (ref 0.0))
+      ~check:(function Gauge _ -> () | c -> wrong_kind name "gauge" c)
+  with
+  | Gauge r -> r := v
+  | _ -> assert false
+
+let bucket_of v = int_of_float (Float.floor (Float.log v /. log_base))
+
+let bucket_mid i = Float.exp ((float_of_int i +. 0.5) *. log_base)
+
+let observe t ?switch name v =
+  match
+    cell_of t ?switch name
+      ~make:(fun () ->
+        Hist
+          {
+            h_n = 0;
+            h_sum = 0.0;
+            h_lo = Float.infinity;
+            h_hi = Float.neg_infinity;
+            nonpos = 0;
+            buckets = Hashtbl.create 16;
+          })
+      ~check:(function Hist _ -> () | c -> wrong_kind name "histogram" c)
+  with
+  | Hist h ->
+    h.h_n <- h.h_n + 1;
+    h.h_sum <- h.h_sum +. v;
+    if v < h.h_lo then h.h_lo <- v;
+    if v > h.h_hi then h.h_hi <- v;
+    if v <= 0.0 then h.nonpos <- h.nonpos + 1
+    else begin
+      let b = bucket_of v in
+      match Hashtbl.find_opt h.buckets b with
+      | Some r -> r := !r + 1
+      | None -> Hashtbl.replace h.buckets b (ref 1)
+    end
+  | _ -> assert false
+
+let counter_value t ?switch name =
+  match Hashtbl.find_opt t.cells { name; switch } with
+  | Some (Counter r) -> !r
+  | Some c -> wrong_kind name "counter" c
+  | None -> 0
+
+let gauge_value t ?switch name =
+  match Hashtbl.find_opt t.cells { name; switch } with
+  | Some (Gauge r) -> Some !r
+  | Some c -> wrong_kind name "gauge" c
+  | None -> None
+
+let hist_quantile h q =
+  if h.h_n = 0 then Float.nan
+  else begin
+    let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int h.h_n))) in
+    let sorted =
+      Hashtbl.fold (fun b r acc -> (b, !r) :: acc) h.buckets []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    let estimate =
+      if rank <= h.nonpos then h.h_lo
+      else begin
+        let rec walk cum = function
+          | [] -> h.h_hi
+          | (b, n) :: rest ->
+            let cum = cum + n in
+            if cum >= rank then bucket_mid b else walk cum rest
+        in
+        walk h.nonpos sorted
+      end
+    in
+    (* Exact extrema are tracked, so clamping can only help. *)
+    Float.min h.h_hi (Float.max h.h_lo estimate)
+  end
+
+type histogram = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  h_p50 : float;
+  h_p90 : float;
+  h_p99 : float;
+}
+
+let stats_of_hist h =
+  {
+    h_count = h.h_n;
+    h_sum = h.h_sum;
+    h_min = (if h.h_n = 0 then 0.0 else h.h_lo);
+    h_max = (if h.h_n = 0 then 0.0 else h.h_hi);
+    h_p50 = hist_quantile h 0.50;
+    h_p90 = hist_quantile h 0.90;
+    h_p99 = hist_quantile h 0.99;
+  }
+
+let histogram_stats t ?switch name =
+  match Hashtbl.find_opt t.cells { name; switch } with
+  | Some (Hist h) -> Some (stats_of_hist h)
+  | Some c -> wrong_kind name "histogram" c
+  | None -> None
+
+let quantile t ?switch name q =
+  if not (q >= 0.0 && q <= 1.0) then
+    invalid_arg "Metrics.Registry.quantile: q outside [0, 1]";
+  match Hashtbl.find_opt t.cells { name; switch } with
+  | Some (Hist h) when h.h_n > 0 -> Some (hist_quantile h q)
+  | Some (Hist _) | None -> None
+  | Some c -> wrong_kind name "histogram" c
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots: deterministic order regardless of insertion history *)
+
+type snapshot = {
+  counters : (key * int) list;
+  gauges : (key * float) list;
+  histograms : (key * histogram) list;
+}
+
+let compare_key a b =
+  match String.compare a.name b.name with
+  | 0 -> (
+    match (a.switch, b.switch) with
+    | None, None -> 0
+    | None, Some _ -> -1
+    | Some _, None -> 1
+    | Some x, Some y -> compare x y)
+  | c -> c
+
+let snapshot t =
+  let counters = ref [] and gauges = ref [] and histograms = ref [] in
+  Hashtbl.iter
+    (fun key -> function
+      | Counter r -> counters := (key, !r) :: !counters
+      | Gauge r -> gauges := (key, !r) :: !gauges
+      | Hist h -> histograms := (key, stats_of_hist h) :: !histograms)
+    t.cells;
+  let by_key (a, _) (b, _) = compare_key a b in
+  {
+    counters = List.sort by_key !counters;
+    gauges = List.sort by_key !gauges;
+    histograms = List.sort by_key !histograms;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let num f = if Float.is_finite f then Printf.sprintf "%.6g" f else "0"
+
+let key_json k =
+  Printf.sprintf {|"name": "%s", "switch": %s|} k.name
+    (match k.switch with Some s -> string_of_int s | None -> "null")
+
+let snapshot_json s =
+  let counter (k, v) = Printf.sprintf "{%s, \"value\": %d}" (key_json k) v in
+  let gauge (k, v) = Printf.sprintf "{%s, \"value\": %s}" (key_json k) (num v) in
+  let histo (k, h) =
+    Printf.sprintf
+      "{%s, \"count\": %d, \"sum\": %s, \"min\": %s, \"max\": %s, \"p50\": %s, \
+       \"p90\": %s, \"p99\": %s}"
+      (key_json k) h.h_count (num h.h_sum) (num h.h_min) (num h.h_max)
+      (num h.h_p50) (num h.h_p90) (num h.h_p99)
+  in
+  let list f xs = String.concat ",\n      " (List.map f xs) in
+  Printf.sprintf
+    {|{
+    "counters": [
+      %s
+    ],
+    "gauges": [
+      %s
+    ],
+    "histograms": [
+      %s
+    ]
+  }|}
+    (list counter s.counters) (list gauge s.gauges) (list histo s.histograms)
+
+let key_label k =
+  match k.switch with
+  | None -> k.name
+  | Some s -> Printf.sprintf "%s{switch=%d}" k.name s
+
+let pp ppf t =
+  let s = snapshot t in
+  List.iter
+    (fun (k, v) -> Format.fprintf ppf "counter %-42s %d@." (key_label k) v)
+    s.counters;
+  List.iter
+    (fun (k, v) -> Format.fprintf ppf "gauge   %-42s %s@." (key_label k) (num v))
+    s.gauges;
+  List.iter
+    (fun (k, h) ->
+      Format.fprintf ppf
+        "hist    %-42s n=%d sum=%s min=%s p50=%s p90=%s p99=%s max=%s@."
+        (key_label k) h.h_count (num h.h_sum) (num h.h_min) (num h.h_p50)
+        (num h.h_p90) (num h.h_p99) (num h.h_max))
+    s.histograms

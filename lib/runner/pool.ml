@@ -102,7 +102,19 @@ let raise_first results =
       | Some (Ok _, _) | None -> ())
     results
 
-let run_batch ?(domains = 1) tasks =
+(* Registry is not domain-safe: per-task stats are observed here, on the
+   calling domain, after every worker has joined. *)
+let observe_stats metrics timed =
+  match metrics with
+  | None -> ()
+  | Some m ->
+    Array.iter
+      (fun t ->
+        Metrics.Registry.observe m "pool.task_wall_s" t.stats.wall_s;
+        Metrics.Registry.observe m "pool.task_alloc_bytes" t.stats.alloc_bytes)
+      timed
+
+let run_batch ?(domains = 1) ?metrics tasks =
   let n = Array.length tasks in
   let started = Unix.gettimeofday () in
   let workers = max 1 (min domains n) in
@@ -145,17 +157,18 @@ let run_batch ?(domains = 1) tasks =
   let seq_estimate_s =
     Array.fold_left (fun acc t -> acc +. t.stats.wall_s) 0.0 timed
   in
+  observe_stats metrics timed;
   (timed, { elapsed_s; seq_estimate_s; domains = workers })
 
-let run ?domains tasks =
-  let timed, _ = run_batch ?domains tasks in
+let run ?domains ?metrics tasks =
+  let timed, _ = run_batch ?domains ?metrics tasks in
   Array.map (fun t -> t.value) timed
 
-let map ?domains f xs =
+let map ?domains ?metrics f xs =
   let tasks = Array.of_list (List.map (fun x () -> f x) xs) in
-  Array.to_list (run ?domains tasks)
+  Array.to_list (run ?domains ?metrics tasks)
 
-let map_timed ?domains f xs =
+let map_timed ?domains ?metrics f xs =
   let tasks = Array.of_list (List.map (fun x () -> f x) xs) in
-  let timed, batch = run_batch ?domains tasks in
+  let timed, batch = run_batch ?domains ?metrics tasks in
   (Array.to_list timed, batch)

@@ -247,7 +247,7 @@ let load path =
     close_in ic;
     parse text
 
-let build ?trace t =
+let build ?trace ?metrics t =
   (* A scenario with faults needs reliable flooding: the lossless modes
      have no recovery from an injected drop, and the run would diverge
      for reasons that say nothing about the protocol. *)
@@ -258,11 +258,13 @@ let build ?trace t =
       ( { t.config with flood_mode = Lsr.Flooding.Reliable },
         Some (Faults.Plan.create ~spec ~seed:t.fault_seed ()) )
   in
-  let net = Dgmc.Protocol.create ~graph:t.graph ~config ?faults ?trace () in
+  let net =
+    Dgmc.Protocol.create ~graph:t.graph ~config ?faults ?trace ?metrics ()
+  in
   Events.apply_dgmc net t.events;
   net
 
-let run ?trace t =
-  let net = build ?trace t in
+let run ?trace ?metrics t =
+  let net = build ?trace ?metrics t in
   Dgmc.Protocol.run net;
   net

@@ -87,7 +87,7 @@ let lifecycle_phases config seed n () =
 let test_bursty_run_fields () =
   let r =
     Experiments.Harness.bursty_run ~seed:1 ~n:20 ~config:Dgmc.Config.atm_lan
-      ~members:10
+      ~members:10 ()
   in
   check Alcotest.int "n" 20 r.n;
   check Alcotest.int "events" 10 r.events;
@@ -98,7 +98,8 @@ let test_bursty_run_fields () =
 
 let test_bursty_run_deterministic () =
   let run () =
-    Experiments.Harness.bursty_run ~seed:7 ~n:30 ~config:Dgmc.Config.wan ~members:10
+    Experiments.Harness.bursty_run ~seed:7 ~n:30 ~config:Dgmc.Config.wan
+      ~members:10 ()
   in
   let a = run () and b = run () in
   check Alcotest.bool "identical measurements" true (a = b)
@@ -106,7 +107,7 @@ let test_bursty_run_deterministic () =
 let test_poisson_run_minimal_overhead () =
   let r =
     Experiments.Harness.poisson_run ~seed:2 ~n:20 ~config:Dgmc.Config.atm_lan
-      ~events:20 ~gap_rounds:50.0
+      ~events:20 ~gap_rounds:50.0 ()
   in
   check Alcotest.bool "converged" true r.converged;
   (* Experiment 3's claim: sparse events are handled individually — one
@@ -132,7 +133,7 @@ let test_brute_force_run_scales_with_n () =
 let test_dgmc_beats_brute_force () =
   let dgmc =
     Experiments.Harness.bursty_run ~seed:3 ~n:60 ~config:Dgmc.Config.atm_lan
-      ~members:10
+      ~members:10 ()
   in
   let brute =
     Experiments.Harness.brute_force_bursty_run ~seed:3 ~n:60

@@ -69,6 +69,111 @@ let test_pp_summary () =
   check Alcotest.bool "format" true (String.length str > 0 && String.contains str '-' = false)
 
 (* ------------------------------------------------------------------ *)
+(* Registry *)
+
+let test_registry_counters () =
+  let r = Metrics.Registry.create () in
+  check Alcotest.bool "fresh registry is empty" true (Metrics.Registry.is_empty r);
+  Metrics.Registry.incr r "a";
+  Metrics.Registry.incr r ~by:4 "a";
+  Metrics.Registry.incr r ~switch:3 "a";
+  check Alcotest.int "aggregate cell" 5 (Metrics.Registry.counter_value r "a");
+  check Alcotest.int "labelled cell is separate" 1
+    (Metrics.Registry.counter_value r ~switch:3 "a");
+  check Alcotest.int "absent counter reads 0" 0
+    (Metrics.Registry.counter_value r "never");
+  Metrics.Registry.set_gauge r "g" 2.5;
+  check Alcotest.(option (float 1e-9)) "gauge" (Some 2.5)
+    (Metrics.Registry.gauge_value r "g");
+  Alcotest.check_raises "kind clash"
+    (Invalid_argument "Metrics.Registry: a is a counter, not a gauge")
+    (fun () -> Metrics.Registry.set_gauge r "a" 1.0)
+
+(* The log-scale histogram's percentiles vs the exact sorted-sample
+   oracle (Metrics.Stats.percentile): geometric buckets with ratio
+   2^(1/8) put any quantile within ~4.4% of the true value; allow 10%. *)
+let test_histogram_vs_oracle () =
+  let rng = Sim.Rng.create 42 in
+  let samples =
+    (* span several orders of magnitude, the histogram's hard case *)
+    List.init 5000 (fun _ -> exp (Sim.Rng.float rng 10.0) /. 100.0)
+  in
+  let r = Metrics.Registry.create () in
+  List.iter (fun v -> Metrics.Registry.observe r "h" v) samples;
+  let h = Option.get (Metrics.Registry.histogram_stats r "h") in
+  check Alcotest.int "count" 5000 h.h_count;
+  check Alcotest.(float 1e-6) "sum is exact"
+    (List.fold_left ( +. ) 0.0 samples)
+    h.h_sum;
+  check Alcotest.(float 1e-9) "min is exact"
+    (List.fold_left Float.min Float.infinity samples)
+    h.h_min;
+  check Alcotest.(float 1e-9) "max is exact"
+    (List.fold_left Float.max Float.neg_infinity samples)
+    h.h_max;
+  List.iter
+    (fun (q, est) ->
+      let oracle = Metrics.Stats.percentile samples (100.0 *. q) in
+      let rel = Float.abs (est -. oracle) /. oracle in
+      if rel > 0.10 then
+        Alcotest.failf "q=%.2f: histogram %g vs oracle %g (rel err %.3f)" q
+          est oracle rel)
+    [ (0.50, h.h_p50); (0.90, h.h_p90); (0.99, h.h_p99) ];
+  (* arbitrary quantiles too *)
+  List.iter
+    (fun q ->
+      let est = Option.get (Metrics.Registry.quantile r "h" q) in
+      let oracle = Metrics.Stats.percentile samples (100.0 *. q) in
+      let rel = Float.abs (est -. oracle) /. oracle in
+      if rel > 0.10 then
+        Alcotest.failf "q=%.2f: %g vs oracle %g (rel err %.3f)" q est oracle rel)
+    [ 0.10; 0.25; 0.75; 0.95 ]
+
+let test_histogram_edge_cases () =
+  let r = Metrics.Registry.create () in
+  check Alcotest.bool "missing histogram" true
+    (Metrics.Registry.histogram_stats r "h" = None);
+  Metrics.Registry.observe r "h" 0.0;
+  Metrics.Registry.observe r "h" (-3.0);
+  Metrics.Registry.observe r "h" 5.0;
+  let h = Option.get (Metrics.Registry.histogram_stats r "h") in
+  check Alcotest.int "nonpositive samples counted" 3 h.h_count;
+  check Alcotest.(float 1e-9) "min" (-3.0) h.h_min;
+  check Alcotest.(float 1e-9) "max" 5.0 h.h_max;
+  (* quantiles stay clamped into [min, max] *)
+  let q0 = Option.get (Metrics.Registry.quantile r "h" 0.0) in
+  let q1 = Option.get (Metrics.Registry.quantile r "h" 1.0) in
+  check Alcotest.bool "clamped" true (q0 >= -3.0 && q1 <= 5.0)
+
+let test_snapshot_deterministic () =
+  let r = Metrics.Registry.create () in
+  Metrics.Registry.incr r ~switch:2 "z";
+  Metrics.Registry.incr r "z";
+  Metrics.Registry.incr r ~switch:1 "z";
+  Metrics.Registry.incr r "a";
+  let s = Metrics.Registry.snapshot r in
+  let keys =
+    List.map
+      (fun ((k : Metrics.Registry.key), _) -> (k.name, k.switch))
+      s.counters
+  in
+  check
+    Alcotest.(list (pair string (option int)))
+    "sorted by name then label (aggregate first)"
+    [ ("a", None); ("z", None); ("z", Some 1); ("z", Some 2) ]
+    keys;
+  (* snapshot_json is valid JSON with the three arrays *)
+  match Sim.Json.parse (Metrics.Registry.snapshot_json s) with
+  | Error e -> Alcotest.failf "snapshot_json does not parse: %s" e
+  | Ok j ->
+    List.iter
+      (fun k ->
+        match Sim.Json.member k j with
+        | Some (Sim.Json.Arr _) -> ()
+        | _ -> Alcotest.failf "missing %s array" k)
+      [ "counters"; "gauges"; "histograms" ]
+
+(* ------------------------------------------------------------------ *)
 (* Table *)
 
 let test_cell_f_trims () =
@@ -147,6 +252,16 @@ let () =
           Alcotest.test_case "percentile validation" `Quick
             test_percentile_validation;
           Alcotest.test_case "pp_summary" `Quick test_pp_summary;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "counters and gauges" `Quick test_registry_counters;
+          Alcotest.test_case "histogram vs percentile oracle" `Quick
+            test_histogram_vs_oracle;
+          Alcotest.test_case "histogram edge cases" `Quick
+            test_histogram_edge_cases;
+          Alcotest.test_case "snapshot determinism" `Quick
+            test_snapshot_deterministic;
         ] );
       ( "table",
         [

@@ -345,7 +345,11 @@ let test_trace_records () =
   check Alcotest.int "by category" 2 (Trace.count_category t "a");
   let entries = Trace.entries t in
   check Alcotest.(list string) "order preserved" [ "one"; "two"; "three" ]
-    (List.map (fun (e : Trace.entry) -> e.message) entries)
+    (List.map (fun (e : Trace.entry) -> Trace.message e.event) entries);
+  check
+    Alcotest.(list int)
+    "ids are monotonic from zero" [ 0; 1; 2 ]
+    (List.map (fun (e : Trace.entry) -> e.id) entries)
 
 let test_trace_disabled () =
   Trace.record Trace.disabled ~time:1.0 ~category:"x" "dropped";
