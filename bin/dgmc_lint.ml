@@ -1,9 +1,10 @@
 (* dgmc_lint — static checks for .dgmc scenario scripts.
 
    Reports every problem in every given file in compiler-style
-   file:line: form.  Exit status: 0 when no file has errors (warnings
-   allowed), 1 when any lint error was found, 2 when a file could not
-   be read. *)
+   file:line: form, or as dgmc-analyze/1 diagnostic records with
+   [--json] so the same tooling consumes analyzer and lint output.
+   Exit status: 0 when no file has errors (warnings allowed), 1 when
+   any lint error was found, 2 when a file could not be read. *)
 
 open Cmdliner
 
@@ -15,9 +16,53 @@ let files_arg =
 let quiet_arg =
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress warnings.")
 
-let run files quiet =
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "Write the findings as dgmc-analyze/1 diagnostic records to \
+           $(docv) (- = stdout).")
+
+(* Scenario diagnostics in the record shape every dgmc linter shares
+   (Analysis.Diag), so the CI gate and dashboards parse one format. *)
+let diag_of ~file (d : Check.Scenario_lint.diagnostic) =
+  {
+    Analysis.Diag.file;
+    line = d.line;
+    col = 0;
+    rule = "scenario-lint";
+    severity =
+      (match d.severity with
+      | Check.Scenario_lint.Error -> Analysis.Diag.Error
+      | Check.Scenario_lint.Warning -> Analysis.Diag.Warning);
+    message = d.message;
+  }
+
+let render_doc ~files ~errors ~warnings diags =
+  Printf.sprintf
+    {|{
+  "schema": "dgmc-analyze/1",
+  "kind": "lint",
+  "files": %d,
+  "errors": %d,
+  "warnings": %d,
+  "findings": [
+%s
+  ]
+}
+|}
+    files errors warnings
+    (String.concat ",\n"
+       (List.map (fun d -> "    " ^ Analysis.Diag.json d) diags))
+
+let run files quiet json =
+  let json_to_stdout = match json with Some "-" -> true | _ -> false in
   let n_errors = ref 0 in
+  let n_warnings = ref 0 in
   let io_failed = ref false in
+  let records = ref [] in
   List.iter
     (fun file ->
       match Check.Scenario_lint.lint_file file with
@@ -26,15 +71,32 @@ let run files quiet =
         io_failed := true
       | Ok diags ->
         n_errors := !n_errors + Check.Scenario_lint.errors diags;
-        List.iter
-          (fun (d : Check.Scenario_lint.diagnostic) ->
-            if d.severity = Check.Scenario_lint.Error || not quiet then
-              print_endline (Check.Scenario_lint.render ~file d))
-          diags)
+        n_warnings := !n_warnings + Check.Scenario_lint.warnings diags;
+        records := !records @ List.map (diag_of ~file) diags;
+        if not json_to_stdout then
+          List.iter
+            (fun (d : Check.Scenario_lint.diagnostic) ->
+              if d.severity = Check.Scenario_lint.Error || not quiet then
+                print_endline (Check.Scenario_lint.render ~file d))
+            diags)
     files;
+  (match json with
+  | None -> ()
+  | Some dst ->
+    let doc =
+      render_doc ~files:(List.length files) ~errors:!n_errors
+        ~warnings:!n_warnings !records
+    in
+    if json_to_stdout then print_string doc
+    else begin
+      let oc = open_out dst in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc doc)
+    end);
   if !io_failed then exit 2 else if !n_errors > 0 then exit 1
 
 let () =
   let doc = "Lint D-GMC scenario scripts without running them" in
   let info = Cmd.info "dgmc_lint" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.v info Term.(const run $ files_arg $ quiet_arg)))
+  exit (Cmd.eval (Cmd.v info Term.(const run $ files_arg $ quiet_arg $ json_arg)))

@@ -1,0 +1,96 @@
+(* The baseline is a committed inventory of accepted pre-existing
+   findings, keyed by (file, rule) with a count.  Counts (rather than
+   line numbers) survive unrelated edits to the same file; a rule firing
+   more often than its baseline count in a file is a NEW finding and
+   fails the run.  Fixing findings leaves the baseline stale on the
+   generous side — regenerate with --update-baseline to ratchet down. *)
+
+type entry = { b_file : string; b_rule : string; b_count : int }
+
+type t = entry list
+
+let empty = []
+
+let compare_entry a b =
+  match String.compare a.b_file b.b_file with
+  | 0 -> String.compare a.b_rule b.b_rule
+  | c -> c
+
+let of_diags diags =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (d : Diag.t) ->
+      let key = (d.file, d.rule) in
+      Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+    diags;
+  Hashtbl.fold (fun (f, r) n acc -> { b_file = f; b_rule = r; b_count = n } :: acc) tbl []
+  |> List.sort compare_entry
+
+let count t ~file ~rule =
+  match
+    List.find_opt (fun e -> e.b_file = file && e.b_rule = rule) t
+  with
+  | Some e -> e.b_count
+  | None -> 0
+
+let to_string t =
+  let entry e =
+    Printf.sprintf {|    {"file": "%s", "rule": "%s", "count": %d}|}
+      (Sim.Json.escape e.b_file) (Sim.Json.escape e.b_rule) e.b_count
+  in
+  Printf.sprintf
+    {|{
+  "schema": "dgmc-analyze/1",
+  "kind": "baseline",
+  "entries": [
+%s
+  ]
+}
+|}
+    (String.concat ",\n" (List.map entry t))
+
+let of_json json =
+  let open Sim.Json in
+  match member "schema" json with
+  | Some (Str "dgmc-analyze/1") -> (
+    match Option.bind (member "entries" json) to_list with
+    | None -> Error "baseline: missing entries array"
+    | Some entries ->
+      let parse_entry e =
+        match
+          ( Option.bind (member "file" e) to_string,
+            Option.bind (member "rule" e) to_string,
+            Option.bind (member "count" e) to_int )
+        with
+        | Some b_file, Some b_rule, Some b_count ->
+          Ok { b_file; b_rule; b_count }
+        | _ -> Error "baseline: entry needs file, rule, count"
+      in
+      List.fold_left
+        (fun acc e ->
+          match (acc, parse_entry e) with
+          | Ok l, Ok x -> Ok (x :: l)
+          | (Error _ as err), _ | _, (Error _ as err) -> err)
+        (Ok []) entries
+      |> Result.map List.rev)
+  | _ -> Error "baseline: schema is not dgmc-analyze/1"
+
+let load path =
+  if not (Sys.file_exists path) then Ok empty
+  else begin
+    let ic = open_in_bin path in
+    let s =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Sim.Json.parse s with
+    | Error e -> Error (Printf.sprintf "%s: %s" path e)
+    | Ok json -> of_json json
+  end
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))

@@ -1,0 +1,37 @@
+type severity = Error | Warning
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  severity : severity;
+  message : string;
+}
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+    match Int.compare a.line b.line with
+    | 0 -> (
+      match Int.compare a.col b.col with
+      | 0 -> (
+        match String.compare a.rule b.rule with
+        | 0 -> String.compare a.message b.message
+        | c -> c)
+      | c -> c)
+    | c -> c)
+  | c -> c
+
+let render d =
+  Printf.sprintf "%s:%d:%d: %s: %s: %s" d.file d.line d.col
+    (severity_name d.severity) d.rule d.message
+
+let json d =
+  Printf.sprintf
+    {|{"file": "%s", "line": %d, "col": %d, "rule": "%s", "severity": "%s", "message": "%s"}|}
+    (Sim.Json.escape d.file) d.line d.col (Sim.Json.escape d.rule)
+    (severity_name d.severity)
+    (Sim.Json.escape d.message)

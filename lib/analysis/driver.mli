@@ -1,0 +1,28 @@
+(** End-to-end analysis: discover files, scan, apply suppressions,
+    classify against a baseline, render. *)
+
+type status = New | Baselined
+
+type result = {
+  diags : (Diag.t * status) list;  (** Sorted by {!Diag.compare}. *)
+  suppressed : int;
+  files_scanned : int;
+  unused_suppressions : (string * Suppress.t) list;
+      (** Suppression comments that matched no finding. *)
+}
+
+val gather_files : string list -> string list
+(** [.ml] files under the given files/directories, sorted; skips
+    [_build], hidden directories, and [analysis_fixtures] (the
+    analyzer's own deliberately-failing test corpus). *)
+
+val run :
+  ?enabled:(Rules.id -> bool) -> baseline:Baseline.t -> string list -> result
+
+val new_count : result -> int
+(** Findings not covered by the baseline — nonzero fails the run. *)
+
+val render_human : ?show_baselined:bool -> result -> string
+
+val render_json : result -> string
+(** The [kind = "report"] document of the [dgmc-analyze/1] schema. *)

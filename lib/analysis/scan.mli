@@ -1,0 +1,39 @@
+(** AST-level rule checks over OCaml sources (compiler-libs Parsetree).
+
+    Rules are syntactic approximations of the determinism and
+    domain-safety contracts documented in DESIGN.md §5: every hit is a
+    true positive, a site worth a written suppression rationale, or a
+    pre-existing finding held in the committed baseline. *)
+
+type file = {
+  path : string;
+  modname : string;  (** Capitalized basename — the module this file defines. *)
+  source : string;
+  structure : Parsetree.structure;  (** Empty when the file does not parse. *)
+  parse_error : Diag.t option;
+  sup : Suppress.scan;
+  top_mutables : (string * int) list;
+      (** Top-level bindings initialised to [ref]/[Hashtbl.create]/
+          [Buffer.create]/[Array.make]/... with their definition line. *)
+  top_refs : (string * string list) list;
+      (** Identifier paths referenced by each top-level binding's body
+          (used to resolve closures passed by name). *)
+  top_defs : (string * int) list;
+}
+
+type env
+(** Cross-file context: every top-level mutable binding in the analyzed
+    set, so a closure in one module capturing another module's global is
+    caught. *)
+
+val load : string -> file
+(** Read and parse one [.ml] file.  Parse failures are recorded as a
+    [parse-error] diagnostic, not raised. *)
+
+val env_of : file list -> env
+
+val check : env -> enabled:(Rules.id -> bool) -> file -> Diag.t list
+(** Raw findings for one file, before suppression and baseline
+    filtering, in source order.  Includes the parse error (if any) and
+    malformed suppression comments (rule ["suppression-syntax"],
+    warnings). *)

@@ -1,0 +1,205 @@
+(* Suppression comments:
+
+     (* dgmc-analyze: allow <rule>[, <rule>...] — reason *)
+
+   A suppression covers findings of the named rules on every line the
+   comment spans plus the line immediately after it — so it can sit at
+   the end of the offending line or on its own line just above.  The
+   reason text is mandatory: a suppression without one is itself
+   reported (rule "suppression"), because the whole point is a written
+   rationale next to the exception. *)
+
+type t = {
+  s_line_start : int;
+  s_line_end : int;
+  rules : string list;
+  reason : string;
+  mutable used : bool;
+}
+
+let parse_body body =
+  (* body is the comment text without the delimiters. *)
+  let body = String.trim body in
+  let prefix = "dgmc-analyze:" in
+  if not (String.length body >= String.length prefix
+          && String.sub body 0 (String.length prefix) = prefix)
+  then None
+  else begin
+    let rest = String.trim (String.sub body (String.length prefix)
+                              (String.length body - String.length prefix)) in
+    let allow = "allow" in
+    if not (String.length rest >= String.length allow
+            && String.sub rest 0 (String.length allow) = allow)
+    then Some (Error "expected `allow` after `dgmc-analyze:`")
+    else begin
+      let rest = String.sub rest (String.length allow)
+          (String.length rest - String.length allow) in
+      (* Split off the reason at an em-dash or a double hyphen. *)
+      let emdash = "\xe2\x80\x94" in
+      let cut sep s =
+        let slen = String.length sep in
+        let rec find i =
+          if i + slen > String.length s then None
+          else if String.sub s i slen = sep then
+            Some (String.sub s 0 i,
+                  String.sub s (i + slen) (String.length s - i - slen))
+          else find (i + 1)
+        in
+        find 0
+      in
+      let rules_part, reason =
+        match cut emdash rest with
+        | Some (a, b) -> (a, String.trim b)
+        | None -> (
+          match cut "--" rest with
+          | Some (a, b) -> (a, String.trim b)
+          | None -> (rest, ""))
+      in
+      let rules =
+        String.split_on_char ',' rules_part
+        |> List.concat_map (String.split_on_char ' ')
+        |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+      in
+      Some (Ok (rules, reason))
+    end
+  end
+
+type scan = {
+  suppressions : t list;
+  malformed : (int * string) list;  (* line, problem *)
+}
+
+(* A minimal OCaml surface scanner: tracks strings ("..." with escapes,
+   {tag|...|tag}), char literals, and nested (* *) comments, and yields
+   each comment's body with its line span.  It does not need to be a
+   full lexer — only good enough to find comments in this repo's
+   sources. *)
+let scan source =
+  let n = String.length source in
+  let line = ref 1 in
+  let suppressions = ref [] in
+  let malformed = ref [] in
+  let i = ref 0 in
+  let bump c = if c = '\n' then incr line in
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9') || c = '_' || c = '\''
+  in
+  let skip_string () =
+    (* at opening quote *)
+    incr i;
+    let continue = ref true in
+    while !continue && !i < n do
+      (match source.[!i] with
+      | '\\' -> if !i + 1 < n then begin bump source.[!i + 1]; incr i end
+      | '"' -> continue := false
+      | c -> bump c);
+      incr i
+    done
+  in
+  let skip_quoted_string () =
+    (* at an opening brace; check for a quoted-string opener *)
+    let j = ref (!i + 1) in
+    while !j < n && ((source.[!j] >= 'a' && source.[!j] <= 'z') || source.[!j] = '_') do incr j done;
+    if !j < n && source.[!j] = '|' then begin
+      let tag = String.sub source (!i + 1) (!j - !i - 1) in
+      let closer = "|" ^ tag ^ "}" in
+      let clen = String.length closer in
+      i := !j + 1;
+      let continue = ref true in
+      while !continue && !i < n do
+        if !i + clen <= n && String.sub source !i clen = closer then begin
+          i := !i + clen;
+          continue := false
+        end
+        else begin
+          bump source.[!i];
+          incr i
+        end
+      done
+    end
+    else incr i
+  in
+  let skip_comment () =
+    (* at "(*" *)
+    let start_line = !line in
+    let buf = Buffer.create 64 in
+    i := !i + 2;
+    let depth = ref 1 in
+    while !depth > 0 && !i < n do
+      if !i + 1 < n && source.[!i] = '(' && source.[!i + 1] = '*' then begin
+        incr depth;
+        Buffer.add_string buf "(*";
+        i := !i + 2
+      end
+      else if !i + 1 < n && source.[!i] = '*' && source.[!i + 1] = ')' then begin
+        decr depth;
+        if !depth > 0 then Buffer.add_string buf "*)";
+        i := !i + 2
+      end
+      else begin
+        bump source.[!i];
+        Buffer.add_char buf source.[!i];
+        incr i
+      end
+    done;
+    let end_line = !line in
+    match parse_body (Buffer.contents buf) with
+    | None -> ()
+    | Some (Error msg) -> malformed := (start_line, msg) :: !malformed
+    | Some (Ok (rules, reason)) ->
+      if rules = [] then
+        malformed := (start_line, "no rule names given") :: !malformed
+      else if reason = "" then
+        malformed :=
+          (start_line, "missing rationale (text after `—`)") :: !malformed
+      else
+        suppressions :=
+          { s_line_start = start_line; s_line_end = end_line; rules; reason;
+            used = false }
+          :: !suppressions
+  in
+  while !i < n do
+    let c = source.[!i] in
+    if c = '"' then skip_string ()
+    else if c = '{' then skip_quoted_string ()
+    else if c = '(' && !i + 1 < n && source.[!i + 1] = '*' then skip_comment ()
+    else if c = '\'' then begin
+      (* Char literal ('x' or '\...') vs prime in an identifier/tyvar. *)
+      if !i > 0 && is_ident_char source.[!i - 1] then incr i
+      else if !i + 2 < n && source.[!i + 1] = '\\' then begin
+        (* escape: skip to closing quote *)
+        i := !i + 2;
+        while !i < n && source.[!i] <> '\'' do bump source.[!i]; incr i done;
+        incr i
+      end
+      else if !i + 2 < n && source.[!i + 2] = '\'' then begin
+        bump source.[!i + 1];
+        i := !i + 3
+      end
+      else incr i
+    end
+    else begin
+      bump c;
+      incr i
+    end
+  done;
+  { suppressions = List.rev !suppressions; malformed = List.rev !malformed }
+
+let covers scan ~rule ~line =
+  match
+    List.find_opt
+      (fun s ->
+        line >= s.s_line_start
+        && line <= s.s_line_end + 1
+        && List.mem rule s.rules)
+      scan.suppressions
+  with
+  | Some s ->
+    s.used <- true;
+    true
+  | None -> false
+
+let unused scan =
+  List.filter (fun s -> not s.used) scan.suppressions

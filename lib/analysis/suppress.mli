@@ -1,0 +1,36 @@
+(** Per-site suppression comments for [dgmc_analyze].
+
+    Syntax, anywhere a comment is legal:
+
+    {v (* dgmc-analyze: allow <rule>[, <rule>...] — reason *) v}
+
+    The rationale after the em-dash (a [--] also works) is mandatory.
+    A suppression covers findings of the named rules on the lines the
+    comment spans and on the line immediately following it, so it can
+    sit at the end of the offending line or alone on the line above. *)
+
+type t = {
+  s_line_start : int;
+  s_line_end : int;
+  rules : string list;
+  reason : string;
+  mutable used : bool;
+}
+
+type scan = {
+  suppressions : t list;
+  malformed : (int * string) list;
+      (** [dgmc-analyze:] comments that do not parse (missing rule names
+          or missing rationale), with the line they start on. *)
+}
+
+val scan : string -> scan
+(** Scan raw source text.  Comments are found with a minimal OCaml
+    surface lexer (strings, quoted strings, char literals, nested
+    comments). *)
+
+val covers : scan -> rule:string -> line:int -> bool
+(** Whether a suppression for [rule] covers [line]; marks it used. *)
+
+val unused : scan -> t list
+(** Suppressions that matched no finding (candidates for removal). *)

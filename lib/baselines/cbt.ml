@@ -105,8 +105,11 @@ let deliver t ~src =
     in
     members_only t
       {
-        Mctree.Delivery.deliveries = List.sort compare deliveries;
-        links_used = List.sort_uniq compare (unicast_links @ inner.links_used);
+        Mctree.Delivery.deliveries =
+          List.sort Mctree.Delivery.compare_delivery deliveries;
+        links_used =
+          List.sort_uniq Mctree.Tree.compare_edge
+            (unicast_links @ inner.links_used);
         contact = Some contact;
       }
   end

@@ -40,8 +40,11 @@ let apply_membership router { src; group; change } =
   Hashtbl.replace router.members group updated;
   (* A membership change invalidates every cached entry of the group:
      the next datagram recomputes (RFC 1584 behaviour). *)
+  (* dgmc-analyze: allow iteration-order — per-key membership test; the set
+     of removed keys does not depend on enumeration order *)
   Hashtbl.iter
-    (fun ((_, g) as key) _ -> if g = group then Hashtbl.remove router.cache key)
+    (fun ((_, g) as key) _ ->
+      if Int.equal g group then Hashtbl.remove router.cache key)
     (Hashtbl.copy router.cache)
 
 let create ~graph ~config () =
@@ -113,7 +116,7 @@ and forward t tree ~src ~group ~router ~parent =
   if Mctree.Tree.mem_node tree router then
     Mctree.Tree.Int_set.iter
       (fun child ->
-        if Some child <> parent then begin
+        if (match parent with Some p -> p <> child | None -> true) then begin
           t.packets_forwarded <- t.packets_forwarded + 1;
           ignore
             (Sim.Engine.schedule t.engine ~delay:t.config.Dgmc.Config.t_hop

@@ -87,7 +87,10 @@ let case_of_seed ?(n_max = default_n_max) ?(mcs_max = default_mcs_max)
   let partitions =
     if Sim.Rng.int fault_rng 3 = 0 then begin
       let side_size = 1 + Sim.Rng.int fault_rng (max 1 (n / 2)) in
-      let side = List.sort compare (Sim.Rng.sample fault_rng side_size (List.init n Fun.id)) in
+      let side =
+        List.sort Int.compare
+          (Sim.Rng.sample fault_rng side_size (List.init n Fun.id))
+      in
       let a, b = window () in
       [ (side, a, b) ]
     end
@@ -116,9 +119,9 @@ let case_of_seed ?(n_max = default_n_max) ?(mcs_max = default_mcs_max)
   let emit time action = events := { Workload.Events.time; action } :: !events in
   let members_of mc =
     Hashtbl.fold
-      (fun (m, sw) () acc -> if m = mc then sw :: acc else acc)
+      (fun (m, sw) () acc -> if Int.equal m mc then sw :: acc else acc)
       joined []
-    |> List.sort compare
+    |> List.sort Int.compare
   in
   let role_for (mc : Dgmc.Mc_id.t) =
     match mc.kind with
@@ -321,10 +324,12 @@ let pp_case ppf c =
     c.fault_seed;
   List.iter
     (fun (sw, a, b) ->
+      (* dgmc-analyze: allow float-format — human-readable case description *)
       Format.fprintf ppf "  crash: switch %d during [%g, %g)@," sw a b)
     c.crashes;
   List.iter
     (fun (side, a, b) ->
+      (* dgmc-analyze: allow float-format — human-readable case description *)
       Format.fprintf ppf "  partition: {%s} during [%g, %g)@,"
         (String.concat ", " (List.map string_of_int side))
         a b)

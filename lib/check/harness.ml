@@ -127,7 +127,7 @@ let blocker_fps t ptol (m : msg) d =
   Int_set.inter m.past ptol.(d)
   |> Int_set.elements
   |> List.map (fun id -> (msg_exn t id).fp)
-  |> List.sort compare
+  |> List.sort String.compare
 
 (* Two enabled deliveries are interchangeable — lead to digest-identical
    successors — when they target the same switch with the same payload
@@ -155,7 +155,7 @@ let delivery_signature t ptol (d, id) =
           in
           Some (Printf.sprintf "%d|%s|%s" d' m'.fp tag))
       t.pending
-    |> List.sort compare
+    |> List.sort String.compare
   in
   Printf.sprintf "%d|%s|%s|%s" d m.fp ctx (String.concat "&" rel)
 
@@ -261,7 +261,7 @@ let digest t =
         Printf.sprintf "%d|%s|[%s]" d m.fp
           (String.concat ";" (blocker_fps t ptol m d)))
       t.pending
-    |> List.sort compare
+    |> List.sort String.compare
   in
   List.iter
     (fun line ->
@@ -277,7 +277,7 @@ let digest t =
               Some (Printf.sprintf "%d:%s" d (msg_exn t id).fp)
             else None)
           t.pending
-        |> List.sort compare
+        |> List.sort String.compare
       in
       Buffer.add_string b (Printf.sprintf "k%d=[%s]\n" i (String.concat ";" entries)))
     t.known;

@@ -52,6 +52,8 @@ let sweep ~boundary t =
         | _ -> ());
         Hashtbl.replace t.history (id, s.snap_mc) s.snap_c)
       snaps;
+    (* dgmc-analyze: allow iteration-order — per-key membership test; the
+       set of removed keys does not depend on enumeration order *)
     Hashtbl.iter
       (fun ((id', mc) as key) _ ->
         if

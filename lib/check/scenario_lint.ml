@@ -246,7 +246,7 @@ let lint text =
        ties, matching Workload.Events.sort). *)
     let timeline =
       List.stable_sort
-        (fun (_, t1, _) (_, t2, _) -> compare t1 t2)
+        (fun (_, t1, _) (_, t2, _) -> Float.compare t1 t2)
         resolved
     in
     let member = Hashtbl.create 16 in (* (mc, switch) -> () *)
@@ -278,7 +278,7 @@ let lint text =
         warn line "mc %d declared but never used by any event" id)
     !mcs;
   List.stable_sort
-    (fun a b -> compare a.line b.line)
+    (fun a b -> Int.compare a.line b.line)
     (List.rev !diags)
 
 let lint_file path =

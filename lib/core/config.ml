@@ -31,6 +31,7 @@ let round_length t ~graph =
   Lsr.Flooding.flood_diameter ~graph ~t_hop:t.t_hop +. t.tc
 
 let pp ppf t =
+  (* dgmc-analyze: allow float-format — human-readable config echo, not schema output *)
   Format.fprintf ppf
     "@[<h>config(tc=%gs, t_hop=%gs, steiner=%s, incremental=%b, drift=%g)@]"
     t.tc t.t_hop

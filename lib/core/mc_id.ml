@@ -4,13 +4,15 @@ type t = { id : int; kind : kind }
 
 let make kind id = { id; kind }
 
+let kind_rank = function Symmetric -> 0 | Receiver_only -> 1 | Asymmetric -> 2
+
 let compare a b =
   let c = Int.compare a.id b.id in
-  if c <> 0 then c else Stdlib.compare a.kind b.kind
+  if c <> 0 then c else Int.compare (kind_rank a.kind) (kind_rank b.kind)
 
 let equal a b = compare a b = 0
 
-let hash t = Hashtbl.hash (t.id, t.kind)
+let hash t = (t.id * 4) + kind_rank t.kind
 
 let kind_to_string = function
   | Symmetric -> "symmetric"

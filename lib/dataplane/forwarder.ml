@@ -65,7 +65,7 @@ let multicast t ~tree ~src ~size_bits ~on_deliver =
       on_deliver ~receiver:at_node ~at:(Sim.Engine.now t.engine);
     Mctree.Tree.Int_set.iter
       (fun next ->
-        if Some next <> from then
+        if (match from with Some p -> p <> next | None -> true) then
           transmit t ~u:at_node ~v:next ~size_bits (fun () ->
               forward ~at_node:next ~from:(Some at_node)))
       (Mctree.Tree.neighbors tree at_node)
@@ -103,7 +103,7 @@ module Sink = struct
   let received s = List.length s.arrivals
 
   let gaps s =
-    let sorted = List.sort compare (List.rev s.arrivals) in
+    let sorted = List.sort Float.compare (List.rev s.arrivals) in
     let rec pairwise = function
       | a :: (b :: _ as rest) -> (b -. a) :: pairwise rest
       | [ _ ] | [] -> []

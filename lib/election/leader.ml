@@ -49,4 +49,5 @@ let pp_transition ppf { at; previous; current } =
     | Some l -> Format.fprintf ppf "switch %d" l
     | None -> Format.pp_print_string ppf "none"
   in
+  (* dgmc-analyze: allow float-format — human-readable transition log *)
   Format.fprintf ppf "[%g] leader %a -> %a" at pp_leader previous pp_leader current

@@ -232,7 +232,13 @@ let cbt_comparison ?(seed = 1) ?(n = 60) ?(receivers = 12) ?(senders = 6)
             report.Mctree.Delivery.deliveries
         done)
       sender_set;
-    let link_loads = Hashtbl.fold (fun _ l acc -> float_of_int l :: acc) loads [] in
+    (* Sort before averaging: float addition is not associative, so the
+       mean depends on summation order, and Hashtbl.fold enumerates in
+       representation order (which varies with insertion history). *)
+    let link_loads =
+      Hashtbl.fold (fun _ l acc -> float_of_int l :: acc) loads []
+      |> List.sort Float.compare
+    in
     {
       strategy;
       tree_cost = Mctree.Tree.cost graph tree;

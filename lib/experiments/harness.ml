@@ -132,7 +132,9 @@ let mospf_bursty_run ~seed ~n ~config ~members ~sources =
      the sources speak.  One datagram per source — the minimum that
      rebuilds the forwarding state after the burst. *)
   let senders =
-    List.filteri (fun i _ -> i < sources) (List.sort_uniq compare member_switches)
+    List.filteri
+      (fun i _ -> i < sources)
+      (List.sort_uniq Int.compare member_switches)
   in
   List.iter (fun src -> Baselines.Mospf.send_packet m ~src ~group) senders;
   Baselines.Mospf.run m;

@@ -12,11 +12,13 @@ let spec_default =
 let check_spec s =
   let prob name v =
     if not (v >= 0.0 && v <= 1.0) then
+      (* dgmc-analyze: allow float-format — human-readable error message *)
       Error (Printf.sprintf "%s must be a probability in [0, 1], got %g" name v)
     else Ok ()
   in
   let non_neg name v =
     if not (v >= 0.0 && v = v && v < infinity) then
+      (* dgmc-analyze: allow float-format — human-readable error message *)
       Error (Printf.sprintf "%s must be non-negative and finite, got %g" name v)
     else Ok ()
   in
@@ -61,6 +63,8 @@ let spec_of_string text =
   Result.bind (List.fold_left parse (Ok spec_default) fields) check_spec
 
 let spec_to_string s =
+  (* dgmc-analyze: allow float-format — human-readable spec echo; specs are
+     short hand-written probabilities, not computed schema values *)
   Printf.sprintf "drop=%g,dup=%g,reorder=%g,jitter=%g,span=%g" s.drop
     s.duplicate s.reorder s.jitter s.reorder_span
 
@@ -153,6 +157,7 @@ let set_link_spec t u v spec =
 let window ~who ~from_ ~until =
   if not (from_ >= 0.0 && until >= from_ && until < infinity) then
     invalid_arg
+      (* dgmc-analyze: allow float-format — human-readable error message *)
       (Printf.sprintf "Faults.Plan.%s: bad window [%g, %g)" who from_ until);
   { w_from = from_; w_until = until }
 
@@ -195,6 +200,7 @@ let separated t a b now =
 let fault_label = function
   | Drop -> "drop"
   | Duplicate -> "duplicate"
+  (* dgmc-analyze: allow float-format — human-readable trace label *)
   | Reorder extra -> Printf.sprintf "reorder(+%g)" extra
   | Crash_block who -> Printf.sprintf "blocked(crash %d)" who
   | Partition_block -> "blocked(partition)"
@@ -325,8 +331,10 @@ let pp_event ppf { time; src; dst; fault } =
     match fault with
     | Drop -> "drop"
     | Duplicate -> "duplicate"
+    (* dgmc-analyze: allow float-format — human-readable event printer *)
     | Reorder extra -> Printf.sprintf "reorder(+%g)" extra
     | Crash_block who -> Printf.sprintf "blocked(crash %d)" who
     | Partition_block -> "blocked(partition)"
   in
+  (* dgmc-analyze: allow float-format — human-readable event printer *)
   Format.fprintf ppf "@[<h>%.6g %d->%d %s@]" time src dst kind

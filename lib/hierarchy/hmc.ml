@@ -109,6 +109,9 @@ let build_logical graph area_of k =
       end)
     (Net.Graph.edges graph);
   let logical = Net.Graph.create k in
+  (* dgmc-analyze: allow iteration-order — each logical edge is a distinct
+     key inserted exactly once, so the resulting graph value does not
+     depend on enumeration order *)
   Hashtbl.iter
     (fun (a, b) (u, v) ->
       Net.Graph.add_edge logical a b ~weight:(Net.Graph.weight graph u v))
@@ -536,7 +539,7 @@ let divergence t mc =
                (Option.value ~default:Int_set.empty
                   (Mc_table.find_opt t.host_members.(a) mc)))
            member_areas
-         |> List.sort compare
+         |> List.sort Int.compare
        in
        let global = Mctree.Tree.with_terminals !union all_members in
        if not (Mctree.Tree.is_tree global) then report "stitched global graph has a cycle";
@@ -583,7 +586,7 @@ let global_tree t mc =
              match Mc_table.find_opt table mc with
              | Some set -> Int_set.elements set
              | None -> [])
-      |> List.sort compare
+      |> List.sort Int.compare
     in
     if members = [] then None else Some (Mctree.Tree.with_terminals !union members)
   end

@@ -6,7 +6,7 @@ let sph = { name = "sph"; compute = Steiner.sph }
 
 let spt =
   let compute g members =
-    match List.sort_uniq compare members with
+    match List.sort_uniq Int.compare members with
     | [] -> failwith "Algo.spt: empty member set"
     | root :: receivers -> Spt.source_rooted g ~root ~receivers
   in

@@ -8,6 +8,14 @@ type report = {
 
 let norm u v = if u < v then (u, v) else (v, u)
 
+let compare_delivery a b =
+  match Int.compare a.receiver b.receiver with
+  | 0 -> (
+    match Float.compare a.delay b.delay with
+    | 0 -> Int.compare a.hops b.hops
+    | c -> c)
+  | c -> c
+
 (* Walk tree edges outward from [start], excluding [start] itself from the
    deliveries (the caller decides whether the start node is a recipient). *)
 let walk g tree ~start ~base_delay ~base_hops ~prefix_links =
@@ -18,7 +26,7 @@ let walk g tree ~start ~base_delay ~base_hops ~prefix_links =
       deliveries := { receiver = u; delay; hops } :: !deliveries;
     Tree.Int_set.iter
       (fun v ->
-        if Some v <> parent then begin
+        if (match parent with Some p -> p <> v | None -> true) then begin
           links := norm u v :: !links;
           visit v (Some u) (delay +. Net.Graph.weight g u v) (hops + 1)
         end)
@@ -31,8 +39,8 @@ let multicast g tree ~src =
   if not (Tree.mem_node tree src) then failwith "Delivery.multicast: sender not on tree";
   let deliveries, links = walk g tree ~start:src ~base_delay:0.0 ~base_hops:0 ~prefix_links:[] in
   {
-    deliveries = List.sort compare deliveries;
-    links_used = List.sort_uniq compare links;
+    deliveries = List.sort compare_delivery deliveries;
+    links_used = List.sort_uniq Tree.compare_edge links;
     contact = None;
   }
 
@@ -68,8 +76,8 @@ let two_stage g tree ~src =
         else deliveries
       in
       {
-        deliveries = List.sort compare deliveries;
-        links_used = List.sort_uniq compare links;
+        deliveries = List.sort compare_delivery deliveries;
+        links_used = List.sort_uniq Tree.compare_edge links;
         contact = Some contact;
       }
   end
@@ -81,4 +89,5 @@ let accumulate_loads table report =
       Hashtbl.replace table link (prev + 1))
     report.links_used
 
+(* dgmc-analyze: allow iteration-order — max over ints is order-insensitive *)
 let max_load table = Hashtbl.fold (fun _ load acc -> max load acc) table 0

@@ -12,6 +12,10 @@ type delivery = {
   hops : int;     (** Links traversed from the sender. *)
 }
 
+val compare_delivery : delivery -> delivery -> int
+(** Typed ordering by receiver, then delay, then hops — the comparison
+    used to sort {!report.deliveries} deterministically. *)
+
 type report = {
   deliveries : delivery list;  (** One entry per terminal reached,
                                    excluding the sender; sorted by id. *)

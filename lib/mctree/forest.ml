@@ -6,8 +6,8 @@ let spt g ~root ~receivers =
   Spt.source_rooted g ~root ~receivers:(List.filter (fun r -> r <> root) receivers)
 
 let build g ~senders ~receivers =
-  let senders = List.sort_uniq compare senders in
-  let receivers = List.sort_uniq compare receivers in
+  let senders = List.sort_uniq Int.compare senders in
+  let receivers = List.sort_uniq Int.compare receivers in
   if senders = [] then failwith "Forest.build: no senders";
   {
     trees =
@@ -29,7 +29,7 @@ let add_receiver g t r =
     (* Recompute each sender's tree: a greedy graft onto the old tree
        would break the SPT invariant (tree delay = shortest-path
        distance); the recomputation is one Dijkstra per sender. *)
-    let receivers = List.sort compare (r :: t.receivers) in
+    let receivers = List.sort Int.compare (r :: t.receivers) in
     {
       trees = Int_map.mapi (fun sender _ -> spt g ~root:sender ~receivers) t.trees;
       receivers;
@@ -71,6 +71,7 @@ let link_occurrences t =
         (Tree.edges tree))
     t.trees;
   Hashtbl.fold (fun link n acc -> (link, n) :: acc) table []
-  |> List.sort compare
+  |> List.sort (fun (l1, n1) (l2, n2) ->
+         match Tree.compare_edge l1 l2 with 0 -> Int.compare n1 n2 | c -> c)
 
 let deliver g t ~sender = Delivery.multicast g (tree_of t ~sender) ~src:sender

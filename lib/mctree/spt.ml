@@ -5,7 +5,7 @@ let source_rooted g ~root ~receivers =
     (fun x -> if x < 0 || x >= n then failwith "Spt: receiver out of range")
     receivers;
   let r = Net.Dijkstra.run g root in
-  let terminals = List.sort_uniq compare (root :: receivers) in
+  let terminals = List.sort_uniq Int.compare (root :: receivers) in
   List.fold_left
     (fun tree dst ->
       if dst = root then tree
@@ -17,10 +17,14 @@ let source_rooted g ~root ~receivers =
     terminals
 
 let depth t ~root =
+  let is_parent parent v =
+    match parent with Some p -> p = v | None -> false
+  in
   let rec go u parent d best =
     Tree.Int_set.fold
       (fun v best ->
-        if Some v = parent then best else go v (Some u) (d + 1) (max best (d + 1)))
+        if is_parent parent v then best
+        else go v (Some u) (d + 1) (max best (d + 1)))
       (Tree.neighbors t u) best
   in
   if Tree.mem_node t root then go root None 0 0 else 0
@@ -34,4 +38,5 @@ let receivers_cost g t ~root =
         | Some p -> (dst, Net.Path.cost g p) :: acc
         | None -> acc)
     (Tree.terminals t) []
-  |> List.sort compare
+  |> List.sort (fun (d1, c1) (d2, c2) ->
+         match Int.compare d1 d2 with 0 -> Float.compare c1 c2 | c -> c)

@@ -6,7 +6,7 @@ let check_terminals g terminals =
       if x < 0 || x >= n then
         failwith (Printf.sprintf "Steiner: terminal %d out of range" x))
     terminals;
-  let sorted = List.sort_uniq compare terminals in
+  let sorted = List.sort_uniq Int.compare terminals in
   if List.length sorted <> List.length terminals then
     failwith "Steiner: duplicate terminals";
   sorted

@@ -44,12 +44,15 @@ let terminals t = t.terminals
 let nodes t =
   Int_map.fold (fun u _ acc -> Int_set.add u acc) t.adj t.terminals
 
+let compare_edge (u1, v1) (u2, v2) =
+  match Int.compare u1 u2 with 0 -> Int.compare v1 v2 | c -> c
+
 let edges t =
   Int_map.fold
     (fun u nbrs acc ->
       Int_set.fold (fun v acc -> if u < v then (u, v) :: acc else acc) nbrs acc)
     t.adj []
-  |> List.sort compare
+  |> List.sort compare_edge
 
 let n_edges t = List.length (edges t)
 
@@ -136,7 +139,10 @@ let path_between t src dst =
           (fun v found ->
             match found with
             | Some _ -> found
-            | None -> if Some v = parent then None else search v (Some u) (u :: path))
+            | None -> (
+              match parent with
+              | Some p when p = v -> None
+              | _ -> search v (Some u) (u :: path)))
           (neighbors t u) None
     in
     search src None []
@@ -157,7 +163,7 @@ let dfs_order t ~root =
 
 let compare a b =
   let c = Int_set.compare a.terminals b.terminals in
-  if c <> 0 then c else Stdlib.compare (edges a) (edges b)
+  if c <> 0 then c else List.compare compare_edge (edges a) (edges b)
 
 let equal a b = compare a b = 0
 

@@ -52,6 +52,11 @@ val terminals : t -> Int_set.t
 val nodes : t -> Int_set.t
 (** Every node incident to an edge, plus every terminal. *)
 
+val compare_edge : int * int -> int * int -> int
+(** Lexicographic [Int.compare] on normalised [(lo, hi)] edges — the
+    typed comparison for edge lists (deterministic, no polymorphic
+    compare). *)
+
 val edges : t -> (int * int) list
 (** Each undirected edge once, as [(u, v)] with [u < v], sorted. *)
 

@@ -35,7 +35,15 @@ let escape s =
     s;
   Buffer.contents b
 
-let num f = if Float.is_finite f then Printf.sprintf "%.6g" f else "0"
+(* Round-trip float rendering: dgmc-bench/1 is machine-diffed, so wall
+   times must survive print → parse exactly. *)
+let num f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    (* dgmc-analyze: allow float-format — %.0f on an exactly-integral float
+       below 2^53 round-trips *)
+    Printf.sprintf "%.0f" f
+  else if Float.is_finite f then Printf.sprintf "%.17g" f
+  else "0"
 
 let speedup ~seq ~elapsed = if elapsed > 0.0 then seq /. elapsed else 1.0
 

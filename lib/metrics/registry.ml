@@ -17,11 +17,23 @@ type cell = Counter of int ref | Gauge of float ref | Hist of hist
 
 type key = { name : string; switch : int option }
 
-type t = { cells : (key, cell) Hashtbl.t }
+type t = { cells : (key, cell) Hashtbl.t; owner : int }
 
-let create () = { cells = Hashtbl.create 64 }
+let create () = { cells = Hashtbl.create 64; owner = (Domain.self () :> int) }
 
 let is_empty t = Hashtbl.length t.cells = 0
+
+(* The cell table and the cells themselves are unsynchronised, so all
+   mutation is pinned to the creating domain; recording from a worker
+   domain is a bug (racy counts), not a best-effort degradation. *)
+let check_owner t =
+  let self = (Domain.self () :> int) in
+  if not (Int.equal self t.owner) then
+    invalid_arg
+      (Printf.sprintf
+         "Metrics.Registry: mutation from domain %d, but the registry is \
+          owned by domain %d (collect on the owner domain instead)"
+         self t.owner)
 
 let kind_name = function
   | Counter _ -> "counter"
@@ -29,6 +41,7 @@ let kind_name = function
   | Hist _ -> "histogram"
 
 let cell_of t ?switch name ~make ~check =
+  check_owner t;
   let key = { name; switch } in
   match Hashtbl.find_opt t.cells key with
   | Some c ->
@@ -113,7 +126,7 @@ let hist_quantile h q =
     let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int h.h_n))) in
     let sorted =
       Hashtbl.fold (fun b r acc -> (b, !r) :: acc) h.buckets []
-      |> List.sort (fun (a, _) (b, _) -> compare a b)
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
     in
     let estimate =
       if rank <= h.nonpos then h.h_lo
@@ -182,28 +195,41 @@ let compare_key a b =
     | None, None -> 0
     | None, Some _ -> -1
     | Some _, None -> 1
-    | Some x, Some y -> compare x y)
+    | Some x, Some y -> Int.compare x y)
   | c -> c
 
 let snapshot t =
-  let counters = ref [] and gauges = ref [] and histograms = ref [] in
-  Hashtbl.iter
-    (fun key -> function
-      | Counter r -> counters := (key, !r) :: !counters
-      | Gauge r -> gauges := (key, !r) :: !gauges
-      | Hist h -> histograms := (key, stats_of_hist h) :: !histograms)
-    t.cells;
-  let by_key (a, _) (b, _) = compare_key a b in
+  let cells =
+    Hashtbl.fold (fun key cell acc -> (key, cell) :: acc) t.cells []
+    |> List.sort (fun (a, _) (b, _) -> compare_key a b)
+  in
   {
-    counters = List.sort by_key !counters;
-    gauges = List.sort by_key !gauges;
-    histograms = List.sort by_key !histograms;
+    counters =
+      List.filter_map (function k, Counter r -> Some (k, !r) | _ -> None) cells;
+    gauges =
+      List.filter_map (function k, Gauge r -> Some (k, !r) | _ -> None) cells;
+    histograms =
+      List.filter_map
+        (function k, Hist h -> Some (k, stats_of_hist h) | _ -> None)
+        cells;
   }
 
 (* ------------------------------------------------------------------ *)
 (* Rendering *)
 
+(* dgmc-analyze: allow float-format — console rendering only; JSON goes
+   through [json_num] below *)
 let num f = if Float.is_finite f then Printf.sprintf "%.6g" f else "0"
+
+(* Round-trip float rendering for the JSON snapshot (mirrors
+   Sim.Json.number; Metrics deliberately has no dependency on Sim). *)
+let json_num f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    (* dgmc-analyze: allow float-format — %.0f on an exactly-integral float
+       below 2^53 round-trips *)
+    Printf.sprintf "%.0f" f
+  else if Float.is_finite f then Printf.sprintf "%.17g" f
+  else "0"
 
 let key_json k =
   Printf.sprintf {|"name": "%s", "switch": %s|} k.name
@@ -211,13 +237,16 @@ let key_json k =
 
 let snapshot_json s =
   let counter (k, v) = Printf.sprintf "{%s, \"value\": %d}" (key_json k) v in
-  let gauge (k, v) = Printf.sprintf "{%s, \"value\": %s}" (key_json k) (num v) in
+  let gauge (k, v) =
+    Printf.sprintf "{%s, \"value\": %s}" (key_json k) (json_num v)
+  in
   let histo (k, h) =
     Printf.sprintf
       "{%s, \"count\": %d, \"sum\": %s, \"min\": %s, \"max\": %s, \"p50\": %s, \
        \"p90\": %s, \"p99\": %s}"
-      (key_json k) h.h_count (num h.h_sum) (num h.h_min) (num h.h_max)
-      (num h.h_p50) (num h.h_p90) (num h.h_p99)
+      (key_json k) h.h_count (json_num h.h_sum) (json_num h.h_min)
+      (json_num h.h_max) (json_num h.h_p50) (json_num h.h_p90)
+      (json_num h.h_p99)
   in
   let list f xs = String.concat ",\n      " (List.map f xs) in
   Printf.sprintf

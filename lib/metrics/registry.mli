@@ -11,8 +11,11 @@
 
     Cells are created on first use; using one name with two different
     metric kinds raises [Invalid_argument].  A registry is {e not}
-    domain-safe: record from a single domain (the pool observes task
-    stats after collecting them on the calling domain).
+    domain-safe and is pinned to the domain that created it: any
+    recording call ({!incr}, {!set_gauge}, {!observe}) from another
+    domain raises [Invalid_argument] naming both domains.  Collect
+    results on worker domains and record them on the owner (the pool
+    observes task stats after collecting them on the calling domain).
 
     {!snapshot} ordering is deterministic (sorted by name, then label),
     so rendered output is stable across runs and domain counts. *)

@@ -37,7 +37,7 @@ let summarize xs =
 let percentile xs p =
   if xs = [] then invalid_arg "Stats.percentile: empty sample";
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
-  let sorted = Array.of_list (List.sort compare xs) in
+  let sorted = Array.of_list (List.sort Float.compare xs) in
   let k = Array.length sorted in
   if k = 1 then sorted.(0)
   else begin
@@ -48,4 +48,5 @@ let percentile xs p =
     sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
   end
 
+(* dgmc-analyze: allow float-format — table/console summary, not schema output *)
 let pp_summary ppf s = Format.fprintf ppf "%.3f ± %.3f" s.mean s.ci95

@@ -1,6 +1,7 @@
 type align = Left | Right
 
 let cell_f x =
+  (* dgmc-analyze: allow float-format — console table cell, not schema output *)
   let s = Printf.sprintf "%.3f" x in
   (* Trim trailing zeros but keep at least one decimal digit. *)
   let rec trim i = if i > 0 && s.[i] = '0' && s.[i - 1] <> '.' then trim (i - 1) else i in

@@ -6,7 +6,7 @@ let run g src =
   let pred = Array.make n None in
   let settled = Array.make n false in
   dist.(src) <- 0.0;
-  let heap = Sim.Heap.create ~cmp:(fun (da, _) (db, _) -> compare da db) in
+  let heap = Sim.Heap.create ~cmp:(fun (da, _) (db, _) -> Float.compare da db) in
   Sim.Heap.add heap (0.0, src);
   let rec loop () =
     match Sim.Heap.pop heap with

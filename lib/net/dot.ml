@@ -13,6 +13,7 @@ let graph ?(highlight = []) ?(mark = []) ?(name = "network") g =
   done;
   List.iter
     (fun ((e : Graph.edge), up) ->
+      (* dgmc-analyze: allow float-format — Graphviz edge label for human viewing *)
       let attrs = ref [ Printf.sprintf "label=\"%.3g\"" e.weight ] in
       if not up then attrs := "style=dashed" :: "color=red" :: !attrs;
       if mem_undirected highlight e.u e.v then

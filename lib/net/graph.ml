@@ -7,11 +7,22 @@ type t = {
   (* adj.(u) maps each neighbour v to the shared link record, so flipping
      a link's state is visible from both endpoints. *)
   adj : (int, link) Hashtbl.t array;
+  (* Sorted adjacency rows (neighbour id ascending), built lazily from
+     [adj] and invalidated by [add_edge] only: [set_link] mutates the
+     shared [link] records the rows reference, so [up] reads stay live.
+     The cache keeps the sort out of hot loops — [neighbors] is called
+     per settled node inside Dijkstra — while giving every enumeration a
+     deterministic order. *)
+  mutable rows : (int * link) list option array;
 }
 
 let create n =
   if n < 0 then invalid_arg "Graph.create: negative node count";
-  { n; adj = Array.init n (fun _ -> Hashtbl.create 4) }
+  {
+    n;
+    adj = Array.init n (fun _ -> Hashtbl.create 4);
+    rows = Array.make n None;
+  }
 
 let n_nodes t = t.n
 
@@ -29,7 +40,20 @@ let add_edge t u v ~weight =
     invalid_arg (Printf.sprintf "Graph.add_edge: edge (%d, %d) exists" u v);
   let link = { w = weight; up = true } in
   Hashtbl.replace t.adj.(u) v link;
-  Hashtbl.replace t.adj.(v) u link
+  Hashtbl.replace t.adj.(v) u link;
+  t.rows.(u) <- None;
+  t.rows.(v) <- None
+
+let row t u =
+  match t.rows.(u) with
+  | Some r -> r
+  | None ->
+    let r =
+      Hashtbl.fold (fun v l acc -> (v, l) :: acc) t.adj.(u) []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+    in
+    t.rows.(u) <- Some r;
+    r
 
 let of_edges n list =
   let t = create n in
@@ -56,29 +80,34 @@ let set_link t u v ~up =
 
 let neighbors t u =
   check_node t u;
-  Hashtbl.fold (fun v l acc -> if l.up then (v, l.w) :: acc else acc) t.adj.(u) []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  List.filter_map (fun (v, l) -> if l.up then Some (v, l.w) else None) (row t u)
 
 let degree t u =
   check_node t u;
-  Hashtbl.fold (fun _ l acc -> if l.up then acc + 1 else acc) t.adj.(u) 0
+  List.fold_left (fun acc (_, l) -> if l.up then acc + 1 else acc) 0 (row t u)
 
+(* Every enumeration goes through the sorted rows, so every consumer —
+   including non-associative accumulators such as [total_weight]'s float
+   sum via [fold_edges] — sees a deterministic edge order. *)
 let fold_all f t init =
   let acc = ref init in
   for u = 0 to t.n - 1 do
-    Hashtbl.iter
-      (fun v l -> if u < v then acc := f { u; v; weight = l.w } l.up !acc)
-      t.adj.(u)
+    List.iter
+      (fun (v, l) -> if u < v then acc := f { u; v; weight = l.w } l.up !acc)
+      (row t u)
   done;
   !acc
 
+let compare_endpoints a b =
+  match Int.compare a.u b.u with 0 -> Int.compare a.v b.v | c -> c
+
 let edges t =
   fold_all (fun e up acc -> if up then e :: acc else acc) t []
-  |> List.sort (fun a b -> compare (a.u, a.v) (b.u, b.v))
+  |> List.sort compare_endpoints
 
 let all_edges t =
   fold_all (fun e up acc -> (e, up) :: acc) t []
-  |> List.sort (fun (a, _) (b, _) -> compare (a.u, a.v) (b.u, b.v))
+  |> List.sort (fun (a, _) (b, _) -> compare_endpoints a b)
 
 let n_edges t = fold_all (fun _ up acc -> if up then acc + 1 else acc) t 0
 
@@ -110,6 +139,7 @@ let pp ppf t =
   Format.fprintf ppf "@[<v>graph %d nodes, %d live edges" t.n (n_edges t);
   List.iter
     (fun (e, up) ->
+      (* dgmc-analyze: allow float-format — debug pretty-printer, not schema output *)
       Format.fprintf ppf "@,  %d -- %d  w=%.4g%s" e.u e.v e.weight
         (if up then "" else "  (down)"))
     (all_edges t);

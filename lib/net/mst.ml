@@ -1,8 +1,11 @@
 let sorted_edges edges =
   List.sort
     (fun (a : Graph.edge) b ->
-      let c = compare a.weight b.weight in
-      if c <> 0 then c else compare (a.u, a.v) (b.u, b.v))
+      let c = Float.compare a.weight b.weight in
+      match c with
+      | 0 -> (
+        match Int.compare a.u b.u with 0 -> Int.compare a.v b.v | c -> c)
+      | c -> c)
     edges
 
 let kruskal g =

@@ -52,6 +52,7 @@ let reserve_tree t ~key ~bandwidth tree =
     (fun (u, v) ->
       if residual t u v +. 1e-9 < bandwidth then
         failwith
+          (* dgmc-analyze: allow float-format — human-readable error message *)
           (Printf.sprintf "Capacity: link (%d, %d) lacks %.3g of capacity" u v
              bandwidth))
     edges;

@@ -81,6 +81,8 @@ let next_task blocks k =
     if !victim < 0 then None else steal blocks.(!victim)
 
 let run_task f i slot results =
+  (* dgmc-analyze: allow nondet-source — wall-clock timing of task
+     execution; never feeds simulation state *)
   let t0 = Unix.gettimeofday () in
   let a0 = Gc.allocated_bytes () in
   let outcome =
@@ -90,6 +92,7 @@ let run_task f i slot results =
       let bt = Printexc.get_raw_backtrace () in
       Error (exn, bt)
   in
+  (* dgmc-analyze: allow nondet-source — wall-clock timing measurement *)
   let wall_s = Unix.gettimeofday () -. t0 in
   let alloc_bytes = Gc.allocated_bytes () -. a0 in
   results.(i) <-
@@ -116,6 +119,7 @@ let observe_stats metrics timed =
 
 let run_batch ?(domains = 1) ?metrics tasks =
   let n = Array.length tasks in
+  (* dgmc-analyze: allow nondet-source — wall-clock timing of the batch *)
   let started = Unix.gettimeofday () in
   let workers = max 1 (min domains n) in
   let results = Array.make n None in
@@ -153,6 +157,7 @@ let run_batch ?(domains = 1) ?metrics tasks =
         | Some (Error _, _) | None -> assert false (* raise_first covered it *))
       results
   in
+  (* dgmc-analyze: allow nondet-source — wall-clock timing of the batch *)
   let elapsed_s = Unix.gettimeofday () -. started in
   let seq_estimate_s =
     Array.fold_left (fun acc t -> acc +. t.stats.wall_s) 0.0 timed

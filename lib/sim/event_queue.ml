@@ -5,8 +5,8 @@ type 'a entry = { time : float; seq : int; payload : 'a; handle : handle }
 type 'a t = { heap : 'a entry Heap.t; mutable next_seq : int }
 
 let compare_entry a b =
-  let c = compare a.time b.time in
-  if c <> 0 then c else compare a.seq b.seq
+  let c = Float.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.seq b.seq
 
 let create () = { heap = Heap.create ~cmp:compare_entry; next_seq = 0 }
 

@@ -29,6 +29,8 @@ let escape s =
 
 let number f =
   if Float.is_integer f && Float.abs f < 1e15 then
+    (* dgmc-analyze: allow float-format — %.0f on an exactly-integral float
+       below 2^53 round-trips; non-integral values take the %.17g branch *)
     Printf.sprintf "%.0f" f
   else if Float.is_finite f then Printf.sprintf "%.17g" f
   else "null"
@@ -143,7 +145,7 @@ let rec parse_value cur =
   | Some '{' ->
     advance cur;
     skip_ws cur;
-    if peek cur = Some '}' then begin
+    if (match peek cur with Some '}' -> true | _ -> false) then begin
       advance cur;
       Obj []
     end
@@ -170,7 +172,7 @@ let rec parse_value cur =
   | Some '[' ->
     advance cur;
     skip_ws cur;
-    if peek cur = Some ']' then begin
+    if (match peek cur with Some ']' -> true | _ -> false) then begin
       advance cur;
       Arr []
     end

@@ -142,6 +142,8 @@ let message = function
   | Note n -> n.message
 
 let pp_entry ppf e =
+  (* dgmc-analyze: allow float-format — human-readable timeline view; the
+     trace JSON writer emits times via Json.number *)
   Format.fprintf ppf "[%12.6f] #%-5d %s%-10s %s" e.time e.id
     (if e.parent >= 0 then Printf.sprintf "<-#%-5d " e.parent else "         ")
     (category e.event) (message e.event)

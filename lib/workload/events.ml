@@ -6,7 +6,7 @@ type action =
 
 type t = { time : float; action : action }
 
-let sort list = List.stable_sort (fun a b -> compare a.time b.time) list
+let sort list = List.stable_sort (fun a b -> Float.compare a.time b.time) list
 
 let count = List.length
 
@@ -54,4 +54,5 @@ let pp ppf e =
     | Link_down (u, v) -> Printf.sprintf "link-down (%d, %d)" u v
     | Link_up (u, v) -> Printf.sprintf "link-up (%d, %d)" u v
   in
+  (* dgmc-analyze: allow float-format — human-readable event listing *)
   Format.fprintf ppf "@[<h>[%g] %s@]" e.time describe

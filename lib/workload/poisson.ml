@@ -18,7 +18,7 @@ let membership rng ~n ~mc ~events ~mean_gap ?(initial = []) ?(start = 0.0) () =
         { Events.time = start; action = Events.Join { switch; mc; role = role order } })
       initial
   in
-  let members = ref (List.sort_uniq compare initial) in
+  let members = ref (List.sort_uniq Int.compare initial) in
   let order = ref (List.length initial) in
   let rec generate acc time remaining =
     if remaining = 0 then List.rev acc
@@ -37,7 +37,7 @@ let membership rng ~n ~mc ~events ~mean_gap ?(initial = []) ?(start = 0.0) () =
       in
       if do_join && can_join then begin
         let switch = Sim.Rng.pick rng non_members in
-        members := List.sort compare (switch :: !members);
+        members := List.sort Int.compare (switch :: !members);
         incr order;
         let e =
           {

@@ -8,7 +8,7 @@ let members_after events =
   List.fold_left
     (fun members (e : Events.t) ->
       match e.action with
-      | Events.Join { switch; _ } -> List.sort_uniq compare (switch :: members)
+      | Events.Join { switch; _ } -> List.sort_uniq Int.compare (switch :: members)
       | Events.Leave { switch; _ } -> List.filter (fun x -> x <> switch) members
       | Events.Link_down _ | Events.Link_up _ -> members)
     [] (Events.sort events)

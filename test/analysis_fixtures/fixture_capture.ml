@@ -1,0 +1,22 @@
+(* Analyzer fixture: domain-unsafe-capture.  Parsed by dgmc_analyze's
+   own tests, never compiled. *)
+
+let hits = ref 0
+
+let tally pool xs = Runner.Pool.map pool (fun x -> incr hits; x) xs
+
+let bump x = incr hits; x
+
+let indirect pool xs = Runner.Pool.map pool bump xs
+
+let safe pool xs =
+  let local = ref 0 in
+  Runner.Pool.map pool (fun x -> incr local; x) xs
+
+let slot = Domain.DLS.new_key (fun () -> 0)
+
+let guarded pool xs =
+  Runner.Pool.map pool (fun x -> ignore (Domain.DLS.get slot); x) xs
+
+(* dgmc-analyze: allow domain-unsafe-capture — fixture: single-domain pool *)
+let allowed pool xs = Runner.Pool.map pool (fun x -> incr hits; x) xs

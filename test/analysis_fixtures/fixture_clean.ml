@@ -1,0 +1,9 @@
+(* Analyzer fixture: a file with no findings at all. *)
+
+let double xs = List.map (fun x -> x * 2) xs
+
+let sorted xs = List.sort Int.compare xs
+
+let render x = Printf.sprintf "%.17g" x
+
+let pick rng n = Sim.Rng.int rng n

@@ -1,0 +1,13 @@
+(* Analyzer fixture: float-format.  Parsed by dgmc_analyze's own tests,
+   never compiled. *)
+
+let schema x = Printf.sprintf "{\"x\": %f}" x
+
+let round_trip x = Printf.sprintf "%.17g" x
+
+let hex x = Printf.sprintf "%h" x
+
+let ints n = Printf.sprintf "%d of %s" n "them"
+
+(* dgmc-analyze: allow float-format — fixture: human-facing echo *)
+let echo x = Printf.printf "value: %g\n" x

@@ -1,0 +1,15 @@
+(* Analyzer fixture: iteration-order.  Parsed by dgmc_analyze's own
+   tests, never compiled. *)
+
+let table : (int, int) Hashtbl.t = Hashtbl.create 8
+
+let dump buf = Hashtbl.iter (fun k v -> Buffer.add_string buf (string_of_int (k + v))) table
+
+let keys_sorted () =
+  Hashtbl.fold (fun k _ acc -> k :: acc) table [] |> List.sort Int.compare
+
+let sorted_apply () =
+  List.sort Int.compare @@ Hashtbl.fold (fun k _ acc -> k :: acc) table []
+
+(* dgmc-analyze: allow iteration-order — integer sum is order-insensitive *)
+let total () = Hashtbl.fold (fun _ v acc -> acc + v) table 0

@@ -1,0 +1,17 @@
+(* Analyzer fixture: nondet-source.  Parsed by dgmc_analyze's own tests,
+   never compiled. *)
+
+let roll () = Random.int 6
+
+let now () = Unix.gettimeofday ()
+
+let cpu () = Sys.time ()
+
+let bucket x = Hashtbl.hash x mod 16
+
+(* dgmc-analyze: allow nondet-source — fixture: wall-clock timing of a bench *)
+let timed () = Unix.gettimeofday ()
+
+let clean rng = Sim.Rng.int rng 6
+
+let also_clean st = Random.State.int st 6

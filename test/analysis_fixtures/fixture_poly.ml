@@ -1,0 +1,19 @@
+(* Analyzer fixture: poly-compare.  Parsed by dgmc_analyze's own tests,
+   never compiled. *)
+
+type pair = { a : int; b : int }
+
+let sort_any ps = List.sort compare ps
+
+let sort_stdlib ps = List.sort Stdlib.compare ps
+
+let same_tuple x y = (x, 0) = (y, 0)
+
+(* dgmc-analyze: allow poly-compare — fixture: monomorphic int list only *)
+let sort_allowed xs = List.sort compare xs
+
+let sort_ints xs = List.sort Int.compare xs
+
+let compare p q = Int.compare p.a q.a
+
+let sort_local ps = List.sort compare ps

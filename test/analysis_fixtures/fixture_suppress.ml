@@ -1,0 +1,8 @@
+(* Analyzer fixture: suppression hygiene.  The first comment is
+   malformed (no rationale), the second matches no finding. *)
+
+(* dgmc-analyze: allow nondet-source *)
+let id x = x
+
+(* dgmc-analyze: allow poly-compare — nothing on the next line triggers it *)
+let twice x = x * 2

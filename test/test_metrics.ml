@@ -236,6 +236,26 @@ let test_csv_write_roundtrip () =
   Sys.remove path;
   check Alcotest.string "file content" "a\n1\n2\n" content
 
+let test_owner_domain_guard () =
+  let r = Metrics.Registry.create () in
+  Metrics.Registry.incr r "ok.from.owner";
+  (* Mutating from a spawned domain must raise; reading back on the
+     owner still works and the foreign write left no trace. *)
+  let outcome =
+    Domain.join
+      (Domain.spawn (fun () ->
+           match Metrics.Registry.incr r "bad.from.worker" with
+           | () -> `No_raise
+           | exception Invalid_argument _ -> `Raised))
+  in
+  (match outcome with
+  | `Raised -> ()
+  | `No_raise -> Alcotest.fail "cross-domain incr did not raise");
+  check Alcotest.int "owner counter survives" 1
+    (Metrics.Registry.counter_value r "ok.from.owner");
+  check Alcotest.int "foreign counter absent" 0
+    (Metrics.Registry.counter_value r "bad.from.worker")
+
 let () =
   Alcotest.run "metrics"
     [
@@ -262,6 +282,8 @@ let () =
             test_histogram_edge_cases;
           Alcotest.test_case "snapshot determinism" `Quick
             test_snapshot_deterministic;
+          Alcotest.test_case "owner-domain guard" `Quick
+            test_owner_domain_guard;
         ] );
       ( "table",
         [
