@@ -71,6 +71,8 @@ let add_link_event b (e : Lsr.Lsdb.link_event) =
   add_int b e.v;
   Buffer.add_char b ',';
   Buffer.add_string b (string_of_bool e.up);
+  Buffer.add_char b ',';
+  add_int b e.version;
   Buffer.add_char b ')'
 
 let add_graph_links b g =
@@ -133,7 +135,38 @@ let add_switch b sw =
     (Dgmc.Switch.snapshots sw);
   Buffer.add_string b "|img=";
   add_graph_links b (Dgmc.Switch.image sw);
-  Buffer.add_char b ']'
+  (* Link versions behave (version-gated apply, resync deltas) even when
+     the up/down flags above agree. *)
+  Buffer.add_string b "|db=";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_char b ',';
+      add_link_event b ev)
+    (Dgmc.Switch.lsdb_entries sw);
+  (* Crash-recovery session: its id/outstanding/quorum gate which deltas
+     apply, and deferred LSAs replay at finish. *)
+  Buffer.add_string b "|rs=";
+  (match Dgmc.Switch.resync_state sw with
+  | None -> Buffer.add_char b '-'
+  | Some (sid, outstanding, completed, quorum) ->
+    add_int b sid;
+    Buffer.add_char b ':';
+    List.iteri
+      (fun i p ->
+        if i > 0 then Buffer.add_char b ',';
+        add_int b p)
+      outstanding;
+    Buffer.add_char b ':';
+    add_int b completed;
+    Buffer.add_char b '/';
+    add_int b quorum);
+  Buffer.add_string b "|defer=[";
+  List.iteri
+    (fun i l ->
+      if i > 0 then Buffer.add_char b ';';
+      add_mc_lsa b l)
+    (Dgmc.Switch.deferred_lsas sw);
+  Buffer.add_string b "]]"
 
 let via size f x =
   let b = Buffer.create size in

@@ -1,12 +1,25 @@
 module Int_set = Set.Make (Int)
 
-type payload = Mc of Dgmc.Mc_lsa.t | Link of Lsr.Lsdb.link_event
+module Link_tbl = Hashtbl.Make (struct
+  type t = int * int
+
+  let equal (a, b) (c, d) = Int.equal a c && Int.equal b d
+
+  let hash (a, b) = (a * 1000003) lxor b
+end)
+
+type payload =
+  | Mc of Dgmc.Mc_lsa.t
+  | Link of Lsr.Lsdb.link_event
+  | Resync of Dgmc.Resync.msg  (* unicast: exactly one pending entry *)
 
 type event =
   | Join of { switch : int; mc : Dgmc.Mc_id.t; role : Dgmc.Member.role }
   | Leave of { switch : int; mc : Dgmc.Mc_id.t }
   | Link_down of int * int
   | Link_up of int * int
+  | Crash of int
+  | Recover of int
 
 type action = Deliver of { dst : int; msg : int } | Complete of int
 
@@ -31,24 +44,67 @@ type t = {
   known : Int_set.t array;
       (* Per switch: causal context = delivered ids, their pasts, and own
          floods.  Becomes the [past] of this switch's next flood. *)
+  link_versions : int Link_tbl.t;
+      (* Ground-truth per-link change counter, mirroring
+         Protocol.link_change's version assignment. *)
+  crashed : bool array;
+      (* Forwarding-plane outage, mirroring Faults.Plan's crash windows:
+         a crashed switch neither sends nor receives (messages are LOST,
+         not queued), but its protocol state and computations survive. *)
   mutable truth : (Dgmc.Mc_id.t * Dgmc.Member.t) list;
 }
+
+let msg_exn t id =
+  match Hashtbl.find_opt t.msgs id with
+  | Some m -> m
+  | None -> invalid_arg (Printf.sprintf "Harness: unknown message %d" id)
 
 let payload_fp = function
   | Mc l -> Fingerprint.mc_lsa l
   | Link e -> Fingerprint.link_event e
+  | Resync m ->
+    (* One line: the blocker lists and digest are line-oriented. *)
+    String.map
+      (fun c -> if Char.equal c '\n' then ';' else c)
+      (Dgmc.Resync.to_string m)
 
-let flood t origin payload =
+let record t origin payload =
   let id = t.next_id in
   t.next_id <- id + 1;
   let m = { origin; payload; past = t.known.(origin); fp = payload_fp payload } in
   Hashtbl.replace t.msgs id m;
   t.known.(origin) <- Int_set.add id t.known.(origin);
-  let additions = ref [] in
-  for dst = t.n - 1 downto 0 do
-    if dst <> origin then additions := (dst, id) :: !additions
-  done;
-  t.pending <- t.pending @ !additions
+  id
+
+let flood t origin payload =
+  let id = record t origin payload in
+  if not t.crashed.(origin) then begin
+    (* Deliveries to crashed switches are dropped at flood time, not
+       queued: the fault model loses messages during an outage. *)
+    let additions = ref [] in
+    for dst = t.n - 1 downto 0 do
+      if dst <> origin && not t.crashed.(dst) then
+        additions := (dst, id) :: !additions
+    done;
+    t.pending <- t.pending @ !additions
+  end
+
+(* Unicast transport for resynchronisation messages.  A send towards a
+   crashed neighbor resolves synchronously the way the reliable
+   transport eventually would: summaries report a giveup to their
+   session, deltas are simply lost (the recoverer's deadline covers
+   them). *)
+let unicast t origin dst msg =
+  if not t.crashed.(origin) then
+    if t.crashed.(dst) then (
+      match msg with
+      | Dgmc.Resync.Summary _ ->
+        Dgmc.Switch.resync_transport_failed t.switches.(origin) ~peer:dst
+      | Dgmc.Resync.Delta _ -> ())
+    else begin
+      let id = record t origin (Resync msg) in
+      t.pending <- t.pending @ [ (dst, id) ]
+    end
 
 let create ~graph ~config () =
   let graph = Net.Graph.copy graph in
@@ -68,11 +124,16 @@ let create ~graph ~config () =
       next_id = 0;
       pending = [];
       known = Array.make n Int_set.empty;
+      link_versions = Link_tbl.create 16;
+      crashed = Array.make n false;
       truth = [];
     }
   in
   Array.iteri
-    (fun i sw -> Dgmc.Switch.set_flood sw (fun lsa -> flood t i (Mc lsa)))
+    (fun i sw ->
+      Dgmc.Switch.set_flood sw (fun lsa -> flood t i (Mc lsa));
+      Dgmc.Switch.set_flood_link sw (fun ev -> flood t i (Link ev));
+      Dgmc.Switch.set_send_resync sw (fun ~peer msg -> unicast t i peer msg))
     switches;
   t
 
@@ -104,24 +165,48 @@ let inject t ev =
     let up = match ev with Link_up _ -> true | _ -> false in
     Net.Graph.set_link t.net_graph u v ~up;
     let lo = min u v and hi = max u v in
-    let link_ev = { Lsr.Lsdb.u = lo; v = hi; up } in
+    let version =
+      1 + Option.value ~default:0 (Link_tbl.find_opt t.link_versions (lo, hi))
+    in
+    Link_tbl.replace t.link_versions (lo, hi) version;
+    let link_ev = { Lsr.Lsdb.u = lo; v = hi; up; version } in
     (* Same order as Protocol.link_change: the higher endpoint detects
        and floods first, then the lower one. *)
     List.iter
       (fun d ->
-        Dgmc.Switch.link_event t.switches.(d) ~u:lo ~v:hi ~up ~detector:true;
+        Dgmc.Switch.link_event t.switches.(d) link_ev ~detector:true;
         flood t d (Link link_ev))
       [ hi; lo ]
+  | Crash i ->
+    if t.crashed.(i) then invalid_arg "Harness: switch already crashed";
+    t.crashed.(i) <- true;
+    (* Everything in flight to or from the crashed switch is lost, as
+       under Faults.Plan (transmissions blocked both ways).  A lost
+       summary resolves to the transport giveup its sender would
+       eventually see. *)
+    let dropped, kept =
+      List.partition
+        (fun (d, id) -> d = i || (msg_exn t id).origin = i)
+        t.pending
+    in
+    t.pending <- kept;
+    List.iter
+      (fun (d, id) ->
+        let m = msg_exn t id in
+        match m.payload with
+        | Resync (Dgmc.Resync.Summary _) when d = i ->
+          Dgmc.Switch.resync_transport_failed t.switches.(m.origin) ~peer:i
+        | Resync _ | Mc _ | Link _ -> ())
+      dropped
+  | Recover i ->
+    if not t.crashed.(i) then invalid_arg "Harness: switch not crashed";
+    t.crashed.(i) <- false;
+    Dgmc.Switch.begin_resync t.switches.(i)
 
 let pending_to t =
   let arr = Array.make t.n Int_set.empty in
   List.iter (fun (d, id) -> arr.(d) <- Int_set.add id arr.(d)) t.pending;
   arr
-
-let msg_exn t id =
-  match Hashtbl.find_opt t.msgs id with
-  | Some m -> m
-  | None -> invalid_arg (Printf.sprintf "Harness: unknown message %d" id)
 
 let blocker_fps t ptol (m : msg) d =
   Int_set.inter m.past ptol.(d)
@@ -206,8 +291,8 @@ let apply t action =
     t.known.(dst) <- Int_set.add msg (Int_set.union t.known.(dst) m.past);
     (match m.payload with
     | Mc lsa -> Dgmc.Switch.receive t.switches.(dst) lsa
-    | Link { u; v; up } ->
-      Dgmc.Switch.link_event t.switches.(dst) ~u ~v ~up ~detector:false)
+    | Link ev -> Dgmc.Switch.link_event t.switches.(dst) ev ~detector:false
+    | Resync msg -> Dgmc.Switch.receive_resync t.switches.(dst) msg)
   | Complete i ->
     if not (Sim.Engine.step t.engines.(i)) then
       invalid_arg "Harness.apply: no computation pending at switch"
@@ -288,6 +373,9 @@ let digest t =
       Buffer.add_string b (Fingerprint.members m);
       Buffer.add_char b '\n')
     t.truth;
+  Buffer.add_string b "crashed=";
+  Array.iter (fun c -> Buffer.add_char b (if c then '1' else '0')) t.crashed;
+  Buffer.add_char b '\n';
   Buffer.add_string b (Fingerprint.graph_links t.net_graph);
   Digest.string (Buffer.contents b)
 
@@ -299,6 +387,10 @@ let describe t action =
       match m.payload with
       | Mc lsa -> Format.asprintf "%a" Dgmc.Mc_lsa.pp lsa
       | Link e -> Format.asprintf "%a" Lsr.Lsdb.pp_link_event e
+      | Resync (Dgmc.Resync.Summary { session; _ }) ->
+        Printf.sprintf "resync summary (session %d)" session
+      | Resync (Dgmc.Resync.Delta { session; _ }) ->
+        Printf.sprintf "resync delta (session %d)" session
     in
     Printf.sprintf "deliver to switch %d (flooded by %d): %s" dst m.origin pl
   | Complete i -> Printf.sprintf "complete topology computation at switch %d" i

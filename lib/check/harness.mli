@@ -24,18 +24,39 @@
     different switches is also explorer-chosen ({!Complete}), while
     completions within one switch stay FIFO, as on real hardware.
 
-    Limitations (documented, deliberate): floods reach every switch
-    (no partitions — link up/down only changes images and triggers
-    [EventHandler]), and the link-up database resynchronisation
-    extension is not modelled. *)
+    {b Crashes.}  {!Crash} mirrors {!Faults.Plan}'s crash model: a
+    forwarding-plane outage.  Messages in flight to or from the switch
+    are lost (a pending summary towards it resolves to the transport
+    giveup its sender would eventually see), floods occurring while it
+    is down never reach it, its own floods die at its ports — yet its
+    protocol state and running computations survive.  {!Recover} ends
+    the outage and starts the crash-recovery resynchronisation exchange
+    ({!Dgmc.Switch.begin_resync}); the summaries, deltas and deferred
+    LSA replays it produces become ordinary pool messages, so the
+    explorer drives every interleaving of recovery against live
+    traffic.
 
-type payload = Mc of Dgmc.Mc_lsa.t | Link of Lsr.Lsdb.link_event
+    Limitations (documented, deliberate): floods reach every live
+    switch (no partitions — link up/down only changes images and
+    triggers [EventHandler]), and the link-up pairwise database
+    resynchronisation extension is not modelled ({!Crash}/{!Recover}
+    cover the crash-recovery exchange instead). *)
+
+type payload =
+  | Mc of Dgmc.Mc_lsa.t
+  | Link of Lsr.Lsdb.link_event
+  | Resync of Dgmc.Resync.msg
+      (** Unicast: pooled with exactly one destination. *)
 
 type event =
   | Join of { switch : int; mc : Dgmc.Mc_id.t; role : Dgmc.Member.role }
   | Leave of { switch : int; mc : Dgmc.Mc_id.t }
   | Link_down of int * int
   | Link_up of int * int
+  | Crash of int  (** Begin a forwarding-plane outage at the switch. *)
+  | Recover of int
+      (** End the outage; the switch enters RESYNCING
+          ({!Dgmc.Switch.begin_resync}). *)
 
 type action =
   | Deliver of { dst : int; msg : int }

@@ -9,6 +9,8 @@ type t = {
   drift_threshold : float;
   withdraw_stale_proposals : bool;
   flag_stale_senders : bool;
+  resync_quorum : int;
+  resync_deadline_hops : float;
 }
 
 let atm_lan =
@@ -21,6 +23,8 @@ let atm_lan =
     drift_threshold = 1.5;
     withdraw_stale_proposals = true;
     flag_stale_senders = true;
+    resync_quorum = 1;
+    resync_deadline_hops = 512.0;
   }
 
 let wan = { atm_lan with tc = 100e-6; t_hop = 5e-3 }

@@ -47,6 +47,22 @@ type t = {
           topology disagreement — the {!module:Check} model checker
           catches it with a minimal counterexample.  Never disable it in
           a real run. *)
+  resync_quorum : int;
+      (** Crash-recovery resynchronisation: number of completed neighbor
+          exchanges (delta applied, or the transport gave the neighbor
+          up) required before the recovering switch re-enters normal MC
+          handling.  Clamped to the number of live neighbors at recovery
+          time; a partitioned recoverer with no live neighbors finishes
+          degraded immediately.  Default 1: any single up-to-date
+          neighbor's delta carries the full missed history, because
+          every LSA reached every live switch. *)
+  resync_deadline_hops : float;
+      (** Crash-recovery resynchronisation: overall deadline for the
+          exchange, as a multiple of [t_hop].  On expiry the switch
+          re-enters normal handling with whatever it has (degraded
+          finish).  Must comfortably exceed the reliable transport's
+          worst-case giveup span (~444 hop times under the default
+          {!Lsr.Flooding.reliability}); default 512. *)
 }
 
 val default : t

@@ -1,4 +1,8 @@
-type payload = Mc of Mc_lsa.t | Link of Lsr.Lsdb.link_event
+type payload =
+  | Mc of Mc_lsa.t
+  | Link of Lsr.Lsdb.link_event
+  | Resync of Resync.msg
+      (** Unicast crash-recovery exchange (never flooded). *)
 
 type totals = {
   events : int;
@@ -21,6 +25,14 @@ module Mc_table = Hashtbl.Make (struct
   let hash = Mc_id.hash
 end)
 
+module Link_tbl = Hashtbl.Make (struct
+  type t = int * int
+
+  let equal (a, b) (c, d) = Int.equal a c && Int.equal b d
+
+  let hash (a, b) = (a * 1000003) lxor b
+end)
+
 type t = {
   engine : Sim.Engine.t;
   graph : Net.Graph.t;
@@ -29,6 +41,12 @@ type t = {
   switches : Switch.t array;
   flooding : payload Lsr.Flooding.t;
   seqs : Lsr.Lsa.Seq.counter array;
+  link_versions : int Link_tbl.t;
+      (** Ground-truth per-link change counter: a link's state changes
+          are totally ordered in real time, so the n-th change of a link
+          is stamped version n — both detecting endpoints flood the same
+          versioned event, and {!Lsr.Lsdb} images merge by per-link max
+          during resynchronisation. *)
   truth : Member.t Mc_table.t;  (** Ground-truth membership per MC. *)
   trace : Sim.Trace.t;
   metrics : Metrics.Registry.t option;
@@ -39,6 +57,34 @@ type t = {
   mutable last_change : float option;
   mutable observers : (unit -> unit) list;
 }
+
+let bump t name =
+  match t.metrics with
+  | Some m -> Metrics.Registry.incr m name
+  | None -> ()
+
+let flood_link_event t ~from (ev : Lsr.Lsdb.link_event) =
+  t.link_floodings <- t.link_floodings + 1;
+  bump t "protocol.link_floodings";
+  let seq = Lsr.Lsa.Seq.next t.seqs.(from) in
+  let lsa = Lsr.Lsa.make ~origin:from ~seq (Link ev) in
+  if Sim.Trace.enabled t.trace then begin
+    let oid =
+      Sim.Trace.emit t.trace ~time:(Sim.Engine.now t.engine)
+        (Lsa_originated
+           {
+             switch = from;
+             mc = "";
+             seq;
+             ev = (if ev.up then "link-up" else "link-down");
+             proposal = false;
+             stamp = [||];
+           })
+    in
+    Sim.Trace.with_context t.trace oid (fun () ->
+        Lsr.Flooding.flood t.flooding lsa)
+  end
+  else Lsr.Flooding.flood t.flooding lsa
 
 let create ~graph ~config ?faults ?(trace = Sim.Trace.disabled) ?metrics () =
   let n = Net.Graph.n_nodes graph in
@@ -51,9 +97,8 @@ let create ~graph ~config ?faults ?(trace = Sim.Trace.disabled) ?metrics () =
   let deliver ~switch (lsa : payload Lsr.Lsa.t) =
     match lsa.payload with
     | Mc mc_lsa -> Switch.receive switches.(switch) mc_lsa
-    | Link ev ->
-      Switch.link_event switches.(switch) ~u:ev.u ~v:ev.v ~up:ev.up
-        ~detector:false
+    | Link ev -> Switch.link_event switches.(switch) ev ~detector:false
+    | Resync msg -> Switch.receive_resync switches.(switch) msg
   in
   let transmit =
     match faults with
@@ -78,6 +123,7 @@ let create ~graph ~config ?faults ?(trace = Sim.Trace.disabled) ?metrics () =
       switches;
       flooding;
       seqs = Array.init n (fun _ -> Lsr.Lsa.Seq.create ());
+      link_versions = Link_tbl.create 16;
       truth = Mc_table.create 8;
       trace;
       metrics;
@@ -118,10 +164,57 @@ let create ~graph ~config ?faults ?(trace = Sim.Trace.disabled) ?metrics () =
                 Lsr.Flooding.flood net.flooding lsa)
           end
           else Lsr.Flooding.flood net.flooding lsa);
+      Switch.set_flood_link sw (fun ev -> flood_link_event net ~from:id ev);
+      Switch.set_send_resync sw (fun ~peer msg ->
+          bump "protocol.resync_messages";
+          let seq = Lsr.Lsa.Seq.next net.seqs.(id) in
+          let lsa = Lsr.Lsa.make ~origin:id ~seq (Resync msg) in
+          (* Only the recoverer's summary needs a failure signal: a lost
+             delta is covered by the recoverer's session deadline. *)
+          let on_giveup =
+            match msg with
+            | Resync.Summary _ ->
+              fun () -> Switch.resync_transport_failed sw ~peer
+            | Resync.Delta _ -> fun () -> ()
+          in
+          if Sim.Trace.enabled trace then begin
+            let oid =
+              Sim.Trace.emit trace ~time:(Sim.Engine.now engine)
+                (Lsa_originated
+                   {
+                     switch = id;
+                     mc = "";
+                     seq;
+                     ev =
+                       (match msg with
+                       | Resync.Summary _ -> "resync-summary"
+                       | Resync.Delta _ -> "resync-delta");
+                     proposal = false;
+                     stamp = [||];
+                   })
+            in
+            Sim.Trace.with_context trace oid (fun () ->
+                Lsr.Flooding.send net.flooding ~src:id ~dst:peer ~on_giveup lsa)
+          end
+          else Lsr.Flooding.send net.flooding ~src:id ~dst:peer ~on_giveup lsa);
       Switch.set_on_change sw (fun () ->
           net.last_change <- Some (Sim.Engine.now engine);
           List.iter (fun f -> f ()) net.observers))
     switches;
+  (* Crash recovery: at each crash window's close the switch's forwarding
+     plane returns, but every LSA flooded meanwhile is gone for good —
+     the plan dropped deliveries to it and floods from it.  Schedule the
+     resynchronisation exchange at that instant, traced or not (protocol
+     behavior must never depend on tracing). *)
+  (match faults with
+  | Some plan ->
+    List.iter
+      (fun (sw, (_, until)) ->
+        ignore
+          (Sim.Engine.schedule_at engine ~time:until (fun () ->
+               Switch.begin_resync switches.(sw))))
+      (Faults.Plan.crash_windows plan)
+  | None -> ());
   (* Traced runs get the fault plan's scheduled windows marked on the
      timeline, so an analyzer can correlate what a switch missed with
      when it was down.  Scheduled only when tracing: untraced runs must
@@ -174,11 +267,6 @@ let switch t i = t.switches.(i)
 (* ------------------------------------------------------------------ *)
 (* Event injection *)
 
-let bump t name =
-  match t.metrics with
-  | Some m -> Metrics.Registry.incr m name
-  | None -> ()
-
 let note_event t =
   t.events <- t.events + 1;
   bump t "protocol.events";
@@ -203,44 +291,25 @@ let leave t ~switch:i mc =
   Mc_table.replace t.truth mc (Member.leave (truth_members t mc) i);
   Switch.host_leave t.switches.(i) mc
 
-let flood_link_event t ~from (ev : Lsr.Lsdb.link_event) =
-  t.link_floodings <- t.link_floodings + 1;
-  bump t "protocol.link_floodings";
-  let seq = Lsr.Lsa.Seq.next t.seqs.(from) in
-  let lsa = Lsr.Lsa.make ~origin:from ~seq (Link ev) in
-  if Sim.Trace.enabled t.trace then begin
-    let oid =
-      Sim.Trace.emit t.trace ~time:(Sim.Engine.now t.engine)
-        (Lsa_originated
-           {
-             switch = from;
-             mc = "";
-             seq;
-             ev = (if ev.up then "link-up" else "link-down");
-             proposal = false;
-             stamp = [||];
-           })
-    in
-    Sim.Trace.with_context t.trace oid (fun () ->
-        Lsr.Flooding.flood t.flooding lsa)
-  end
-  else Lsr.Flooding.flood t.flooding lsa
-
 let link_change t u v ~up =
   if not (Net.Graph.has_edge t.graph u v) then
     invalid_arg (Printf.sprintf "Protocol: no link (%d, %d)" u v);
   note_event t;
   Net.Graph.set_link t.graph u v ~up;
-  let ev = { Lsr.Lsdb.u; v; up } in
+  let lo, hi = if u < v then (u, v) else (v, u) in
+  let version =
+    1 + Option.value ~default:0 (Link_tbl.find_opt t.link_versions (lo, hi))
+  in
+  Link_tbl.replace t.link_versions (lo, hi) version;
+  let ev = { Lsr.Lsdb.u; v; up; version } in
   (* Both endpoints detect the change: each updates its image, floods a
      non-MC LSA, and raises the MC link events for the connections whose
      topology used the link (the paper's Figure 2 draws one detecting
      switch; detection at both ends is what keeps BOTH sides of the cut
      repairing when the failure splits the network). *)
-  let lo, hi = if u < v then (u, v) else (v, u) in
-  Switch.link_event t.switches.(hi) ~u ~v ~up ~detector:true;
+  Switch.link_event t.switches.(hi) ev ~detector:true;
   flood_link_event t ~from:hi ev;
-  Switch.link_event t.switches.(lo) ~u ~v ~up ~detector:true;
+  Switch.link_event t.switches.(lo) ev ~detector:true;
   flood_link_event t ~from:lo ev;
   (* A recovered adjacency triggers an MC database exchange between its
      endpoints (one hop of delay), so the two sides of a healed

@@ -15,6 +15,19 @@ type stats = {
   mutable lsas_received : int;
 }
 
+(* One in-flight crash-recovery resynchronisation exchange (see
+   [begin_resync]).  The switch stays in this state — deferring normal
+   MC-LSA handling — until [rs_quorum] neighbor exchanges complete, every
+   neighbor resolves (delta applied or transport giveup), or the deadline
+   fires. *)
+type resync_session = {
+  rs_id : int;  (** Session id echoed by deltas (stale deltas ignored). *)
+  mutable rs_outstanding : int list;  (** Neighbors not yet resolved. *)
+  mutable rs_completed : int;  (** Deltas applied. *)
+  rs_quorum : int;
+  mutable rs_deadline : Sim.Engine.handle option;
+}
+
 type t = {
   id : int;
   n : int;
@@ -31,7 +44,14 @@ type t = {
           stale (and merged E promises could never be met).  Recreation
           resumes from the tombstone. *)
   mutable flood : Mc_lsa.t -> unit;
+  mutable flood_link : Lsr.Lsdb.link_event -> unit;
+  mutable send_resync : peer:int -> Resync.msg -> unit;
   mutable on_change : unit -> unit;
+  mutable resync_session : resync_session option;
+  mutable resync_seq : int;  (** Fresh session ids. *)
+  deferred : Mc_lsa.t Queue.t;
+      (** MC LSAs received while RESYNCING, replayed in arrival order
+          when the session finishes. *)
   stats : stats;
   trace : Sim.Trace.t;
   metrics : Metrics.Registry.t option;
@@ -48,7 +68,16 @@ let create ~id ~n ~config ~engine ~graph ?(trace = Sim.Trace.disabled) ?metrics
     mcs = Mc_table.create 8;
     tombstones = Mc_table.create 8;
     flood = (fun _ -> failwith "Switch: flood callback not installed");
+    (* Defaults to a no-op (unlike [flood]): only resynchronisation
+       re-disseminates link events, and standalone switches in unit
+       tests never resync. *)
+    flood_link = (fun _ -> ());
+    send_resync =
+      (fun ~peer:_ _ -> failwith "Switch: send_resync callback not installed");
     on_change = (fun () -> ());
+    resync_session = None;
+    resync_seq = 0;
+    deferred = Queue.create ();
     stats =
       {
         computations = 0;
@@ -69,6 +98,10 @@ let stats t = t.stats
 let image t = Lsr.Lsdb.graph t.lsdb
 
 let set_flood t f = t.flood <- f
+
+let set_flood_link t f = t.flood_link <- f
+
+let set_send_resync t f = t.send_resync <- f
 
 let set_on_change t f = t.on_change <- f
 
@@ -149,7 +182,33 @@ let flood_lsa t mc ~event ~proposal ?members ~stamp () =
     metric t "switch.event_lsas_flooded");
   t.flood (Mc_lsa.make ~src:t.id ~event ~mc ?proposal ?members ~stamp ())
 
-let install t (st : Mc_state.t) mc ~stamp ~tree =
+(* A proposal computed before a link failure can be installed after it:
+   the sender never saw the failure, and the usual detection (an incident
+   link goes down while the INSTALLED topology uses it) fires too early
+   to notice.  A switch knows the state of its own incident links
+   authoritatively, so installation is a second detection point; every
+   tree edge has two endpoint switches, which makes incident-only
+   checking sufficient network-wide. *)
+let tree_uses_dead_incident_link t tree =
+  let img = Lsr.Lsdb.graph t.lsdb in
+  List.exists
+    (fun (u, v) ->
+      (u = t.id || v = t.id)
+      && Net.Graph.has_edge img u v
+      && not (Net.Graph.link_is_up img u v))
+    (Mctree.Tree.edges tree)
+
+let compute_proposal t (st : Mc_state.t) (mc : Mc_id.t) =
+  Compute.topology t.config mc.kind (Lsr.Lsdb.graph t.lsdb) st.members
+    ~self:t.id ~current:(Some st.topology)
+
+(* ------------------------------------------------------------------ *)
+(* EventHandler (Figure 4) *)
+
+let remove_computation (st : Mc_state.t) comp =
+  st.event_computations <- List.filter (fun c -> c != comp) st.event_computations
+
+let rec install t (st : Mc_state.t) mc ~stamp ~tree =
   st.c <- stamp;
   st.topology <- tree;
   metric t "switch.installs";
@@ -166,19 +225,13 @@ let install t (st : Mc_state.t) mc ~stamp ~tree =
               members = Format.asprintf "%a" Member.pp st.members;
               tree = Format.asprintf "%a" Mctree.Tree.pp tree;
             }));
-  t.on_change ()
+  t.on_change ();
+  if tree_uses_dead_incident_link t tree then begin
+    tracef t "detect" "sw%d installed a tree over a dead incident link" t.id;
+    event_handler t mc Mc_lsa.Link
+  end
 
-let compute_proposal t (st : Mc_state.t) (mc : Mc_id.t) =
-  Compute.topology t.config mc.kind (Lsr.Lsdb.graph t.lsdb) st.members
-    ~self:t.id ~current:(Some st.topology)
-
-(* ------------------------------------------------------------------ *)
-(* EventHandler (Figure 4) *)
-
-let remove_computation (st : Mc_state.t) comp =
-  st.event_computations <- List.filter (fun c -> c != comp) st.event_computations
-
-let rec event_handler t mc event =
+and event_handler t mc event =
   let st = get_or_create t mc in
   (* The switch's own membership change applies immediately; received
      LSAs apply it at the other switches (Figure 5 line 8). *)
@@ -487,7 +540,72 @@ and triggered_completion t mc (st : Mc_state.t) (comp : Mc_state.computation) =
 (* ------------------------------------------------------------------ *)
 (* Database resynchronisation (extension; see mli) *)
 
+(* An installed topology is contradicted by the switch's (possibly just
+   merged) image when it is no longer a valid embedded tree or no longer
+   spans exactly the member set. *)
+let topology_stale t (st : Mc_state.t) =
+  (not (Member.is_empty st.members))
+  && (let img = Lsr.Lsdb.graph t.lsdb in
+      (not (Mctree.Tree.is_valid_mc_topology img st.topology))
+      || not
+           (List.equal Int.equal
+              (Mctree.Tree.Int_set.elements
+                 (Mctree.Tree.terminals st.topology))
+              (Member.ids st.members)))
+
+(* Version-gated merge of link entries into the local image.  A link
+   event flooded while this switch was unreachable died at the severed
+   links — flooding only forwards over live links — and nothing re-floods
+   it spontaneously; D-GMC's agreement argument assumes the unicast
+   databases converge (paper §1).  Versioned entries make the merge a
+   per-link max; adopted events are re-flooded under this switch's own
+   origin so switches BEHIND it learn them too (receivers version-gate,
+   so duplicates are no-ops).  Returns whether the image changed. *)
+let merge_links t ~source entries =
+  let changed = ref false in
+  List.iter
+    (fun (ev : Lsr.Lsdb.link_event) ->
+      if ev.version > Lsr.Lsdb.version t.lsdb ~u:ev.u ~v:ev.v then begin
+        Lsr.Lsdb.apply t.lsdb ev;
+        changed := true;
+        tracef t "resync" "sw%d adopts %a from sw%d" t.id
+          Lsr.Lsdb.pp_link_event ev source;
+        t.flood_link ev
+      end)
+    entries;
+  !changed
+
+(* A changed image invalidates installs computed on the old one even for
+   MCs a resynchronisation taught us nothing about.  Re-propose for every
+   MC whose installed topology is contradicted by the merged image;
+   consistent MCs saw nothing new and stay silent, keeping exchanges
+   idempotent. *)
+let revalidate_installs t ~peer =
+  List.iter
+    (fun mc ->
+      match get_state t mc with
+      | Some st
+        when st.triggered = None
+             && Timestamp.geq st.r st.e
+             && topology_stale t st ->
+        let rid =
+          if traced t then
+            emit t (Resync { switch = t.id; peer; mc = mc_str mc })
+          else -1
+        in
+        Sim.Trace.with_context t.trace rid (fun () ->
+            st.flag <- true;
+            start_triggered t mc st)
+      | Some _ | None -> ())
+    (Mc_table.fold (fun mc _ acc -> mc :: acc) t.mcs []
+    |> List.sort Mc_id.compare)
+
 let resync t ~peer =
+  (* Phase 1: merge the peer's link-state image. *)
+  let image_changed =
+    merge_links t ~source:peer.id (Lsr.Lsdb.entries peer.lsdb)
+  in
+  (* Phase 2: merge the peer's per-MC state. *)
   Mc_table.iter
     (fun mc (pst : Mc_state.t) ->
       let st = get_or_create t mc in
@@ -526,13 +644,19 @@ let resync t ~peer =
                  && Mctree.Tree.compare pst.topology st.topology < 0)
             then install t st mc ~stamp:pst.c ~tree:pst.topology;
             st.flag <- true;
-            if
-              st.triggered = None
-              && Timestamp.geq st.r st.e
-              && Timestamp.gt st.r st.c
-            then start_triggered t mc st)
+            (* Reflood even when the adopted topology already covers R
+               (R = C): adopting silently would strand every switch
+               BEHIND this one — they never see what this exchange
+               learned, and nobody else will re-flood it (the peer's
+               original flood died at the severed link).  The extra
+               proposal is idempotent for up-to-date receivers. *)
+            if st.triggered = None && Timestamp.geq st.r st.e then
+              start_triggered t mc st)
       end)
-    peer.mcs
+    peer.mcs;
+  (* Phase 3: re-propose wherever the merged image contradicts an
+     install (the peer may never have been a member of the MC). *)
+  if image_changed then revalidate_installs t ~peer:peer.id
 
 (* ------------------------------------------------------------------ *)
 (* Public entry points *)
@@ -541,22 +665,21 @@ let host_join t mc role = event_handler t mc (Mc_lsa.Join role)
 
 let host_leave t mc = event_handler t mc Mc_lsa.Leave
 
-let link_event t ~u ~v ~up ~detector =
-  Lsr.Lsdb.apply t.lsdb { u; v; up };
-  if detector && not up then begin
+let link_event t (ev : Lsr.Lsdb.link_event) ~detector =
+  Lsr.Lsdb.apply t.lsdb ev;
+  if detector && not ev.up then begin
     let affected =
       Mc_table.fold
         (fun mc (st : Mc_state.t) acc ->
-          if Mctree.Tree.mem_edge st.topology u v then mc :: acc else acc)
+          if Mctree.Tree.mem_edge st.topology ev.u ev.v then mc :: acc
+          else acc)
         t.mcs []
     in
     (* One MC LSA per affected connection (paper Figure 2). *)
     List.iter (fun mc -> event_handler t mc Mc_lsa.Link) affected
   end
 
-let receive t lsa =
-  t.stats.lsas_received <- t.stats.lsas_received + 1;
-  metric t "switch.lsas_received";
+let receive_now t lsa =
   match get_state t lsa.Mc_lsa.mc with
   | None when not (Mc_lsa.is_event lsa) ->
     (* A bare proposal for an MC this switch holds no state for: the MC
@@ -574,8 +697,353 @@ let receive t lsa =
        accumulates until the completion handler re-invokes it. *)
     if st.triggered = None then run_invocation t lsa.Mc_lsa.mc st
 
+let receive t lsa =
+  t.stats.lsas_received <- t.stats.lsas_received + 1;
+  metric t "switch.lsas_received";
+  match t.resync_session with
+  | Some _ ->
+    (* RESYNCING: normal MC handling is suspended so the switch never
+       computes or proposes on partially reconciled state.  The LSA is
+       replayed in arrival order when the session finishes. *)
+    tracef t "resync" "sw%d defers %a while resyncing" t.id Mc_lsa.pp lsa;
+    metric t "switch.resync_deferred_lsas";
+    Queue.push lsa t.deferred
+  | None -> receive_now t lsa
+
+(* ------------------------------------------------------------------ *)
+(* Crash-recovery resynchronisation (see resync.mli and DESIGN.md).
+
+   The paper has no recovery story: it assumes every LSA reaches every
+   live switch.  A switch whose forwarding plane was down for a crash
+   window silently missed floods and would diverge forever.  On recovery
+   it therefore summarises its databases to each live neighbor, applies
+   their deltas, and only then replays the MC LSAs that arrived while it
+   was reconciling. *)
+
+let resyncing t = Option.is_some t.resync_session
+
+let deferred_lsas t = List.of_seq (Queue.to_seq t.deferred)
+
+let resync_state t =
+  Option.map
+    (fun s ->
+      (s.rs_id, List.sort Int.compare s.rs_outstanding, s.rs_completed,
+       s.rs_quorum))
+    t.resync_session
+
+let build_summary t session =
+  let live =
+    Mc_table.fold
+      (fun mc (st : Mc_state.t) acc ->
+        {
+          Resync.sum_mc = mc;
+          sum_r = st.r;
+          sum_e = st.e;
+          sum_c = st.c;
+          sum_tree_fp = Mctree.Tree.fingerprint st.topology;
+        }
+        :: acc)
+      t.mcs []
+  in
+  (* Tombstones carry surviving event numbering; summarising them lets a
+     neighbor that still holds live state for the MC push it back. *)
+  let all =
+    Mc_table.fold
+      (fun mc (r, e, _) acc ->
+        if Mc_table.mem t.mcs mc then acc
+        else
+          {
+            Resync.sum_mc = mc;
+            sum_r = r;
+            sum_e = e;
+            sum_c = Timestamp.zero t.n;
+            sum_tree_fp = Mctree.Tree.fingerprint Mctree.Tree.empty;
+          }
+          :: acc)
+      t.tombstones live
+  in
+  Resync.Summary
+    {
+      session;
+      origin = t.id;
+      links = Lsr.Lsdb.entries t.lsdb;
+      mcs =
+        List.sort (fun a b -> Mc_id.compare a.Resync.sum_mc b.Resync.sum_mc) all;
+    }
+
+let finish_resync t ~reason =
+  match t.resync_session with
+  | None -> ()
+  | Some s ->
+    Option.iter Sim.Engine.cancel s.rs_deadline;
+    t.resync_session <- None;
+    tracef t "resync" "sw%d session %d finished (%s) after %d exchange(s)" t.id
+      s.rs_id reason s.rs_completed;
+    metric t
+      (if s.rs_completed >= s.rs_quorum then "switch.resyncs_completed"
+       else "switch.resyncs_degraded");
+    (* Replay LSAs that arrived during the exchange, in arrival order.
+       [resync_session] is already [None], so replay goes through the
+       normal machinery and may start computations. *)
+    while not (Queue.is_empty t.deferred) do
+      receive_now t (Queue.pop t.deferred)
+    done;
+    (* Re-propose wherever the reconciled state demands it: exports set
+       the recompute flag but deliberately do not trigger mid-session
+       (a later delta could supersede); installs may also contradict the
+       merged image.  Same idempotence argument as [revalidate_installs]. *)
+    List.iter
+      (fun mc ->
+        match get_state t mc with
+        | Some st ->
+          if
+            st.triggered = None
+            && Timestamp.geq st.r st.e
+            && (st.flag || topology_stale t st)
+          then begin
+            let rid =
+              if traced t then
+                emit t (Resync { switch = t.id; peer = t.id; mc = mc_str mc })
+              else -1
+            in
+            Sim.Trace.with_context t.trace rid (fun () ->
+                st.flag <- true;
+                start_triggered t mc st)
+          end;
+          maybe_delete t mc st
+        | None -> ())
+      (Mc_table.fold (fun mc _ acc -> mc :: acc) t.mcs []
+      |> List.sort Mc_id.compare)
+
+let resync_transport_failed t ~peer =
+  match t.resync_session with
+  | None -> ()
+  | Some s ->
+    if List.exists (fun p -> p = peer) s.rs_outstanding then begin
+      s.rs_outstanding <- List.filter (fun p -> p <> peer) s.rs_outstanding;
+      tracef t "resync" "sw%d gives up on neighbor sw%d" t.id peer;
+      metric t "switch.resync_giveups";
+      (* The quorum may have become unreachable: every neighbor resolved
+         (delta or giveup) yet fewer than [rs_quorum] deltas arrived. *)
+      if s.rs_outstanding = [] then finish_resync t ~reason:"exhausted"
+    end
+
+let begin_resync t =
+  (* A second crash window can close while an earlier session is still in
+     flight; the fresh recovery supersedes it (deferred LSAs survive the
+     restart — the queue belongs to the switch, not the session). *)
+  (match t.resync_session with
+  | Some s ->
+    Option.iter Sim.Engine.cancel s.rs_deadline;
+    t.resync_session <- None;
+    tracef t "resync" "sw%d restarts resync (session %d superseded)" t.id
+      s.rs_id
+  | None -> ());
+  t.resync_seq <- t.resync_seq + 1;
+  let sid = t.resync_seq in
+  metric t "switch.resyncs_started";
+  (* [Net.Graph.neighbors] yields live neighbors only — by this switch's
+     own (possibly stale) image, which is exactly the set it can try. *)
+  match List.map fst (Net.Graph.neighbors (Lsr.Lsdb.graph t.lsdb) t.id) with
+  | [] ->
+    tracef t "resync" "sw%d recovers with no live neighbors (degraded)" t.id;
+    metric t "switch.resyncs_degraded"
+  | neighbors ->
+    let quorum =
+      max 1 (min t.config.Config.resync_quorum (List.length neighbors))
+    in
+    let s =
+      {
+        rs_id = sid;
+        rs_outstanding = neighbors;
+        rs_completed = 0;
+        rs_quorum = quorum;
+        rs_deadline = None;
+      }
+    in
+    (* Install the session before sending: under the model-checking
+       harness a summary to a crashed neighbor gives up synchronously. *)
+    t.resync_session <- Some s;
+    s.rs_deadline <-
+      Some
+        (Sim.Engine.schedule t.engine
+           ~delay:(t.config.Config.resync_deadline_hops *. t.config.Config.t_hop)
+           (fun () ->
+             match t.resync_session with
+             | Some s' when s'.rs_id = sid -> finish_resync t ~reason:"deadline"
+             | Some _ | None -> ()));
+    let summary = build_summary t sid in
+    List.iter
+      (fun nb ->
+        let rid =
+          if traced t then emit t (Resync { switch = t.id; peer = nb; mc = "" })
+          else -1
+        in
+        Sim.Trace.with_context t.trace rid (fun () ->
+            metric t "switch.resync_summaries_sent";
+            t.send_resync ~peer:nb summary))
+      neighbors
+
+(* Apply one exported MC state from a delta.  Mirrors the pairwise
+   [resync] phase 2, except re-proposal is deferred to [finish_resync]
+   (a later delta in the same session could supersede this one). *)
+let apply_export t (e : Resync.mc_export) =
+  let st = get_or_create t e.exp_mc in
+  let merged_r = Timestamp.merge st.r e.exp_r in
+  let learned = not (Timestamp.equal merged_r st.r) in
+  st.e <- Timestamp.merge st.e e.exp_e;
+  if learned then begin
+    st.r <- merged_r;
+    Array.iteri
+      (fun src peer_seen ->
+        if peer_seen > st.membership_seen.(src) then begin
+          st.membership_seen.(src) <- peer_seen;
+          (match Member.role e.exp_members src with
+          | Some role -> st.members <- Member.join st.members src role
+          | None -> st.members <- Member.leave st.members src);
+          t.on_change ()
+        end)
+      e.exp_membership_seen;
+    if
+      Timestamp.gt e.exp_c st.c
+      || (Timestamp.equal e.exp_c st.c
+         && Mctree.Tree.compare e.exp_topology st.topology < 0)
+    then install t st e.exp_mc ~stamp:e.exp_c ~tree:e.exp_topology;
+    st.flag <- true
+  end
+
+(* Stateless delta responder: ship link entries strictly newer than the
+   summary's and full exports for every MC where this switch knows
+   events the summary's R does not cover (or holds a different
+   same-stamp tree). *)
+let answer_summary t ~session ~peer (sum_links : Lsr.Lsdb.link_event list)
+    (sum_mcs : Resync.mc_summary list) =
+  let summarised_version u v =
+    match
+      List.find_opt
+        (fun (l : Lsr.Lsdb.link_event) -> l.u = u && l.v = v)
+        sum_links
+    with
+    | Some l -> l.version
+    | None -> 0
+  in
+  let links =
+    List.filter
+      (fun (ev : Lsr.Lsdb.link_event) ->
+        ev.version > summarised_version ev.u ev.v)
+      (Lsr.Lsdb.entries t.lsdb)
+  in
+  let summary_of mc =
+    List.find_opt (fun s -> Mc_id.equal s.Resync.sum_mc mc) sum_mcs
+  in
+  let live =
+    Mc_table.fold
+      (fun mc (st : Mc_state.t) acc ->
+        let behind =
+          match summary_of mc with
+          | None -> true
+          | Some s ->
+            (not (Timestamp.geq s.sum_r st.r))
+            || (not (Timestamp.geq s.sum_e st.e))
+            || Timestamp.gt st.c s.sum_c
+            || (Timestamp.equal st.c s.sum_c
+               && not
+                    (String.equal s.sum_tree_fp
+                       (Mctree.Tree.fingerprint st.topology)))
+        in
+        if behind then
+          {
+            Resync.exp_mc = mc;
+            exp_r = st.r;
+            exp_e = st.e;
+            exp_c = st.c;
+            exp_members = st.members;
+            exp_membership_seen = Array.copy st.membership_seen;
+            exp_topology = st.topology;
+          }
+          :: acc
+        else acc)
+      t.mcs []
+  in
+  (* Tombstoned MCs: the recoverer may have missed the leaves that
+     emptied the MC; exporting the surviving accounting with an empty
+     member list replays them. *)
+  let all =
+    Mc_table.fold
+      (fun mc (r, e, seen) acc ->
+        if Mc_table.mem t.mcs mc then acc
+        else
+          let behind =
+            match summary_of mc with
+            | None -> true
+            | Some s ->
+              (not (Timestamp.geq s.sum_r r))
+              || not (Timestamp.geq s.sum_e e)
+          in
+          if behind then
+            {
+              Resync.exp_mc = mc;
+              exp_r = r;
+              exp_e = e;
+              exp_c = Timestamp.zero t.n;
+              exp_members = Member.empty;
+              exp_membership_seen = Array.copy seen;
+              exp_topology = Mctree.Tree.empty;
+            }
+            :: acc
+          else acc)
+      t.tombstones live
+  in
+  let mcs =
+    List.sort (fun a b -> Mc_id.compare a.Resync.exp_mc b.Resync.exp_mc) all
+  in
+  (* Reply even when empty: the recoverer counts the exchange toward its
+     quorum either way. *)
+  metric t "switch.resync_deltas_sent";
+  t.send_resync ~peer (Resync.Delta { session; origin = t.id; links; mcs })
+
+let receive_resync t msg =
+  match msg with
+  | Resync.Summary { session; origin = peer; links; mcs } ->
+    metric t "switch.resync_summaries_received";
+    let rid =
+      if traced t then emit t (Resync { switch = t.id; peer; mc = "" }) else -1
+    in
+    Sim.Trace.with_context t.trace rid (fun () ->
+        (* The recoverer's own incident links may have changed during its
+           outage, and their floods died with it: adopt (and re-flood)
+           anything newer its summary proves, then revalidate installs
+           against the merged image — the responder is NOT suspended. *)
+        if merge_links t ~source:peer links then revalidate_installs t ~peer;
+        answer_summary t ~session ~peer links mcs)
+  | Resync.Delta { session; origin = peer; links; mcs } -> (
+    match t.resync_session with
+    | Some s
+      when s.rs_id = session && List.exists (fun p -> p = peer) s.rs_outstanding
+      ->
+      metric t "switch.resync_deltas_applied";
+      let rid =
+        if traced t then emit t (Resync { switch = t.id; peer; mc = "" })
+        else -1
+      in
+      Sim.Trace.with_context t.trace rid (fun () ->
+          ignore (merge_links t ~source:peer links);
+          List.iter (apply_export t) mcs);
+      s.rs_outstanding <- List.filter (fun p -> p <> peer) s.rs_outstanding;
+      s.rs_completed <- s.rs_completed + 1;
+      if s.rs_completed >= s.rs_quorum then finish_resync t ~reason:"quorum"
+      else if s.rs_outstanding = [] then finish_resync t ~reason:"exhausted"
+    | Some _ | None ->
+      (* Stale: from a superseded session, after the deadline fired, or a
+         duplicate delivery.  Everything it carries was either applied
+         already or will be re-learned; dropping is safe. *)
+      tracef t "resync" "sw%d drops stale resync delta from sw%d" t.id peer;
+      metric t "switch.resync_stale_deltas")
+
 (* ------------------------------------------------------------------ *)
 (* Introspection *)
+
+let lsdb_entries t = Lsr.Lsdb.entries t.lsdb
 
 let mc_ids t =
   Mc_table.fold (fun mc _ acc -> mc :: acc) t.mcs []
@@ -591,6 +1059,11 @@ let stamps t mc =
   Option.map (fun (st : Mc_state.t) -> (st.r, st.e, st.c)) (get_state t mc)
 
 let quiescent t mc =
+  Option.is_none t.resync_session
+  && Queue.fold
+       (fun acc (lsa : Mc_lsa.t) -> acc && not (Mc_id.equal lsa.mc mc))
+       true t.deferred
+  &&
   match get_state t mc with
   | None -> true
   | Some st ->

@@ -55,8 +55,24 @@ val stats : t -> stats
 val image : t -> Net.Graph.t
 (** The switch's current link-state image. *)
 
+val lsdb_entries : t -> Lsr.Lsdb.link_event list
+(** Versioned link entries of the image ({!Lsr.Lsdb.entries}): the
+    version knowledge behind [image], which up/down flags alone do not
+    capture (the model checker hashes it; resynchronisation ships it). *)
+
 val set_flood : t -> (Mc_lsa.t -> unit) -> unit
 (** Install the flooding callback.  Must be called before any event. *)
+
+val set_flood_link : t -> (Lsr.Lsdb.link_event -> unit) -> unit
+(** Install the link-event re-flooding callback, used by {!resync} to
+    re-disseminate link knowledge adopted from a peer (version gating at
+    receivers makes duplicates no-ops).  Defaults to a no-op. *)
+
+val set_send_resync : t -> (peer:int -> Resync.msg -> unit) -> unit
+(** Install the unicast transport for crash-recovery resynchronisation
+    messages ({!begin_resync}/{!receive_resync}).  Defaults to raising:
+    only {!Protocol} (and the {!module:Check} harness) wire it, and a
+    switch only uses it when a crash recovery is injected. *)
 
 val set_on_change : t -> (unit -> unit) -> unit
 (** Hook invoked whenever this switch installs a topology or updates a
@@ -70,11 +86,12 @@ val host_join : t -> Mc_id.t -> Member.role -> unit
 val host_leave : t -> Mc_id.t -> unit
 (** The switch's last interested host leaves. *)
 
-val link_event : t -> u:int -> v:int -> up:bool -> detector:bool -> unit
-(** Apply a link status change to the local image.  When [detector] is
-    true (the link is incident to this switch, which noticed the change)
-    and the link went down, [EventHandler] runs for every MC whose
-    current local topology uses the link (paper Figure 2). *)
+val link_event : t -> Lsr.Lsdb.link_event -> detector:bool -> unit
+(** Apply a link status change to the local image (version-gated; see
+    {!Lsr.Lsdb.apply}).  When [detector] is true (the link is incident to
+    this switch, which noticed the change) and the link went down,
+    [EventHandler] runs for every MC whose current local topology uses
+    the link (paper Figure 2). *)
 
 (** {1 LSA reception (ReceiveLSA)} *)
 
@@ -85,15 +102,60 @@ val receive : t -> Mc_lsa.t -> unit
 (** {1 Database resynchronisation (extension)} *)
 
 val resync : t -> peer:t -> unit
-(** Pull the peer switch's MC knowledge into this switch — the MC-level
-    analogue of an OSPF database exchange when an adjacency forms.  For
-    every MC the peer tracks, merge its [R]/[E] vectors, adopt its
-    per-source membership knowledge where newer, adopt its topology where
-    based on newer state, and — when anything new was learned — schedule
-    a topology computation whose proposal refloods the reconciled state.
-    The paper leaves network partitioning "for further study"; this is
-    the missing piece that lets the two sides of a healed partition
+(** Pull the peer switch's knowledge into this switch — the analogue of
+    an OSPF database exchange when an adjacency forms.  Three phases:
+    merge the peer's versioned link-state image (adopted link events are
+    re-flooded via {!set_flood_link} so switches behind this one learn
+    them too); for every MC the peer tracks, merge its [R]/[E] vectors,
+    adopt its per-source membership knowledge where newer, adopt its
+    topology where based on newer state, and — when anything new was
+    learned — schedule a topology computation whose proposal refloods
+    the reconciled state; finally, if the image changed, re-propose for
+    every MC whose installed topology the merged image contradicts.  The
+    paper leaves network partitioning "for further study"; this is the
+    missing piece that lets the two sides of a healed partition
     reconverge (see DESIGN.md). *)
+
+(** {1 Crash-recovery resynchronisation (extension)} *)
+
+val begin_resync : t -> unit
+(** Enter the RESYNCING state: unicast a {!Resync.Summary} of this
+    switch's databases (via {!set_send_resync}) to every neighbor its
+    image shows live, and suspend normal MC-LSA handling — LSAs received
+    meanwhile are deferred and replayed in arrival order when the session
+    finishes.  The session finishes when [Config.resync_quorum] neighbor
+    deltas have been applied, when every neighbor has resolved (delta or
+    transport giveup), or when [Config.resync_deadline_hops × t_hop]
+    elapses; on finish, deferred LSAs are replayed and a topology
+    computation is scheduled for every MC the reconciled state flagged.
+    With no live neighbors the switch finishes degraded immediately.
+    Calling this while a session is in flight supersedes it (the crash
+    recurred); deferred LSAs survive the restart. *)
+
+val receive_resync : t -> Resync.msg -> unit
+(** Deliver one resynchronisation message.  A [Summary] is answered
+    statelessly with a [Delta] of everything the summary proves its
+    origin is behind on (newer link versions are also adopted and
+    re-flooded locally).  A [Delta] is applied only when it echoes the
+    live session's id and comes from a still-outstanding neighbor;
+    anything else is dropped as stale. *)
+
+val resync_transport_failed : t -> peer:int -> unit
+(** The unicast transport gave up delivering to [peer] (its retransmit
+    budget exhausted — the neighbor is crashed or unreachable).  Resolves
+    the neighbor without counting it toward the quorum; finishes the
+    session degraded once no outstanding neighbor remains. *)
+
+val resyncing : t -> bool
+(** A resynchronisation session is in flight. *)
+
+val resync_state : t -> (int * int list * int * int) option
+(** [(session id, outstanding neighbors (sorted), completed exchanges,
+    quorum)] of the in-flight session — model-checker state-hash fodder. *)
+
+val deferred_lsas : t -> Mc_lsa.t list
+(** MC LSAs deferred by the in-flight (or a finished-degraded) session,
+    in arrival order.  Empty when not resyncing. *)
 
 (** {1 Introspection} *)
 
@@ -108,8 +170,9 @@ val stamps : t -> Mc_id.t -> (Timestamp.t * Timestamp.t * Timestamp.t) option
 (** [(R, E, C)]. *)
 
 val quiescent : t -> Mc_id.t -> bool
-(** No pending computations and an empty mailbox for the MC (vacuously
-    true when no state exists). *)
+(** No pending computations, an empty mailbox for the MC, no deferred
+    LSA touching it, and no resynchronisation session in flight
+    (vacuously true when no state exists). *)
 
 type mc_snapshot = {
   snap_mc : Mc_id.t;

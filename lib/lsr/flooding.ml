@@ -157,7 +157,11 @@ let rec receive t lsa ~at:switch ~from ~fid =
 (* ------------------------------------------------------------------ *)
 (* Reliable (ack + retransmit) *)
 
-let rec arm_retransmit t key lsa rtx =
+(* [arrive fid] runs per data copy landing over a live link (flood
+   forwarding or unicast terminal delivery); [on_giveup] fires once when
+   retries are exhausted — unicast resynchronisation uses it to count a
+   neighbor exchange as failed. *)
+let rec arm_retransmit t key lsa rtx ~arrive ~on_giveup =
   let src, dst, _ = key in
   rtx.rtx_handle <-
     Some
@@ -180,7 +184,8 @@ let rec arm_retransmit t key lsa rtx =
                            origin = lsa.Lsa.origin;
                            seq = lsa.Lsa.seq;
                            reason = "abandoned";
-                         }))
+                         }));
+               on_giveup ()
              end
              else begin
                rtx.tries <- rtx.tries + 1;
@@ -188,22 +193,18 @@ let rec arm_retransmit t key lsa rtx =
                bump t ~switch:src "flood.retransmissions";
                ignore
                  (send_data t ~src ~dst ~retransmit:true ~parent:rtx.rtx_first
-                    lsa (fun fid ->
-                      receive_reliable t lsa ~at:dst ~from:src ~fid));
+                    lsa arrive);
                rtx.timeout <-
                  Float.min (2.0 *. rtx.timeout) (t.rel.rto_max *. t.t_hop);
-               arm_retransmit t key lsa rtx
+               arm_retransmit t key lsa rtx ~arrive ~on_giveup
              end))
 
-and send_reliable t ~src ~dst ~parent lsa =
+and start_reliable t ~src ~dst ~parent ~arrive ~on_giveup lsa =
   let key = (src, dst, Lsa.id lsa) in
   if not (Hashtbl.mem t.pending key) then begin
     t.messages <- t.messages + 1;
     bump t ~switch:src "flood.messages";
-    let fid =
-      send_data t ~src ~dst ~retransmit:false ~parent lsa (fun fid ->
-          receive_reliable t lsa ~at:dst ~from:src ~fid)
-    in
+    let fid = send_data t ~src ~dst ~retransmit:false ~parent lsa arrive in
     let rtx =
       {
         rtx_handle = None;
@@ -213,8 +214,13 @@ and send_reliable t ~src ~dst ~parent lsa =
       }
     in
     Hashtbl.add t.pending key rtx;
-    arm_retransmit t key lsa rtx
+    arm_retransmit t key lsa rtx ~arrive ~on_giveup
   end
+
+and send_reliable t ~src ~dst ~parent lsa =
+  start_reliable t ~src ~dst ~parent lsa
+    ~arrive:(fun fid -> receive_reliable t lsa ~at:dst ~from:src ~fid)
+    ~on_giveup:(fun () -> ())
 
 and send_ack t ~src ~dst key =
   t.acks <- t.acks + 1;
@@ -243,7 +249,37 @@ and receive_reliable t lsa ~at:switch ~from ~fid =
           (Net.Graph.neighbors t.graph switch))
   end
 
+(* Unicast terminal delivery: ack and dedup like a flood hop, but never
+   forward — the payload is addressed to [switch] alone. *)
+and receive_unicast t lsa ~at:switch ~from ~fid =
+  send_ack t ~src:switch ~dst:from (from, switch, Lsa.id lsa);
+  let key = Lsa.id lsa in
+  if not (Hashtbl.mem t.seen.(switch) key) then begin
+    Hashtbl.replace t.seen.(switch) key ();
+    deliver_traced t lsa ~switch ~source:from ~fid (fun _ -> ())
+  end
+
 (* ------------------------------------------------------------------ *)
+
+let send t ~src ~dst ?(on_giveup = fun () -> ()) lsa =
+  if not (Net.Graph.has_edge t.graph src dst) then
+    invalid_arg (Printf.sprintf "Flooding.send: no link (%d, %d)" src dst);
+  let parent = Sim.Trace.context t.trace in
+  match t.mode with
+  | Reliable ->
+    Hashtbl.replace t.seen.(src) (Lsa.id lsa) ();
+    start_reliable t ~src ~dst ~parent lsa
+      ~arrive:(fun fid -> receive_unicast t lsa ~at:dst ~from:src ~fid)
+      ~on_giveup
+  | Hop_by_hop | Ideal ->
+    (* Fire and forget: one copy, lost if the link is down at arrival.
+       No acks means no giveup signal either — callers needing liveness
+       under these modes must rely on their own deadlines. *)
+    t.messages <- t.messages + 1;
+    bump t ~switch:src "flood.messages";
+    ignore
+      (send_data t ~src ~dst ~retransmit:false ~parent lsa (fun fid ->
+           deliver_traced t lsa ~switch:dst ~source:src ~fid (fun _ -> ())))
 
 let flood t lsa =
   t.floods <- t.floods + 1;

@@ -90,6 +90,21 @@ val flood : 'a t -> 'a Lsa.t -> unit
 (** Start flooding from the LSA's origin at the current simulated time.
     The origin is {e not} delivered its own LSA. *)
 
+val send : 'a t -> src:int -> dst:int -> ?on_giveup:(unit -> unit) ->
+  'a Lsa.t -> unit
+(** Unicast one LSA to a single adjacent switch — the transport for the
+    database-resynchronisation exchange (summaries and deltas are
+    addressed, not flooded).  [dst] must share a link with [src]
+    ([Invalid_argument] otherwise); whether that link is {e up} is
+    checked at each copy's arrival time, like any transmission.
+
+    In [Reliable] mode the full ack/retransmit/backoff machinery of the
+    mode applies to the single hop, the receiver acks and deduplicates on
+    [Lsa.id] but never forwards, and [on_giveup] fires once if the retry
+    budget is exhausted without an ack.  In [Hop_by_hop] and [Ideal]
+    modes the copy is fire-and-forget and [on_giveup] never fires —
+    callers needing liveness there must keep their own deadline. *)
+
 val floods_started : 'a t -> int
 (** Number of {!flood} calls. *)
 

@@ -1,13 +1,39 @@
-type link_event = { u : int; v : int; up : bool }
+type link_event = { u : int; v : int; up : bool; version : int }
 
-type t = { image : Net.Graph.t }
+module Link_tbl = Hashtbl.Make (struct
+  type t = int * int
 
-let create g = { image = Net.Graph.copy g }
+  let equal (a, b) (c, d) = Int.equal a c && Int.equal b d
+
+  let hash (a, b) = (a * 1000003) lxor b
+end)
+
+type t = { image : Net.Graph.t; versions : int Link_tbl.t }
+
+let create g = { image = Net.Graph.copy g; versions = Link_tbl.create 16 }
 
 let graph t = t.image
 
-let apply t { u; v; up } =
-  if Net.Graph.has_edge t.image u v then Net.Graph.set_link t.image u v ~up
+let key u v = if u < v then (u, v) else (v, u)
 
-let pp_link_event ppf { u; v; up } =
-  Format.fprintf ppf "link(%d, %d) %s" u v (if up then "up" else "down")
+let version t ~u ~v =
+  Option.value ~default:0 (Link_tbl.find_opt t.versions (key u v))
+
+let apply t { u; v; up; version = ver } =
+  if Net.Graph.has_edge t.image u v && ver > version t ~u ~v then begin
+    Link_tbl.replace t.versions (key u v) ver;
+    Net.Graph.set_link t.image u v ~up
+  end
+
+let entries t =
+  Link_tbl.fold
+    (fun (u, v) ver acc ->
+      { u; v; up = Net.Graph.link_is_up t.image u v; version = ver } :: acc)
+    t.versions []
+  |> List.sort (fun a b ->
+         if a.u <> b.u then Int.compare a.u b.u else Int.compare a.v b.v)
+
+let pp_link_event ppf { u; v; up; version } =
+  Format.fprintf ppf "link(%d, %d) %s v%d" u v
+    (if up then "up" else "down")
+    version

@@ -110,6 +110,17 @@ val dfs_order : t -> root:int -> int list
 
 (** {1 Comparison and printing} *)
 
+val fingerprint : t -> string
+(** Compact canonical rendering ["T{u-v,…|t1,…}"] — equal trees produce
+    equal strings.  Used as the per-MC tree digest in database
+    resynchronisation summaries (a neighbor compares fingerprints instead
+    of shipping whole trees) and by {!Check.Fingerprint}'s state
+    hashing, which renders the same format. *)
+
+val of_fingerprint : string -> t option
+(** Parse a {!fingerprint} back; [None] on malformed input.
+    [of_fingerprint (fingerprint t)] reconstructs a tree equal to [t]. *)
+
 val equal : t -> t -> bool
 
 val compare : t -> t -> int

@@ -114,6 +114,174 @@ let test_no_withdrawal_self_heals () =
   | None -> ());
   Alcotest.(check bool) "exploration complete" true o.complete
 
+(* --- crash-recovery resynchronisation, exhaustively --- *)
+
+let test_crash_recover_interleavings () =
+  (* The acceptance scenario for the RESYNCING extension: on a 4-ring
+     with members settled at 0 and 2, switch 1 suffers a forwarding
+     outage that swallows the flood of a concurrent join at 3, then
+     recovers.  Every interleaving of the recovery exchange (summaries,
+     deltas, deferred replays, the session deadline) against the live
+     join's floods and computations must end in network-wide agreement —
+     exactly what the fuzzer's crash seeds (1113 et al.) sample one
+     schedule of. *)
+  let scenario =
+    base_scenario
+      ~setup:[ join 0; join 2 ]
+      ~race:[ Check.Harness.Crash 1; join 3; Check.Harness.Recover 1 ]
+      ()
+  in
+  let o = Check.Explore.run scenario in
+  Format.printf "crash-recover vs join: %a@." Check.Explore.pp_outcome o;
+  (match o.violation with
+  | Some v ->
+    Alcotest.failf "unexpected violation: %s\ntrace:\n%s" v.message
+      (String.concat "\n" v.trace)
+  | None -> ());
+  Alcotest.(check bool) "exploration complete" true o.complete;
+  Alcotest.(check bool) "reached terminal states" true (o.terminals > 0);
+  Alcotest.(check bool) "exploration covers many interleavings" true
+    (o.states > 10)
+
+let test_crash_overlapping_crash () =
+  (* Two overlapping outages: when 1 recovers, its neighbor 2 is still
+     down, so one summary resolves to a synchronous transport giveup and
+     the quorum must be met by switch 0 alone; 2 then recovers into a
+     network where 1's own exchange may still be in flight. *)
+  let scenario =
+    base_scenario
+      ~setup:[ join 0; join 2 ]
+      ~race:
+        [
+          Check.Harness.Crash 1;
+          Check.Harness.Crash 2;
+          join 3;
+          Check.Harness.Recover 1;
+          Check.Harness.Recover 2;
+        ]
+      ()
+  in
+  let o = Check.Explore.run scenario in
+  Format.printf "overlapping crashes: %a@." Check.Explore.pp_outcome o;
+  (match o.violation with
+  | Some v ->
+    Alcotest.failf "unexpected violation: %s\ntrace:\n%s" v.message
+      (String.concat "\n" v.trace)
+  | None -> ());
+  Alcotest.(check bool) "exploration complete" true o.complete;
+  Alcotest.(check bool) "reached terminal states" true (o.terminals > 0)
+
+(* --- resynchronisation message codec --- *)
+
+let tree_of_fp fp =
+  match Mctree.Tree.of_fingerprint fp with
+  | Some t -> t
+  | None -> Alcotest.failf "bad tree fingerprint %S" fp
+
+let sample_summary =
+  Dgmc.Resync.Summary
+    {
+      session = 3;
+      origin = 1;
+      links =
+        [
+          { Lsr.Lsdb.u = 0; v = 1; up = false; version = 2 };
+          { Lsr.Lsdb.u = 1; v = 2; up = true; version = 5 };
+        ];
+      mcs =
+        [
+          {
+            Dgmc.Resync.sum_mc = mc1;
+            sum_r = Dgmc.Timestamp.of_array [| 2; 0; 1; 0 |];
+            sum_e = Dgmc.Timestamp.of_array [| 2; 0; 1; 0 |];
+            sum_c = Dgmc.Timestamp.of_array [| 1; 0; 1; 0 |];
+            sum_tree_fp = "T{0-1,1-2|0,2}";
+          };
+          {
+            Dgmc.Resync.sum_mc = Dgmc.Mc_id.make Receiver_only 7;
+            sum_r = Dgmc.Timestamp.of_array [| 0; 0; 0; 0 |];
+            sum_e = Dgmc.Timestamp.of_array [| 0; 1; 0; 0 |];
+            sum_c = Dgmc.Timestamp.of_array [| 0; 0; 0; 0 |];
+            sum_tree_fp = "T{|}";
+          };
+        ];
+    }
+
+let sample_delta =
+  Dgmc.Resync.Delta
+    {
+      session = 3;
+      origin = 2;
+      links = [ { Lsr.Lsdb.u = 2; v = 3; up = true; version = 4 } ];
+      mcs =
+        [
+          {
+            Dgmc.Resync.exp_mc = mc1;
+            exp_r = Dgmc.Timestamp.of_array [| 2; 0; 2; 0 |];
+            exp_e = Dgmc.Timestamp.of_array [| 2; 0; 2; 0 |];
+            exp_c = Dgmc.Timestamp.of_array [| 2; 0; 2; 0 |];
+            exp_members =
+              Dgmc.Member.of_list
+                [ (0, Dgmc.Member.Both); (2, Dgmc.Member.Receiver) ];
+            exp_membership_seen = [| 2; 0; 2; 0 |];
+            exp_topology = tree_of_fp "T{0-1,1-2|0,2}";
+          };
+          (* A tombstone export: accounting survives, no members/tree. *)
+          {
+            Dgmc.Resync.exp_mc = Dgmc.Mc_id.make Asymmetric 9;
+            exp_r = Dgmc.Timestamp.of_array [| 0; 2; 0; 0 |];
+            exp_e = Dgmc.Timestamp.of_array [| 0; 2; 0; 0 |];
+            exp_c = Dgmc.Timestamp.of_array [| 0; 0; 0; 0 |];
+            exp_members = Dgmc.Member.empty;
+            exp_membership_seen = [| 0; 2; 0; 0 |];
+            exp_topology = Mctree.Tree.empty;
+          };
+        ];
+    }
+
+let test_resync_codec_round_trip () =
+  List.iter
+    (fun msg ->
+      match Dgmc.Resync.of_string (Dgmc.Resync.to_string msg) with
+      | Ok decoded ->
+        Alcotest.(check bool)
+          (Printf.sprintf "round-trip (session %d, origin %d)"
+             (Dgmc.Resync.session msg) (Dgmc.Resync.origin msg))
+          true
+          (Dgmc.Resync.equal msg decoded)
+      | Error reason -> Alcotest.failf "decode failed: %s" reason)
+    [ sample_summary; sample_delta ]
+
+let test_resync_codec_rejects_malformed () =
+  List.iter
+    (fun text ->
+      match Dgmc.Resync.of_string text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed input %S" text)
+    [
+      "";
+      "hello 1 2";
+      "summary 1";
+      "summary 1 2\nlink 0 1 sideways 3";
+      "summary 1 2\nmc symmetric x 1 1 1 T{|}";
+      "delta 1 2\nexport symmetric 1 1,0 1,0 1,0 0,0 0:captain T{|}";
+      "delta 1 2\nexport symmetric 1 1,0 1,0 1,0 0,0 - T{0-1|";
+    ]
+
+let test_tree_fingerprint_matches_check () =
+  (* Mctree.Tree.fingerprint (the wire form) and Check.Fingerprint.tree
+     (the model checker's state-hash form) must never drift apart: resync
+     summaries compare trees by the former, exploration dedups states by
+     the latter. *)
+  List.iter
+    (fun fp ->
+      let t = tree_of_fp fp in
+      Alcotest.(check string)
+        (Printf.sprintf "fingerprint forms agree on %s" fp)
+        (Check.Fingerprint.tree t)
+        (Mctree.Tree.fingerprint t))
+    [ "T{|}"; "T{0-1|0,1}"; "T{0-1,1-2,2-5|0,2,5}" ]
+
 (* --- runtime monitor on a full protocol run --- *)
 
 let test_monitor_clean_run () =
@@ -129,6 +297,39 @@ let test_monitor_clean_run () =
   Check.Monitor.check_terminal m;
   Alcotest.(check bool) "monitor swept" true (Check.Monitor.sweeps m > 0);
   Check.Monitor.assert_ok m
+
+let test_monitor_crash_resync () =
+  (* Full protocol + fault plan: switch 1's outage swallows the flood of
+     the join at 4; the scheduled recovery exchange (begin_resync at the
+     window's close) must bring it back into agreement, under the
+     invariant monitor throughout. *)
+  let graph = Net.Topo_gen.ring 6 in
+  let config =
+    { Dgmc.Config.atm_lan with flood_mode = Lsr.Flooding.Reliable }
+  in
+  let plan = Faults.Plan.create ~seed:7 () in
+  Faults.Plan.crash_switch plan ~switch:1 ~from_:1e-3 ~until:3e-3;
+  let metrics = Metrics.Registry.create () in
+  let net = Dgmc.Protocol.create ~graph ~config ~faults:plan ~metrics () in
+  let m = Check.Monitor.attach net in
+  Dgmc.Protocol.schedule_join net ~at:0.0 ~switch:0 mc1 Dgmc.Member.Both;
+  Dgmc.Protocol.schedule_join net ~at:0.0 ~switch:3 mc1 Dgmc.Member.Both;
+  Dgmc.Protocol.schedule_join net ~at:1.5e-3 ~switch:4 mc1 Dgmc.Member.Both;
+  Dgmc.Protocol.run net;
+  Check.Monitor.check_terminal m;
+  Check.Monitor.assert_ok m;
+  Alcotest.(check bool) "switch 1 ran a recovery exchange" true
+    (Metrics.Registry.counter_value metrics ~switch:1 "switch.resyncs_started"
+    > 0);
+  Alcotest.(check bool) "the exchange completed with a delta" true
+    (Metrics.Registry.counter_value metrics ~switch:1
+       "switch.resync_deltas_applied"
+    > 0);
+  match Dgmc.Protocol.divergence net mc1 with
+  | [] -> ()
+  | reasons ->
+    Alcotest.failf "diverged after crash recovery: %s"
+      (String.concat "; " reasons)
 
 (* --- fuzzer regression seeds --- *)
 
@@ -266,9 +467,26 @@ let () =
             `Quick test_broken_variant_caught;
           Alcotest.test_case "no-withdrawal variant provably self-heals" `Slow
             test_no_withdrawal_self_heals;
+          Alcotest.test_case "crash + recover vs live join: exhaustive" `Slow
+            test_crash_recover_interleavings;
+          Alcotest.test_case "overlapping crash windows: exhaustive" `Slow
+            test_crash_overlapping_crash;
+        ] );
+      ( "resync",
+        [
+          Alcotest.test_case "codec round-trips" `Quick
+            test_resync_codec_round_trip;
+          Alcotest.test_case "codec rejects malformed input" `Quick
+            test_resync_codec_rejects_malformed;
+          Alcotest.test_case "tree fingerprint forms agree" `Quick
+            test_tree_fingerprint_matches_check;
         ] );
       ( "monitor",
-        [ Alcotest.test_case "clean lifecycle run" `Quick test_monitor_clean_run ] );
+        [
+          Alcotest.test_case "clean lifecycle run" `Quick test_monitor_clean_run;
+          Alcotest.test_case "crash-window run resynchronises" `Quick
+            test_monitor_crash_resync;
+        ] );
       ( "fuzz",
         [
           Alcotest.test_case "pinned regression seeds still pass" `Slow

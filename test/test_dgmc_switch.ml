@@ -114,7 +114,9 @@ let test_link_event_only_for_affected_mcs () =
   Sim.Engine.run h.engine;
   let before = List.length (floods h) in
   (* Link (0, 1) fails; only [mc] is affected. *)
-  Dgmc.Switch.link_event h.sw ~u:0 ~v:1 ~up:false ~detector:true;
+  Dgmc.Switch.link_event h.sw
+    { Lsr.Lsdb.u = 0; v = 1; up = false; version = 1 }
+    ~detector:true;
   Sim.Engine.run h.engine;
   let new_lsas = List.filteri (fun i _ -> i >= before) (floods h) in
   check Alcotest.int "one MC link LSA" 1 (List.length new_lsas);
@@ -124,7 +126,9 @@ let test_link_event_only_for_affected_mcs () =
 
 let test_link_event_non_detector_is_silent () =
   let h = harness () in
-  Dgmc.Switch.link_event h.sw ~u:0 ~v:1 ~up:false ~detector:false;
+  Dgmc.Switch.link_event h.sw
+    { Lsr.Lsdb.u = 0; v = 1; up = false; version = 1 }
+    ~detector:false;
   Sim.Engine.run h.engine;
   check Alcotest.int "nothing flooded" 0 (List.length (floods h));
   check Alcotest.bool "image updated" false

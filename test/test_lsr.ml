@@ -156,17 +156,57 @@ let test_lsdb_isolated_copy () =
 let test_lsdb_apply () =
   let g = Net.Topo_gen.line 3 in
   let db = Lsr.Lsdb.create g in
-  Lsr.Lsdb.apply db { u = 0; v = 1; up = false };
+  Lsr.Lsdb.apply db { u = 0; v = 1; up = false; version = 1 };
   check Alcotest.bool "down applied" false
     (Net.Graph.link_is_up (Lsr.Lsdb.graph db) 0 1);
-  Lsr.Lsdb.apply db { u = 0; v = 1; up = true };
+  Lsr.Lsdb.apply db { u = 0; v = 1; up = true; version = 2 };
   check Alcotest.bool "up applied" true
     (Net.Graph.link_is_up (Lsr.Lsdb.graph db) 0 1)
+
+let test_lsdb_version_gating () =
+  let g = Net.Topo_gen.line 3 in
+  let db = Lsr.Lsdb.create g in
+  check Alcotest.int "boot version" 0 (Lsr.Lsdb.version db ~u:0 ~v:1);
+  Lsr.Lsdb.apply db { u = 0; v = 1; up = false; version = 2 };
+  check Alcotest.int "version recorded" 2 (Lsr.Lsdb.version db ~u:0 ~v:1);
+  (* A stale re-flood (an older change learned late) must not win. *)
+  Lsr.Lsdb.apply db { u = 0; v = 1; up = true; version = 1 };
+  check Alcotest.bool "stale version ignored" false
+    (Net.Graph.link_is_up (Lsr.Lsdb.graph db) 0 1);
+  (* Duplicates of the same change are no-ops too. *)
+  Lsr.Lsdb.apply db { u = 0; v = 1; up = true; version = 2 };
+  check Alcotest.bool "duplicate version ignored" false
+    (Net.Graph.link_is_up (Lsr.Lsdb.graph db) 0 1);
+  Lsr.Lsdb.apply db { u = 0; v = 1; up = true; version = 3 };
+  check Alcotest.bool "newer version applies" true
+    (Net.Graph.link_is_up (Lsr.Lsdb.graph db) 0 1);
+  (* Endpoint order is normalised. *)
+  check Alcotest.int "symmetric lookup" 3 (Lsr.Lsdb.version db ~u:1 ~v:0)
+
+let test_lsdb_entries () =
+  let g = Net.Topo_gen.line 3 in
+  let db = Lsr.Lsdb.create g in
+  check
+    (Alcotest.list Alcotest.int)
+    "boot entries empty" []
+    (List.map (fun (e : Lsr.Lsdb.link_event) -> e.version) (Lsr.Lsdb.entries db));
+  Lsr.Lsdb.apply db { u = 1; v = 2; up = false; version = 1 };
+  Lsr.Lsdb.apply db { u = 0; v = 1; up = false; version = 1 };
+  Lsr.Lsdb.apply db { u = 0; v = 1; up = true; version = 2 };
+  match Lsr.Lsdb.entries db with
+  | [ a; b ] ->
+    check Alcotest.(triple int int bool) "first entry sorted" (0, 1, true)
+      (a.u, a.v, a.up);
+    check Alcotest.int "first entry version" 2 a.version;
+    check Alcotest.(triple int int bool) "second entry" (1, 2, false)
+      (b.u, b.v, b.up);
+    check Alcotest.int "second entry version" 1 b.version
+  | l -> Alcotest.failf "expected 2 entries, got %d" (List.length l)
 
 let test_lsdb_unknown_link_ignored () =
   let g = Net.Topo_gen.line 3 in
   let db = Lsr.Lsdb.create g in
-  Lsr.Lsdb.apply db { u = 0; v = 2; up = false };
+  Lsr.Lsdb.apply db { u = 0; v = 2; up = false; version = 1 };
   check Alcotest.int "graph unchanged" 2 (Net.Graph.n_edges (Lsr.Lsdb.graph db))
 
 (* ------------------------------------------------------------------ *)
@@ -250,6 +290,8 @@ let () =
         [
           Alcotest.test_case "isolated copy" `Quick test_lsdb_isolated_copy;
           Alcotest.test_case "apply events" `Quick test_lsdb_apply;
+          Alcotest.test_case "version gating" `Quick test_lsdb_version_gating;
+          Alcotest.test_case "entries export" `Quick test_lsdb_entries;
           Alcotest.test_case "unknown link ignored" `Quick
             test_lsdb_unknown_link_ignored;
         ] );

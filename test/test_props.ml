@@ -17,9 +17,14 @@ type scenario = {
           is reinterpreted as a join at injection time. *)
 }
 
+let pp_op = function
+  | `Join x -> Printf.sprintf "join %d" x
+  | `Leave x -> Printf.sprintf "leave %d" x
+  | `Link_down -> "link-down"
+
 let pp_scenario s =
-  Printf.sprintf "{seed=%d; n=%d; wan=%b; %d ops}" s.seed s.n s.wan
-    (List.length s.schedule)
+  Printf.sprintf "{seed=%d; n=%d; wan=%b; [%s]}" s.seed s.n s.wan
+    (String.concat "; " (List.map pp_op s.schedule))
 
 let scenario_gen =
   QCheck2.Gen.(
@@ -117,6 +122,30 @@ let prop_agreed_topology_is_valid =
       | None -> true (* all members left, or never joined *)
       | Some tree ->
         Mctree.Tree.is_valid_mc_topology (Dgmc.Protocol.graph net) tree)
+
+(* Pinned regression: under QCHECK_SEED=961582112 the convergence
+   property above used to shrink to this scenario — a non-partitioning
+   link failure racing a burst of joins left one switch with a stale
+   link-state image (its copy of the link event died at the failed link
+   itself) and a tree the rest of the network had moved off.  Fixed by
+   versioned LSDB entries with re-flooding on adoption; replayed here
+   deterministically so the fix can never regress silently behind
+   qcheck's random seed. *)
+let scenario_961582112 =
+  {
+    seed = 827;
+    n = 23;
+    wan = true;
+    schedule = [ `Join 98; `Join 0; `Join 0; `Link_down ];
+  }
+
+let test_pinned_stale_image_scenario () =
+  let s = scenario_961582112 in
+  match Dgmc.Protocol.divergence (run_scenario s) mc with
+  | [] -> ()
+  | reasons ->
+    Alcotest.failf "%s diverged: %s" (pp_scenario s)
+      (String.concat "; " reasons)
 
 let prop_deterministic_replay =
   QCheck2.Test.make ~name:"same scenario, same outcome" ~count:20
@@ -536,6 +565,8 @@ let () =
           QCheck_alcotest.to_alcotest prop_random_scenarios_converge;
           QCheck_alcotest.to_alcotest prop_agreed_topology_is_valid;
           QCheck_alcotest.to_alcotest prop_deterministic_replay;
+          Alcotest.test_case "pinned stale-image scenario (seed 961582112)"
+            `Quick test_pinned_stale_image_scenario;
         ] );
       ( "timestamps",
         [

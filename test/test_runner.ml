@@ -176,8 +176,10 @@ let render_outcome (o : Check.Fuzz.outcome) =
     @ List.map failure o.Check.Fuzz.o_failures)
 
 let test_fuzz_batch_identical_across_domains () =
-  (* Seed range 1020.. includes failing cases, so shrunk workloads and
-     repro lines are exercised by the equality too, not just counters. *)
+  (* Seed range 1020.. once included failing cases; since the
+     crash-recovery fixes all pass, so the equality compares per-case
+     counters (any new failure's shrunk workload and repro line would be
+     compared too, via [render_outcome]). *)
   let outcome domains =
     render_outcome (Check.Fuzz.run ~domains ~seed:1020 ~iterations:25 ())
   in
@@ -201,48 +203,38 @@ let test_fuzz_progress_order_is_deterministic () =
     (order 1) (order 4)
 
 (* ------------------------------------------------------------------ *)
-(* Shrinker regression: a pinned failing seed *)
+(* Pinned crash-recovery regressions *)
 
-(* Seed 1026 is a known-failing case (network-wide agreement violated
-   after a crash window overlapping a link failure); the fuzzer's
-   shrinker reduces its 7-event workload to 3 events.  If the protocol
-   fix lands, this test must move to a new failing seed — its subject is
-   the shrinker, not the bug. *)
-let failing_seed = 1026
+(* These seeds were the fuzzer's counterexamples to network-wide
+   agreement before the resynchronisation fixes landed, each a distinct
+   failure shape (this section previously pinned 1026 as a known-FAILING
+   shrinker subject):
 
-let test_shrinker_fixed_point_and_budget () =
-  let case = Check.Fuzz.case_of_seed failing_seed in
-  (match Check.Fuzz.run_case case with
-  | Error _ -> ()
-  | Ok _ ->
-    Alcotest.failf
-      "seed %d no longer fails; pick a new failing seed for the shrinker test"
-      failing_seed);
-  let shrunk, runs = Check.Fuzz.shrink case in
-  (* The budget was respected and something was actually removed. *)
-  if runs > Check.Fuzz.max_shrink_runs then
-    Alcotest.failf "shrinker overspent its budget: %d > %d runs" runs
-      Check.Fuzz.max_shrink_runs;
-  if List.length shrunk >= List.length case.Check.Fuzz.events then
-    Alcotest.fail "shrinker removed nothing from a shrinkable workload";
-  (* The shrunk workload still fails. *)
-  (match Check.Fuzz.run_events case shrunk with
-  | Error _ -> ()
-  | Ok _ -> Alcotest.fail "shrunk workload no longer fails");
-  (* 1-minimality: dropping any single remaining event makes it pass. *)
-  List.iteri
-    (fun i _ ->
-      let without = List.filteri (fun j _ -> j <> i) shrunk in
-      match Check.Fuzz.run_events case without with
+   - 1026, 1028, 1031: a link event flooded while part of the network was
+     unreachable died at the severed links and was never re-flooded,
+     leaving stale link-state images (fixed by versioned LSDB entries +
+     database resynchronisation on link recovery);
+   - 1039: an in-flight proposal installed a tree over a link that died
+     during its computation (fixed by install-time re-validation);
+   - 1113: a switch crash window swallowed floods the crashed switch
+     never saw again (fixed by the crash-recovery RESYNCING exchange).
+
+   Must-pass forever: a failure here is a protocol regression;
+   [dgmc_sim --fuzz --seed N --iterations 1] replays it with the
+   shrinker's minimal workload and repro line as the debugging entry
+   point. *)
+let pinned_recovery_seeds = [ 1026; 1028; 1031; 1039; 1113 ]
+
+let test_pinned_recovery_seeds_agree () =
+  List.iter
+    (fun seed ->
+      let case = Check.Fuzz.case_of_seed seed in
+      match Check.Fuzz.run_case case with
       | Ok _ -> ()
-      | Error _ ->
-        Alcotest.failf "shrunk workload is not 1-minimal: event %d removable" i)
-    shrunk;
-  (* Fixed point: re-shrinking the already-shrunk workload removes
-     nothing further. *)
-  let reshrunk, _ = Check.Fuzz.shrink { case with Check.Fuzz.events = shrunk } in
-  check Alcotest.int "re-shrinking is a fixed point" (List.length shrunk)
-    (List.length reshrunk)
+      | Error problems ->
+        Alcotest.failf "seed %d diverged again: %s" seed
+          (String.concat "; " problems))
+    pinned_recovery_seeds
 
 let () =
   Alcotest.run "runner"
@@ -274,9 +266,9 @@ let () =
           Alcotest.test_case "fuzz progress order" `Quick
             test_fuzz_progress_order_is_deterministic;
         ] );
-      ( "shrinker",
+      ( "recovery",
         [
-          Alcotest.test_case "pinned seed: minimal fixed point within budget"
-            `Slow test_shrinker_fixed_point_and_budget;
+          Alcotest.test_case "pinned crash-recovery seeds reach agreement"
+            `Slow test_pinned_recovery_seeds_agree;
         ] );
     ]
