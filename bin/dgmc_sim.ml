@@ -540,6 +540,135 @@ let fuzz_run ~seed ~iterations ~n_max ~mcs_max ~events_max ~domains ~verbose =
       failures;
     exit 1
 
+(* ------------------------------------------------------------------ *)
+(* search: guided fault-scenario search (Check.Search), spelled
+   `dgmc_sim --search forward|backward` — the spelling repro lines
+   print, so it lives on the default term next to --fuzz. *)
+
+let search_usage m =
+  prerr_endline ("dgmc_sim --search: " ^ m);
+  exit 2
+
+(* An event list in the syntax --race/--setup accept
+   (Check.Search.events_of_string), for composing repro lines. *)
+let search_event_arg (ev : Check.Harness.event) =
+  match ev with
+  | Check.Harness.Join { switch; mc; role } ->
+    Printf.sprintf "join %d mc=%d role=%s" switch mc.Dgmc.Mc_id.id
+      (Dgmc.Member.role_to_string role)
+  | Check.Harness.Leave { switch; mc } ->
+    Printf.sprintf "leave %d mc=%d" switch mc.Dgmc.Mc_id.id
+  | Check.Harness.Link_down (u, v) -> Printf.sprintf "down %d %d" u v
+  | Check.Harness.Link_up (u, v) -> Printf.sprintf "up %d %d" u v
+  | Check.Harness.Crash i -> Printf.sprintf "crash %d" i
+  | Check.Harness.Recover i -> Printf.sprintf "recover %d" i
+
+let search_main ~mode ~graph_spec ~regime ~mcs_spec ~race ~setup ~target_spec
+    ~max_states ~max_depth ~max_len ~inject_bug ~domains =
+  let graph =
+    let toks =
+      String.split_on_char ' ' graph_spec |> List.filter (fun s -> s <> "")
+    in
+    match Workload.Script.graph_of_args ~line:0 toks with
+    | Ok g -> g
+    | Error m -> search_usage m
+  in
+  let base =
+    match regime with
+    | "atm" -> Dgmc.Config.atm_lan
+    | "wan" -> Dgmc.Config.wan
+    | r -> search_usage (Printf.sprintf "unknown regime %S (atm or wan)" r)
+  in
+  let config =
+    match inject_bug with
+    | None -> base
+    | Some "stale-senders" ->
+      { base with Dgmc.Config.flag_stale_senders = false }
+    | Some "asymmetric-tree" ->
+      { base with Dgmc.Config.span_secondary_senders = false }
+    | Some b ->
+      search_usage
+        (Printf.sprintf
+           "unknown bug %S (stale-senders or asymmetric-tree)" b)
+  in
+  let mcs =
+    String.split_on_char ',' mcs_spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+    |> List.mapi (fun i kind ->
+           match kind with
+           | "symmetric" -> Dgmc.Mc_id.make Symmetric (i + 1)
+           | "receiver-only" -> Dgmc.Mc_id.make Receiver_only (i + 1)
+           | "asymmetric" -> Dgmc.Mc_id.make Asymmetric (i + 1)
+           | k -> search_usage (Printf.sprintf "unknown MC kind %S" k))
+  in
+  if mcs = [] then search_usage "--mcs needs at least one MC kind";
+  let target =
+    match Check.Search.target_of_string target_spec with
+    | Ok t -> t
+    | Error m -> search_usage m
+  in
+  let parse_events what s =
+    match Check.Search.events_of_string ~mcs s with
+    | Ok evs -> evs
+    | Error m -> search_usage (what ^ ": " ^ m)
+  in
+  let setup =
+    match setup with None -> [] | Some s -> parse_events "--setup" s
+  in
+  (* A forward repro of [events] under exactly this configuration. *)
+  let repro events =
+    String.concat ""
+      [
+        Printf.sprintf "dgmc_sim --search forward --graph %S --regime %s"
+          graph_spec regime;
+        (match inject_bug with
+        | Some bug -> " --inject-bug " ^ bug
+        | None -> "");
+        Printf.sprintf " --mcs %s" mcs_spec;
+        (match setup with
+        | [] -> ""
+        | evs ->
+          Printf.sprintf " --setup %S"
+            (String.concat "; " (List.map search_event_arg evs)));
+        Printf.sprintf " --race %S"
+          (String.concat "; " (List.map search_event_arg events));
+        (match target_spec with
+        | "any" -> ""
+        | t -> " --target-invariant " ^ t);
+      ]
+  in
+  match mode with
+  | "forward" ->
+    let race =
+      match race with
+      | None -> search_usage "forward search needs --race \"<events>\""
+      | Some s -> parse_events "--race" s
+    in
+    let scenario = { Check.Explore.graph; config; setup; race } in
+    let o =
+      Check.Search.forward ~target ~max_states ~max_depth ~domains scenario
+    in
+    Format.printf "%a@." Check.Search.pp_forward o;
+    (match o.f_found with
+    | None -> ()
+    | Some _ ->
+      Printf.printf "reproduce: %s\n" (repro race);
+      exit 1)
+  | "backward" ->
+    let o =
+      Check.Search.backward ~target ~max_len ~per_candidate_states:max_states
+        ~domains ~graph ~config ~setup ~mcs ()
+    in
+    Format.printf "%a@." Check.Search.pp_backward o;
+    (match o.b_found with
+    | Some (events, _) -> Printf.printf "reproduce: %s\n" (repro events)
+    | None ->
+      Printf.printf
+        "no fault sequence up to length %d reproduces the target\n" max_len;
+      exit 1)
+  | m -> search_usage (Printf.sprintf "unknown mode %S (forward or backward)" m)
+
 let default_term =
   let fuzz_arg =
     Arg.(
@@ -588,25 +717,122 @@ let default_term =
       value & flag
       & info [ "verbose" ] ~doc:"Print each generated case before running it.")
   in
-  let run fuzz seed iterations n_max mcs_max events_max domains verbose
-      trace_file trace_cats =
-    if not fuzz then `Help (`Pager, None)
-    else begin
-      (match trace_file with
-      | Some trace_file ->
-        fuzz_traced ~seed ~iterations ~n_max ~mcs_max ~events_max ~trace_file
-          ~trace_cats
-      | None ->
-        fuzz_run ~seed ~iterations ~n_max ~mcs_max ~events_max ~domains
-          ~verbose);
+  let search_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "search" ]
+          ~doc:
+            "Guided fault-scenario search.  $(b,forward): best-first from \
+             $(b,--race) toward a $(b,--target-invariant) violation.  \
+             $(b,backward): find a minimal fault sequence reproducing the \
+             target, emitting a replayable repro line.  Byte-identical at \
+             any $(b,--domains).")
+  in
+  let graph_arg =
+    Arg.(
+      value & opt string "ring 4"
+      & info [ "graph" ]
+          ~doc:
+            "Topology for --search, in script-directive syntax (e.g. \
+             $(b,\"ring 6\"), $(b,\"grid 3 3\"), $(b,\"waxman 12 seed=5\")).")
+  in
+  let regime_arg =
+    Arg.(
+      value & opt string "atm"
+      & info [ "regime" ] ~doc:"Parameter regime for --search: atm or wan.")
+  in
+  let search_mcs_arg =
+    Arg.(
+      value & opt string "symmetric"
+      & info [ "mcs" ]
+          ~doc:
+            "Comma-separated MC kinds for --search (symmetric, \
+             receiver-only, asymmetric); kind $(i,i) gets id $(i,i+1).")
+  in
+  let race_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "race" ]
+          ~doc:
+            "Concurrent events for --search forward, e.g. $(b,\"join 0 \
+             mc=1; join 2 mc=1\") (verbs: join, leave, down, up, crash, \
+             recover).")
+  in
+  let setup_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "setup" ]
+          ~doc:"Events injected and settled before the race (same syntax).")
+  in
+  let target_arg =
+    Arg.(
+      value & opt string "any"
+      & info [ "target-invariant" ]
+          ~doc:
+            "Invariant to hunt: a law-name prefix, optionally \
+             $(b,law\\@kind) (e.g. $(b,agreement), \
+             $(b,terminals-match\\@asymmetric)); $(b,any) matches all.")
+  in
+  let max_states_arg =
+    Arg.(
+      value & opt int 50_000
+      & info [ "max-states" ]
+          ~doc:
+            "State bound per forward search (per candidate in backward \
+             mode).")
+  in
+  let max_depth_arg =
+    Arg.(
+      value & opt int 10_000
+      & info [ "max-depth" ] ~doc:"Depth bound for forward search.")
+  in
+  let max_len_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "max-len" ]
+          ~doc:"Longest fault sequence backward search considers.")
+  in
+  let inject_bug_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inject-bug" ]
+          ~doc:
+            "Re-inject a historical bug for --search to rediscover: \
+             $(b,stale-senders) (no recompute flag on stale senders) or \
+             $(b,asymmetric-tree) (secondary senders left off the span).")
+  in
+  let run fuzz search seed iterations n_max mcs_max events_max domains verbose
+      graph_spec regime mcs_spec race setup target_spec max_states max_depth
+      max_len inject_bug trace_file trace_cats =
+    match search with
+    | Some mode ->
+      search_main ~mode ~graph_spec ~regime ~mcs_spec ~race ~setup
+        ~target_spec ~max_states ~max_depth ~max_len ~inject_bug ~domains;
       `Ok ()
-    end
+    | None ->
+      if not fuzz then `Help (`Pager, None)
+      else begin
+        (match trace_file with
+        | Some trace_file ->
+          fuzz_traced ~seed ~iterations ~n_max ~mcs_max ~events_max
+            ~trace_file ~trace_cats
+        | None ->
+          fuzz_run ~seed ~iterations ~n_max ~mcs_max ~events_max ~domains
+            ~verbose);
+        `Ok ()
+      end
   in
   Term.(
     ret
-      (const run $ fuzz_arg $ seed_arg $ iterations_arg $ n_max_arg
-     $ mcs_max_arg $ events_max_arg $ domains_arg $ verbose_arg
-     $ trace_file_arg $ trace_cats_arg))
+      (const run $ fuzz_arg $ search_arg $ seed_arg $ iterations_arg
+     $ n_max_arg $ mcs_max_arg $ events_max_arg $ domains_arg $ verbose_arg
+     $ graph_arg $ regime_arg $ search_mcs_arg $ race_arg $ setup_arg
+     $ target_arg $ max_states_arg $ max_depth_arg $ max_len_arg
+     $ inject_bug_arg $ trace_file_arg $ trace_cats_arg))
 
 let () =
   let doc = "D-GMC multipoint-connection protocol simulation study" in

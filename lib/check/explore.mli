@@ -42,6 +42,19 @@ type outcome = {
   violation : violation option;  (** First violation found, if any. *)
 }
 
+val build : scenario -> Harness.action list -> Harness.t * string list
+(** Materialise the state reached by an action prefix: create the
+    harness, inject and settle [setup], inject [race], then replay the
+    prefix, collecting each action's {!Harness.describe} rendering.
+    Deterministic — two builds of the same prefix are digest-identical —
+    which is what lets both this checker and {!Search} substitute replay
+    for cloning. *)
+
+val check_state : Harness.t -> Invariant.violation list
+(** The per-state law catalogue ({!Invariant.check_switch}) over every
+    switch — the check applied at each visited state by both this
+    checker and {!Search}. *)
+
 val run :
   ?strategy:[ `Bfs | `Dfs ] ->
   ?max_states:int ->

@@ -273,7 +273,32 @@ let shrink case =
       let candidate = List.filteri (fun j _ -> j <> i) events in
       if fails candidate then pass candidate i else pass events (i + 1)
   in
-  let shrunk = pass case.events 0 in
+  (* Timing pass, left to right: pull each surviving event back to its
+     predecessor's time (the first to 0), keeping the change only if the
+     failure survives.  Minimality then covers placement AND timing: an
+     event that stays separated in the repro is separated because the
+     bug needs the gap, not because the generator happened to draw one.
+     Pulling back to an earlier time preserves the sort order, so probes
+     replay exactly the schedule the repro prints. *)
+  let rec time_pass events i =
+    if !runs >= max_shrink_runs || i >= List.length events then events
+    else begin
+      let target =
+        if i = 0 then 0.0 else (List.nth events (i - 1)).Workload.Events.time
+      in
+      let e_i = List.nth events i in
+      if e_i.Workload.Events.time <= target then time_pass events (i + 1)
+      else
+        let candidate =
+          List.mapi
+            (fun j e -> if j = i then { e with Workload.Events.time = target } else e)
+            events
+        in
+        if fails candidate then time_pass candidate (i + 1)
+        else time_pass events (i + 1)
+    end
+  in
+  let shrunk = time_pass (pass case.events 0) 0 in
   (shrunk, !runs)
 
 (* ------------------------------------------------------------------ *)

@@ -88,11 +88,13 @@ val max_shrink_runs : int
 (** Budget of probe simulations one shrink may spend (200). *)
 
 val shrink : case -> Workload.Events.t list * int
-(** Greedy one-event removal to a fixed point: returns a sub-workload
-    that still fails (assuming the case itself fails) from which no
-    single event can be removed without the failure disappearing, plus
-    the number of probe runs spent (capped at {!max_shrink_runs}).
-    Deterministic. *)
+(** Greedy one-event removal to a fixed point, then a timing pass that
+    pulls each surviving event back to its predecessor's time (the first
+    to 0) wherever the failure survives: returns a sub-workload that
+    still fails (assuming the case itself fails) from which no single
+    event can be removed — and in which no single gap remains — without
+    the failure disappearing, plus the number of probe runs spent (both
+    passes share the {!max_shrink_runs} cap).  Deterministic. *)
 
 val run :
   ?n_max:int ->

@@ -139,6 +139,10 @@ let create ~graph ~config () =
 
 let n_switches t = t.n
 let switches t = t.switches
+
+let pending_count t =
+  List.length t.pending
+  + Array.fold_left (fun acc e -> acc + Sim.Engine.pending e) 0 t.engines
 let graph t = t.net_graph
 let truth t = t.truth
 

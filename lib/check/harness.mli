@@ -83,6 +83,14 @@ val inject : t -> event -> unit
 (** Apply a local event, mirroring {!Dgmc.Protocol}'s order for link
     events (higher endpoint detects and floods first). *)
 
+val pending_count : t -> int
+(** Pending work items: pooled (destination, message) deliveries plus
+    unfinished topology computations across all switches.  Every
+    {!action} removes exactly one such item (and may add more), so this
+    is an admissible, consistent lower bound on the number of actions
+    separating the state from any terminal state — the primary key of
+    {!Search}'s best-first priority. *)
+
 val enabled : t -> action list
 (** Every causally-enabled next step, deterministically ordered, with
     equivalent deliveries (same destination, same payload fingerprint,

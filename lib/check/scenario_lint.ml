@@ -35,9 +35,10 @@ let lint text =
   let graph_declared = ref false in
   let faults_declared = ref false in
   let config = ref Dgmc.Config.atm_lan in
-  let mcs = ref [] in (* (decl line, id) — in declaration order *)
+  let mcs = ref [] in (* (decl line, id, kind) — in declaration order *)
   let used = ref [] in (* mc ids referenced by some event *)
   let events = ref [] in (* (line, time, rounds?, act) — file order *)
+  let churns = ref [] in (* (line, churn_directive) — file order *)
   let parse_int line what s =
     match int_of_string_opt s with
     | Some v -> Some v
@@ -67,7 +68,7 @@ let lint text =
       match parse_int line "mc id" id_s with
       | None -> None
       | Some id ->
-        if not (List.exists (fun (_, i) -> i = id) !mcs) then begin
+        if not (List.exists (fun (_, i, _) -> i = id) !mcs) then begin
           err line "mc %d not declared (use a 'mc %d <type>' line first)" id
             id;
           None
@@ -76,6 +77,18 @@ let lint text =
           used := id :: !used;
           Some id
         end)
+  in
+  (* The declared MCs as Mc_id values (only those with a valid kind) —
+     what the shared churn parser resolves mc= against. *)
+  let declared_mc_ids () =
+    List.filter_map
+      (fun (_, id, kind) ->
+        match kind with
+        | "symmetric" -> Some (Dgmc.Mc_id.make Symmetric id)
+        | "receiver-only" -> Some (Dgmc.Mc_id.make Receiver_only id)
+        | "asymmetric" -> Some (Dgmc.Mc_id.make Asymmetric id)
+        | _ -> None)
+      !mcs
   in
   (* ---- pass 1: line-by-line structure ---- *)
   List.iteri
@@ -120,9 +133,9 @@ let lint text =
         (match parse_int line "mc id" id with
         | None -> ()
         | Some id ->
-          if List.exists (fun (_, i) -> i = id) !mcs then
+          if List.exists (fun (_, i, _) -> i = id) !mcs then
             err line "mc %d declared twice" id
-          else mcs := !mcs @ [ (line, id) ]);
+          else mcs := !mcs @ [ (line, id, kind) ]);
         if not (List.mem kind [ "symmetric"; "receiver-only"; "asymmetric" ])
         then err line "unknown MC type %S" kind
       | "mc" :: _ -> err line "mc: expected 'mc <id> <type>'"
@@ -185,6 +198,27 @@ let lint text =
           events := !events @ [ (line, v, rounds, act) ]
         | _ -> ())
       | [ "at" ] -> err line "at: missing time and event"
+      | "churn" :: opts -> (
+        (* Report every bad key here, then hand only the known ones to
+           the shared parser (which stops at the first problem). *)
+        check_opts line ~allowed:Workload.Script.churn_allowed_keys opts;
+        let known =
+          List.filter
+            (fun tok ->
+              match String.index_opt tok '=' with
+              | Some i ->
+                List.mem (String.sub tok 0 i)
+                  Workload.Script.churn_allowed_keys
+              | None -> false)
+            opts
+        in
+        match
+          Workload.Script.churn_of_args ~line ~mcs:(declared_mc_ids ()) known
+        with
+        | Ok d ->
+          used := d.Workload.Script.churn_mc.id :: !used;
+          churns := !churns @ [ (line, d) ]
+        | Error m -> err line "%s" m)
       | verb :: _ -> err line "unknown directive %S" verb)
     (String.split_on_char '\n' text);
   (* ---- pass 2: semantics over the resolved timeline ---- *)
@@ -242,12 +276,44 @@ let lint text =
         dup_scan rest
     in
     ignore (dup_scan resolved);
+    (* Churn directives expand deterministically; an expansion the graph
+       cannot host is an error, and the expanded events join the replay
+       below so scripted events are checked against churn-held state. *)
+    let churn_resolved =
+      List.concat_map
+        (fun (line, d) ->
+          match
+            Workload.Churn.generate
+              (Sim.Rng.create d.Workload.Script.churn_seed)
+              ~graph:g
+              (Workload.Script.churn_spec ~graph:g ~config:!config d)
+          with
+          | evs ->
+            List.map
+              (fun (e : Workload.Events.t) ->
+                let act =
+                  match e.action with
+                  | Workload.Events.Join { switch; mc; _ } ->
+                    Join { switch; mc = mc.id }
+                  | Workload.Events.Leave { switch; mc } ->
+                    Leave { switch; mc = mc.id }
+                  | Workload.Events.Link_down (u, v) ->
+                    Link { u; v; up = false }
+                  | Workload.Events.Link_up (u, v) -> Link { u; v; up = true }
+                in
+                (line, e.time, act))
+              evs
+          | exception Invalid_argument m ->
+            err line "%s" m;
+            [])
+        !churns
+    in
     (* Replay membership and link state in event-time order (stable on
        ties, matching Workload.Events.sort). *)
     let timeline =
       List.stable_sort
         (fun (_, t1, _) (_, t2, _) -> Float.compare t1 t2)
-        resolved
+        (resolved @ churn_resolved)
     in
     let member = Hashtbl.create 16 in (* (mc, switch) -> () *)
     let link_down = Hashtbl.create 16 in (* (u, v) with u < v *)
@@ -273,7 +339,7 @@ let lint text =
           else Hashtbl.replace link_down key ())
       timeline);
   List.iter
-    (fun (line, id) ->
+    (fun (line, id, _) ->
       if not (List.mem id !used) then
         warn line "mc %d declared but never used by any event" id)
     !mcs;

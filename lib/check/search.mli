@@ -1,0 +1,178 @@
+(** Guided forward/backward fault-scenario search.
+
+    {!Explore} covers a scenario's whole interleaving space; that is the
+    right tool for proofs but the wrong one for {e finding} a violation
+    quickly, and it says nothing about {e which faults} to inject in the
+    first place.  This module adds both directions of the systematic
+    search that Helmy–Estrin's protocol-testing methodology prescribes
+    (see PAPERS.md), on top of the same {!Harness} event model and the
+    same deduped state graph:
+
+    {b Forward} ({!forward}): best-first search from an initial topology
+    toward a violation of a {!target} invariant.  The frontier is
+    ordered by a violation-distance heuristic: the primary key is
+    {!Harness.pending_count} — a provable, consistent lower bound on the
+    actions separating the state from any terminal state, where the
+    agreement laws are checked — and ties break toward states with more
+    divergence evidence (disagreeing per-MC installed-state fingerprint
+    classes, outstanding resynchronisation peers, deferred mid-resync
+    LSAs).  States are deduplicated by canonical {!Harness.digest}
+    exactly as in {!Explore}, so with no bound hit an empty-handed
+    forward search is as conclusive as an exhaustive one.
+
+    {b Backward} ({!backward}): from a target invariant (a known
+    violation's law, optionally narrowed to an MC kind), search for a
+    {e minimal} fault sequence — join/leave placement, link-down/up,
+    crash/recover timing — that reproduces it.  Sequences are
+    enumerated shortest-first over the well-formed event alphabet
+    (leaves follow joins, recovers follow crashes, link-ups follow
+    link-downs, and every candidate ends healed so the terminal laws
+    are a fair demand; a partition is the set of link-downs that cut
+    it), and each candidate is checked by a bounded forward search, so
+    the first hit is minimal by construction.  The result renders in
+    {!Check.Fuzz}'s shrunk-workload line format ({!event_lines}) for a
+    deterministic repro.
+
+    {b Determinism.}  Both modes shard work over a {!Runner.Pool} in
+    {e fixed-size} waves/chunks whose composition does not depend on the
+    domain count, and merge results in enumeration order; outcomes are
+    byte-identical at any [domains]. *)
+
+(** {1 Targets} *)
+
+type target = {
+  law : string;
+      (** Law-name prefix to hunt, e.g. ["agreement"] matches both
+          [agreement-members] and [agreement-topology]; ["any"] matches
+          every law. *)
+  kind : Dgmc.Mc_id.kind option;
+      (** When set, only violations attributed to an MC of this kind
+          match. *)
+}
+
+val any : target
+(** Every violation matches. *)
+
+val target_of_string : string -> (target, string) result
+(** Parse ["law"] or ["law\@kind"] with kind one of [symmetric],
+    [receiver-only], [asymmetric]. *)
+
+val target_to_string : target -> string
+
+val matches : target -> Invariant.violation -> bool
+
+(** {1 The violation-distance heuristic} *)
+
+type score = {
+  bound : int;
+      (** {!Harness.pending_count}: admissible-consistent lower bound on
+          the actions left to any terminal state (each action retires
+          exactly one pending item). *)
+  discord : int;
+      (** Per MC, the number of distinct (member list, installed
+          topology) fingerprint classes across the switches holding
+          state, minus one — summed.  0 means installed-state
+          agreement. *)
+  resync_depth : int;
+      (** Outstanding crash-recovery resynchronisation peers, summed
+          over switches. *)
+  deferred : int;  (** LSAs deferred by in-flight resyncs, summed. *)
+}
+
+val score : Harness.t -> score
+
+(** {1 Forward search} *)
+
+type found = {
+  laws : string list;  (** Matching violated laws, sorted, deduped. *)
+  message : string;  (** The matching violations, rendered. *)
+  trace : string list;  (** Action sequence from the post-race state. *)
+  depth : int;  (** Actions from the post-race state. *)
+  state_digest : string;  (** {!Harness.digest} of the violating state. *)
+}
+
+type forward_outcome = {
+  f_states : int;
+  f_transitions : int;
+  f_terminals : int;
+  f_other_violations : int;
+      (** Violating states whose laws missed the target: counted,
+          reported in {!pp_forward}, but neither returned as the hit nor
+          expanded further. *)
+  f_complete : bool;
+      (** No violation, no bound hit, no off-target violation: the whole
+          deduped reachable space was covered. *)
+  f_found : found option;
+}
+
+val forward :
+  ?target:target ->
+  ?max_states:int ->
+  ?max_depth:int ->
+  ?domains:int ->
+  Explore.scenario ->
+  forward_outcome
+(** Best-first search of the scenario's post-race state space.
+    Defaults: [target = any], [max_states = 50_000],
+    [max_depth = 10_000], [domains = 1].  The frontier is expanded in
+    fixed-width waves (8 entries) regardless of [domains], so the
+    outcome is byte-identical at any domain count. *)
+
+(** {1 Backward search} *)
+
+type backward_outcome = {
+  b_candidates : int;  (** Healed candidate sequences evaluated. *)
+  b_max_len : int;
+  b_truncated : bool;  (** The candidate budget cut enumeration short. *)
+  b_found : (Harness.event list * found) option;
+      (** The shortest reproducing fault sequence — first in the fixed
+          enumeration order among those of minimal length — and the
+          violation its forward check reached. *)
+}
+
+val backward :
+  ?target:target ->
+  ?max_len:int ->
+  ?per_candidate_states:int ->
+  ?max_candidates:int ->
+  ?domains:int ->
+  graph:Net.Graph.t ->
+  config:Dgmc.Config.t ->
+  ?setup:Harness.event list ->
+  mcs:Dgmc.Mc_id.t list ->
+  unit ->
+  backward_outcome
+(** Iterative-deepening search for a minimal fault sequence (lengths
+    [1 .. max_len], default 4) whose race reproduces the target.  Each
+    candidate is checked by a sequential {!forward} bounded at
+    [per_candidate_states] (default 20_000); candidates are dispatched
+    in fixed chunks of 16 over [domains] and the first failure in
+    enumeration order wins, so the result is byte-identical at any
+    domain count.  [setup] events are injected and settled before each
+    candidate's race ([[]] by default); [max_candidates] (default
+    50_000) bounds the total enumeration, setting {!b_truncated} when
+    hit. *)
+
+(** {1 Event rendering and parsing} *)
+
+val event_line : int -> Harness.event -> string
+(** ["[<tick>] join switch=0 mc#1(symmetric) (both)"] — {!Check.Fuzz}'s
+    shrunk-workload line format with the sequence index as the tick
+    (the harness is untimed: interleaving order {e is} the timing);
+    [crash switch=i] / [recover switch=i] extend the vocabulary. *)
+
+val event_lines : Harness.event list -> string list
+
+val events_of_string :
+  mcs:Dgmc.Mc_id.t list -> string -> (Harness.event list, string) result
+(** Parse a semicolon-separated event list, e.g.
+    ["join 0 mc=1; crash 3; recover 3; down 0 1; up 0 1"].  Joins
+    default their role by MC kind (asymmetric defaults to [sender]). *)
+
+(** {1 Reporting} *)
+
+val pp_found : Format.formatter -> found -> unit
+
+val pp_forward : Format.formatter -> forward_outcome -> unit
+
+val pp_backward : Format.formatter -> backward_outcome -> unit

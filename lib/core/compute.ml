@@ -40,8 +40,15 @@ let scratch config kind image members ~self =
          source-rooted tree over shortest paths too, or they could not
          inject traffic into it (found by the protocol fuzzer: a
          sender-only second member used to be left off the tree, which
-         the agreement check rightly rejects). *)
-      let receivers = List.filter (fun x -> x <> root) ids in
+         the agreement check rightly rejects).  The pre-fix behaviour —
+         terminals drawn from the receiver roles only — stays available
+         behind [span_secondary_senders = false] so the guided scenario
+         search can re-derive the minimal counterexample. *)
+      let receivers =
+        if config.Config.span_secondary_senders then
+          List.filter (fun x -> x <> root) ids
+        else List.filter (fun x -> x <> root) (Member.receivers members)
+      in
       try Mctree.Spt.source_rooted image ~root ~receivers
       with Failure _ -> (
         (* Partition: root the tree in this switch's component — at the

@@ -9,6 +9,7 @@ type t = {
   drift_threshold : float;
   withdraw_stale_proposals : bool;
   flag_stale_senders : bool;
+  span_secondary_senders : bool;
   resync_quorum : int;
   resync_deadline_hops : float;
 }
@@ -23,6 +24,7 @@ let atm_lan =
     drift_threshold = 1.5;
     withdraw_stale_proposals = true;
     flag_stale_senders = true;
+    span_secondary_senders = true;
     resync_quorum = 1;
     resync_deadline_hops = 512.0;
   }

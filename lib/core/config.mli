@@ -47,6 +47,17 @@ type t = {
           topology disagreement — the {!module:Check} model checker
           catches it with a minimal counterexample.  Never disable it in
           a real run. *)
+  span_secondary_senders : bool;
+      (** Fault-injection knob, [true] in every preset.  When [false],
+          the from-scratch asymmetric computation reverts to the
+          historical (pre-fix) behaviour: only role-[Receiver]/[Both]
+          members become terminals of the source-rooted tree, so a
+          sender-only second member is left off the topology entirely and
+          cannot inject traffic — the asymmetric-tree bug the protocol
+          fuzzer originally found, kept re-injectable so the guided
+          scenario search ({!module:Check}'s [Search]) can prove it still
+          rediscovers the minimal counterexample.  Never disable it in a
+          real run. *)
   resync_quorum : int;
       (** Crash-recovery resynchronisation: number of completed neighbor
           exchanges (delta applied, or the transport gave the neighbor

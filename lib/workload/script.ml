@@ -111,6 +111,74 @@ let graph_of_args ~line args =
   | g -> Ok g
   | exception Parse_error (_, m) -> Error m
 
+type churn_directive = {
+  churn_mc : Dgmc.Mc_id.t;
+  churn_members : int;
+  churn_moves : int;
+  churn_period : float * bool;
+  churn_start : float * bool;
+  churn_waves : int;
+  churn_wave_links : int;
+  churn_wave_period : (float * bool) option;
+  churn_seed : int;
+}
+
+let churn_allowed_keys =
+  [ "mc"; "members"; "moves"; "period"; "start"; "waves"; "wave-links";
+    "wave-period"; "seed" ]
+
+let parse_churn lineno mcs opts =
+  check_opts lineno ~allowed:churn_allowed_keys opts;
+  let mc = find_mc lineno mcs opts in
+  let int_opt key default =
+    match opt_value opts key with
+    | Some s -> parse_int lineno key s
+    | None -> default
+  in
+  let members =
+    match opt_value opts "members" with
+    | Some s -> parse_int lineno "members" s
+    | None -> fail lineno "churn needs members=<count>"
+  in
+  let time_opt key default =
+    match opt_value opts key with
+    | Some s -> parse_time lineno s
+    | None -> default
+  in
+  {
+    churn_mc = mc;
+    churn_members = members;
+    churn_moves = int_opt "moves" 0;
+    (* Defaults are round-denominated so one script fits every regime. *)
+    churn_period = time_opt "period" (1.0, true);
+    churn_start = time_opt "start" (0.0, false);
+    churn_waves = int_opt "waves" 0;
+    churn_wave_links = int_opt "wave-links" 1;
+    churn_wave_period = Option.map (parse_time lineno) (opt_value opts "wave-period");
+    churn_seed = int_opt "seed" 1;
+  }
+
+let churn_of_args ~line ~mcs args =
+  match parse_churn line mcs args with
+  | d -> Ok d
+  | exception Parse_error (_, m) -> Error m
+
+let churn_spec ~graph ~config d =
+  let round = Dgmc.Config.round_length config ~graph in
+  let resolve (v, rounds) = if rounds then v *. round else v in
+  let period = resolve d.churn_period in
+  {
+    Churn.mc = d.churn_mc;
+    members = d.churn_members;
+    moves = d.churn_moves;
+    period;
+    start = resolve d.churn_start;
+    waves = d.churn_waves;
+    wave_links = d.churn_wave_links;
+    wave_period =
+      (match d.churn_wave_period with Some wp -> resolve wp | None -> period);
+  }
+
 (* "faults drop=0.3 dup=0.1 seed=7" — fault keys go to Faults.Plan's
    parser; [seed] is handled here.  Shared with the linter. *)
 let faults_of_args ~line args =
@@ -144,6 +212,8 @@ let parse text =
     let mcs = ref [] in
     (* (time, rounds?, action builder) — resolved once graph+config known. *)
     let events = ref [] in
+    (* churn directives expand once the graph and round length are known. *)
+    let churns = ref [] in
     List.iteri
       (fun i raw ->
         let lineno = i + 1 in
@@ -196,6 +266,7 @@ let parse text =
             | [] -> fail lineno "at: missing event"
           in
           events := (lineno, time, act) :: !events
+        | "churn" :: opts -> churns := (lineno, parse_churn lineno !mcs opts) :: !churns
         | verb :: _ -> fail lineno "unknown directive %S" verb)
       (String.split_on_char '\n' text);
     let graph =
@@ -218,14 +289,27 @@ let parse text =
             fail lineno "no link (%d, %d) in the graph" u v)
       !events;
     let round = Dgmc.Config.round_length config ~graph in
-    let events =
+    let churn_events =
+      List.concat_map
+        (fun (lineno, d) ->
+          match
+            Churn.generate
+              (Sim.Rng.create d.churn_seed)
+              ~graph
+              (churn_spec ~graph ~config d)
+          with
+          | evs -> evs
+          | exception Invalid_argument m -> fail lineno "%s" m)
+        (List.rev !churns)
+    in
+    let scripted =
       List.rev_map
         (fun (_, (v, rounds), action) ->
           let time = if rounds then v *. round else v in
           { Events.time; action })
         !events
-      |> Events.sort
     in
+    let events = Events.sort (scripted @ churn_events) in
     Ok
       {
         graph;

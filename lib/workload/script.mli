@@ -22,10 +22,16 @@
     at 2r   leave 3 mc=1
     at 3r   linkdown 2 7
     at 4r   linkup 2 7
+
+    # mobility churn: walkers whose attachment point roams, link-fade
+    # waves that always heal ({!Churn}); expands into ordinary events
+    churn mc=1 members=3 moves=4 period=1r waves=2 wave-links=1 wave-period=3r seed=9
     v}
 
     Times with the [r] suffix are multiples of the protocol round
-    ([Tf + Tc]) of the scripted graph and regime. *)
+    ([Tf + Tc]) of the scripted graph and regime; [churn]'s [period],
+    [start] and [wave-period] take the same literals ([period] defaults
+    to [1r], [wave-period] to [period]). *)
 
 type t = {
   graph : Net.Graph.t;
@@ -51,6 +57,37 @@ val faults_of_args :
   line:int -> string list -> (Faults.Plan.spec * int, string) result
 (** Parse a [faults] directive's arguments (e.g. [["drop=0.3"; "seed=7"]])
     into a fault spec and plan seed.  Shared with the linter. *)
+
+type churn_directive = {
+  churn_mc : Dgmc.Mc_id.t;
+  churn_members : int;
+  churn_moves : int;
+  churn_period : float * bool;  (** (value, round-denominated?). *)
+  churn_start : float * bool;
+  churn_waves : int;
+  churn_wave_links : int;
+  churn_wave_period : (float * bool) option;  (** [None]: one [period]. *)
+  churn_seed : int;
+}
+(** A [churn] directive as written — times unresolved, since the round
+    length needs the graph and regime. *)
+
+val churn_allowed_keys : string list
+(** The option keys a [churn] directive accepts. *)
+
+val churn_of_args :
+  line:int ->
+  mcs:Dgmc.Mc_id.t list ->
+  string list ->
+  (churn_directive, string) result
+(** Parse a [churn] directive's [key=value] arguments against the MCs
+    declared so far.  Shared with the linter. *)
+
+val churn_spec :
+  graph:Net.Graph.t -> config:Dgmc.Config.t -> churn_directive -> Churn.spec
+(** Resolve the directive's round-denominated times against the graph
+    and regime.  [Churn.generate] with [Sim.Rng.create churn_seed] then
+    yields exactly the events {!parse} appends. *)
 
 val load : string -> (t, string) result
 (** Read and parse a file. *)

@@ -394,6 +394,135 @@ let test_fuzz_acceptance_case () =
   | Error problems ->
     Alcotest.failf "acceptance case diverged:\n%s" (String.concat "\n" problems)
 
+(* --- guided search: rediscovering the historical bugs --- *)
+
+(* Lengths of the fuzzer's shrunk repros for the two re-injected
+   historical bugs (pinned by the shrinker regressions below); the
+   acceptance bar for backward search is sequences no longer than
+   these. *)
+let fuzzer_shrunk_stale_senders = 8 (* seed 1030, flag_stale_senders=false *)
+
+let fuzzer_shrunk_asymmetric_tree = 2 (* seed 1027, span_secondary_senders=false *)
+
+let stale_senders_config =
+  { Dgmc.Config.atm_lan with flag_stale_senders = false }
+
+let asymmetric_tree_config =
+  { Dgmc.Config.atm_lan with span_secondary_senders = false }
+
+let render_backward b = Format.asprintf "%a" Check.Search.pp_backward b
+
+(* Backward search must rediscover a re-injected historical bug as a
+   minimal fault sequence — pinned exactly, byte-identical at any
+   domain count, and no longer than the fuzzer's shrunk repro. *)
+let backward_rediscovery ~config ~mcs ~expected_lines ~fuzzer_len () =
+  let search domains =
+    Check.Search.backward ~max_len:2 ~domains ~graph:(Net.Topo_gen.ring 4)
+      ~config ~mcs ()
+  in
+  let b = search 1 in
+  (match b.Check.Search.b_found with
+  | None -> Alcotest.fail "backward search did not rediscover the bug"
+  | Some (events, found) ->
+    Alcotest.(check (list string))
+      "pinned minimal fault sequence" expected_lines
+      (Check.Search.event_lines events);
+    Alcotest.(check bool)
+      "no longer than the fuzzer's shrunk repro" true
+      (List.length events <= fuzzer_len);
+    Alcotest.(check bool)
+      "the violation names at least one law" true
+      (found.Check.Search.laws <> []));
+  let r1 = render_backward b in
+  Alcotest.(check string) "domains 2 byte-identical" r1
+    (render_backward (search 2));
+  Alcotest.(check string) "domains 4 byte-identical" r1
+    (render_backward (search 4))
+
+let test_search_rediscovers_stale_senders () =
+  backward_rediscovery ~config:stale_senders_config ~mcs:[ mc1 ]
+    ~expected_lines:
+      [
+        "[0] join switch=0 mc#1(symmetric) (both)";
+        "[1] join switch=1 mc#1(symmetric) (both)";
+      ]
+    ~fuzzer_len:fuzzer_shrunk_stale_senders ()
+
+let test_search_rediscovers_asymmetric_tree () =
+  backward_rediscovery ~config:asymmetric_tree_config
+    ~mcs:[ Dgmc.Mc_id.make Asymmetric 1 ]
+    ~expected_lines:
+      [
+        "[0] join switch=0 mc#1(asymmetric) (sender)";
+        "[1] join switch=1 mc#1(asymmetric) (sender)";
+      ]
+    ~fuzzer_len:fuzzer_shrunk_asymmetric_tree ()
+
+let test_search_forward_is_guided () =
+  (* Best-first with the violation-distance heuristic reaches the
+     stale-senders violation after visiting a fraction of the space the
+     exhaustive checker covers on the fixed variant (1047 states). *)
+  let scenario =
+    base_scenario ~config:stale_senders_config ~setup:[]
+      ~race:[ join 0; join 2 ] ()
+  in
+  let o = Check.Search.forward scenario in
+  (match o.Check.Search.f_found with
+  | None -> Alcotest.fail "guided forward search missed the violation"
+  | Some f ->
+    Alcotest.(check bool) "trace reaches the violating state" true
+      (f.Check.Search.depth > 0));
+  Alcotest.(check bool) "guided: well under the exhaustive state count" true
+    (o.Check.Search.f_states < 200)
+
+(* --- shrinker timing minimisation --- *)
+
+let reinject config case =
+  { case with Check.Fuzz.config =
+      { case.Check.Fuzz.config with
+        Dgmc.Config.flag_stale_senders =
+          config.Dgmc.Config.flag_stale_senders;
+        span_secondary_senders = config.Dgmc.Config.span_secondary_senders;
+      } }
+
+let shrink_regression ~seed ~config ~expected_len =
+  let case = reinject config (Check.Fuzz.case_of_seed seed) in
+  (match Check.Fuzz.run_case case with
+  | Ok _ -> Alcotest.failf "seed %d no longer fails under the bug" seed
+  | Error _ -> ());
+  let shrunk, _runs = Check.Fuzz.shrink case in
+  Alcotest.(check int)
+    (Printf.sprintf "seed %d shrinks to its known minimal length" seed)
+    expected_len (List.length shrunk);
+  (* The timing pass: every surviving event collapses to tick 0 — the
+     failure needs the events, not the gaps the generator drew. *)
+  Alcotest.(check bool) "timing minimised to tick 0" true
+    (List.for_all (fun (e : Workload.Events.t) -> e.time = 0.0) shrunk);
+  let render evs =
+    String.concat "\n"
+      (List.map (fun e -> Format.asprintf "%a" Workload.Events.pp e) evs)
+  in
+  let again, _ = Check.Fuzz.shrink case in
+  Alcotest.(check string) "shrinking is deterministic" (render shrunk)
+    (render again)
+
+let test_shrink_minimises_timing_stale_senders () =
+  (* Seed 1026 stays green even under the bug — random fault schedules
+     miss it, which is exactly why the guided search exists... *)
+  (match
+     Check.Fuzz.run_case (reinject stale_senders_config (Check.Fuzz.case_of_seed 1026))
+   with
+  | Ok _ -> ()
+  | Error ps ->
+    Alcotest.failf "seed 1026 unexpectedly fails: %s" (String.concat "; " ps));
+  (* ...while 1030 trips it, and shrinks — placement and timing both. *)
+  shrink_regression ~seed:1030 ~config:stale_senders_config
+    ~expected_len:fuzzer_shrunk_stale_senders
+
+let test_shrink_minimises_timing_asymmetric_tree () =
+  shrink_regression ~seed:1027 ~config:asymmetric_tree_config
+    ~expected_len:fuzzer_shrunk_asymmetric_tree
+
 (* --- linter unit tests --- *)
 
 let lint_lines text =
@@ -495,6 +624,21 @@ let () =
             `Slow test_fuzz_case_generation_is_deterministic;
           Alcotest.test_case "acceptance: 20 switches, 3 MCs, 30% loss" `Slow
             test_fuzz_acceptance_case;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case
+            "backward rediscovers the stale-senders bug (domains 1/2/4)"
+            `Slow test_search_rediscovers_stale_senders;
+          Alcotest.test_case
+            "backward rediscovers the asymmetric-tree bug (domains 1/2/4)"
+            `Slow test_search_rediscovers_asymmetric_tree;
+          Alcotest.test_case "forward search is guided, not exhaustive"
+            `Quick test_search_forward_is_guided;
+          Alcotest.test_case "shrinker minimises timing (stale-senders)"
+            `Slow test_shrink_minimises_timing_stale_senders;
+          Alcotest.test_case "shrinker minimises timing (asymmetric-tree)"
+            `Slow test_shrink_minimises_timing_asymmetric_tree;
         ] );
       ( "lint",
         [

@@ -557,6 +557,162 @@ let prop_qos_never_oversubscribes =
       done;
       !ok)
 
+(* ------------------------------------------------------------------ *)
+(* Guided-search properties *)
+
+(* Small two-join race scenarios over a handful of tiny topologies —
+   small enough to enumerate the FULL post-race state graph and compare
+   the guided search against ground truth. *)
+let search_graphs =
+  [|
+    ("ring 3", fun () -> Net.Topo_gen.ring 3);
+    ("ring 4", fun () -> Net.Topo_gen.ring 4);
+    ("line 3", fun () -> Net.Topo_gen.line 3);
+    ("line 4", fun () -> Net.Topo_gen.line 4);
+  |]
+
+let search_scenario_of ?(config = Dgmc.Config.atm_lan) (gi, a, b) =
+  let name, make = search_graphs.(gi mod Array.length search_graphs) in
+  let graph = make () in
+  let n = Net.Graph.n_nodes graph in
+  let a = a mod n in
+  let b = if b mod n = a then (a + 1) mod n else b mod n in
+  let join switch = Check.Harness.Join { switch; mc; role = Dgmc.Member.Both } in
+  ( Printf.sprintf "%s joins=%d,%d" name a b,
+    { Check.Explore.graph; config; setup = []; race = [ join a; join b ] } )
+
+let search_case_gen =
+  QCheck2.Gen.(triple (int_range 0 3) (int_range 0 3) (int_range 0 3))
+
+(* Enumerate the whole deduped state graph by replay: returns each
+   distinct state's (digest, heuristic bound, successor digests,
+   distance-to-nearest-terminal). *)
+let enumerate_state_graph scenario =
+  let seen = Hashtbl.create 64 in
+  let states = ref [] in (* (digest, bound, succs) in discovery order *)
+  let queue = Queue.create () in
+  let h0, _ = Check.Explore.build scenario [] in
+  Hashtbl.replace seen (Check.Harness.digest h0) ();
+  Queue.add ([], Check.Harness.digest h0) queue;
+  while not (Queue.is_empty queue) do
+    let prefix, dg = Queue.pop queue in
+    let h, _ = Check.Explore.build scenario prefix in
+    let bound = Check.Harness.pending_count h in
+    let succs =
+      List.map
+        (fun a ->
+          let h', _ = Check.Explore.build scenario (prefix @ [ a ]) in
+          let d' = Check.Harness.digest h' in
+          if not (Hashtbl.mem seen d') then begin
+            Hashtbl.replace seen d' ();
+            Queue.add (prefix @ [ a ], d') queue
+          end;
+          d')
+        (Check.Harness.enabled h)
+    in
+    states := (dg, bound, succs) :: !states
+  done;
+  let states = List.rev !states in
+  (* Exact distance to the nearest terminal: reverse BFS, iterated to a
+     fixed point (the graph is tiny). *)
+  let dist = Hashtbl.create 64 in
+  List.iter
+    (fun (dg, _, succs) -> if succs = [] then Hashtbl.replace dist dg 0)
+    states;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (dg, _, succs) ->
+        List.iter
+          (fun s ->
+            match Hashtbl.find_opt dist s with
+            | None -> ()
+            | Some ds ->
+              let candidate = ds + 1 in
+              let better =
+                match Hashtbl.find_opt dist dg with
+                | None -> true
+                | Some cur -> candidate < cur
+              in
+              if better then begin
+                Hashtbl.replace dist dg candidate;
+                changed := true
+              end)
+          succs)
+      states
+  done;
+  List.map
+    (fun (dg, bound, succs) -> (dg, bound, succs, Hashtbl.find_opt dist dg))
+    states
+
+let prop_search_heuristic_admissible_consistent =
+  QCheck2.Test.make
+    ~name:"search: heuristic is admissible and consistent" ~count:6
+    ~print:(fun c -> fst (search_scenario_of c))
+    search_case_gen
+    (fun c ->
+      let _, scenario = search_scenario_of c in
+      let states = enumerate_state_graph scenario in
+      let bound_of =
+        let tbl = Hashtbl.create 64 in
+        List.iter (fun (dg, b, _, _) -> Hashtbl.replace tbl dg b) states;
+        Hashtbl.find tbl
+      in
+      List.for_all
+        (fun (_, bound, succs, dist) ->
+          (* Admissible: never above the true distance to a terminal
+             (every state of these fault-free scenarios reaches one). *)
+          (match dist with Some d -> bound <= d | None -> false)
+          (* Consistent: dropping by at most one per transition. *)
+          && List.for_all (fun s -> bound <= 1 + bound_of s) succs)
+        states)
+
+let prop_search_finds_iff_explore_finds =
+  (* Digest-dedup soundness: the guided search reports a violation
+     exactly when the exhaustive checker does — deduplication never
+     drops the (only) path into a reachable violating state. *)
+  QCheck2.Test.make
+    ~name:"search: forward agrees with exhaustive exploration" ~count:6
+    ~print:(fun (c, broken) ->
+      Printf.sprintf "%s broken=%b" (fst (search_scenario_of c)) broken)
+    QCheck2.Gen.(pair search_case_gen bool)
+    (fun (c, broken) ->
+      let config =
+        if broken then
+          { Dgmc.Config.atm_lan with Dgmc.Config.flag_stale_senders = false }
+        else Dgmc.Config.atm_lan
+      in
+      let _, scenario = search_scenario_of ~config c in
+      let guided = Check.Search.forward scenario in
+      let exhaustive = Check.Explore.run scenario in
+      (match guided.Check.Search.f_found with
+       | Some _ -> true
+       | None -> false)
+      = (match exhaustive.Check.Explore.violation with
+         | Some _ -> true
+         | None -> false))
+
+let prop_search_domains_identical =
+  QCheck2.Test.make
+    ~name:"search: forward at domains 1/2/4 is byte-identical" ~count:6
+    ~print:(fun (c, broken) ->
+      Printf.sprintf "%s broken=%b" (fst (search_scenario_of c)) broken)
+    QCheck2.Gen.(pair search_case_gen bool)
+    (fun (c, broken) ->
+      let config =
+        if broken then
+          { Dgmc.Config.atm_lan with Dgmc.Config.flag_stale_senders = false }
+        else Dgmc.Config.atm_lan
+      in
+      let _, scenario = search_scenario_of ~config c in
+      let render domains =
+        Format.asprintf "%a" Check.Search.pp_forward
+          (Check.Search.forward ~domains scenario)
+      in
+      let r1 = render 1 in
+      String.equal r1 (render 2) && String.equal r1 (render 4))
+
 let () =
   Alcotest.run "properties"
     [
@@ -599,4 +755,11 @@ let () =
           QCheck_alcotest.to_alcotest prop_dataplane_fifo_order;
         ] );
       ("qos", [ QCheck_alcotest.to_alcotest prop_qos_never_oversubscribes ]);
+      ( "search",
+        [
+          QCheck_alcotest.to_alcotest
+            prop_search_heuristic_admissible_consistent;
+          QCheck_alcotest.to_alcotest prop_search_finds_iff_explore_finds;
+          QCheck_alcotest.to_alcotest prop_search_domains_identical;
+        ] );
     ]
