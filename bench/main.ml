@@ -428,12 +428,14 @@ let micro () =
 
 let usage () =
   prerr_endline
-    "usage: main.exe [SECTION...] [quick] [--domains N] [--json FILE]\n\
+    "usage: main.exe [SECTION...] [quick] [--domains N] [--json FILE] [--csv \
+     FILE]\n\
      sections: fig6 fig7 fig8 compare cbt ablation hierarchy extra micro";
   exit 2
 
 let () =
   let json = ref None in
+  let csv = ref None in
   let rec parse = function
     | [] -> []
     | "quick" :: rest ->
@@ -450,6 +452,10 @@ let () =
       json := Some v;
       parse rest
     | [ "--json" ] -> usage ()
+    | "--csv" :: v :: rest ->
+      csv := Some v;
+      parse rest
+    | [ "--csv" ] -> usage ()
     | a :: rest when String.length a >= 2 && String.sub a 0 2 = "--" -> (
       match String.index_opt a '=' with
       | Some i ->
@@ -472,36 +478,92 @@ let () =
   if want "hierarchy" then hierarchy ();
   if want "extra" then extra ();
   if want "micro" then micro ();
-  (match !json with
-  | None -> ()
-  | Some path ->
-    let meta =
-      {
-        Metrics.Bench.commit = commit ();
-        master_seed;
-        domains = !domains;
-        quick = !quick;
-      }
-    in
-    (* The metrics section: protocol/switch/flood counters from a pinned,
-       fully instrumented probe run (deterministic for the master seed),
-       plus pool.task_* histograms from a parallel batch of the same
-       kernel.  The registry is not domain-safe, so worker tasks run
-       uninstrumented — the pool observes their wall/alloc stats on this
-       domain after the join, and the counter probe runs sequentially. *)
-    let registry = Metrics.Registry.create () in
-    let (_ : Experiments.Harness.run Runner.Pool.timed list), _ =
-      Runner.Pool.map_timed ~domains:!domains ~metrics:registry
-        (fun seed ->
-          Experiments.Harness.bursty_run ~seed ~n:20
-            ~config:Dgmc.Config.atm_lan ~members:10 ())
-        [ 1; 2; 3; 4 ]
-    in
-    ignore
-      (Experiments.Harness.bursty_run ~metrics:registry ~seed:master_seed
-         ~n:20 ~config:Dgmc.Config.atm_lan ~members:10 ());
-    Metrics.Bench.write ~path ~meta
-      ~metrics:(Metrics.Registry.snapshot registry)
-      (List.rev !bench_sections);
-    Printf.printf "bench record written to %s\n" path);
+  (if !json <> None || !csv <> None then begin
+     (* The flight-recorder probe: one pinned, fully instrumented run of
+        the reference kernel (bursty burst on atm_lan, master seed).  All
+        of registry counters, windowed series, trace-derived SLIs ride on
+        simulated time, so they are deterministic for the seed — the
+        bench differ holds them exact.  The phase table is host
+        wall/alloc and informational. *)
+     let registry = Metrics.Registry.create () in
+     (match !json with
+     | None -> ()
+     | Some _ ->
+       (* pool.task_* histograms from a parallel batch; workers record
+          protocol counters through per-domain child registries that the
+          pool merges deterministically at join. *)
+       let (_ : Experiments.Harness.run Runner.Pool.timed list), _ =
+         Runner.Pool.map_registered ~domains:!domains ~metrics:registry
+           (fun ?metrics seed ->
+             Experiments.Harness.bursty_run ?metrics ~seed ~n:20
+               ~config:Dgmc.Config.atm_lan ~members:10 ())
+           [ 1; 2; 3; 4 ]
+       in
+       ());
+     let trace = Sim.Trace.create () in
+     let series = Metrics.Series.create ~bucket:1e-3 ~cap:512 () in
+     let phase = Metrics.Phase.create () in
+     Metrics.Phase.set_ambient phase;
+     ignore
+       (Experiments.Harness.bursty_run ~trace ~metrics:registry ~series
+          ~seed:master_seed ~n:20 ~config:Dgmc.Config.atm_lan ~members:10 ());
+     Metrics.Phase.set_ambient Metrics.Phase.disabled;
+     (* SLI sessionization gap: two protocol rounds of the probe network
+        — long enough to hold one reconfiguration together, short enough
+        to separate the burst from any later event. *)
+     let gap =
+       2.0
+       *. Dgmc.Config.round_length Dgmc.Config.atm_lan
+            ~graph:(Experiments.Harness.graph_for ~seed:master_seed ~n:20)
+     in
+     let sli =
+       Metrics.Sli.summarize ~gap
+         (Report.Run_report.sli_of_trace (Sim.Trace.entries trace))
+     in
+     (match !csv with
+     | None -> ()
+     | Some path ->
+       Metrics.Csv.write ~path
+         ~headers:
+           [
+             "record"; "name"; "switch"; "start_s"; "end_s"; "count"; "sum";
+             "min"; "max"; "last";
+           ]
+         (Metrics.Series.csv_rows series @ Metrics.Sli.csv_rows sli);
+       Printf.printf "telemetry csv written to %s\n" path);
+     match !json with
+     | None -> ()
+     | Some path ->
+       let meta =
+         {
+           Metrics.Bench.commit = commit ();
+           master_seed;
+           domains = !domains;
+           quick = !quick;
+         }
+       in
+       Metrics.Bench.write ~path ~meta
+         ~metrics:(Metrics.Registry.snapshot registry)
+         ~series ~sli ~phase
+         (List.rev !bench_sections);
+       print_string "phase attribution (probe run):\n";
+       Metrics.Table.print
+         ~align:[ Metrics.Table.Left ]
+         ~headers:[ "phase"; "calls"; "wall"; "self"; "minor words" ]
+         (List.map
+            (fun (r : Metrics.Phase.row) ->
+              [
+                r.r_name;
+                string_of_int r.r_calls;
+                (* dgmc-analyze: allow float-format — human-facing table;
+                   the JSON record keeps full precision *)
+                Printf.sprintf "%.3f ms" (1e3 *. r.r_wall_s);
+                (* dgmc-analyze: allow float-format — human-facing table *)
+                Printf.sprintf "%.3f ms" (1e3 *. r.r_self_wall_s);
+                (* dgmc-analyze: allow float-format — human-facing table *)
+                Printf.sprintf "%.0f" r.r_minor_words;
+              ])
+            (Metrics.Phase.snapshot phase));
+       Printf.printf "bench record written to %s\n" path
+   end);
   print_newline ()

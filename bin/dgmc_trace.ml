@@ -62,6 +62,13 @@ let summary (a : Sim.Trace.archive) =
   let entries = a.a_entries in
   Printf.printf "events: %d retained, %d emitted, %d evicted\n"
     (List.length entries) a.a_emitted a.a_dropped;
+  (* Eviction means every figure below understates the run; say so
+     loudly (stderr, so piped summaries still carry the warning). *)
+  if a.a_dropped > 0 then
+    Printf.eprintf
+      "warning: %d event(s) were evicted from the trace ring buffer; counts \
+       below understate the run (raise the trace cap)\n"
+      a.a_dropped;
   (match entries with
   | [] -> ()
   | first :: _ ->

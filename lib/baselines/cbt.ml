@@ -43,7 +43,7 @@ let graft_path t x =
     in
     take [] path
 
-let join t x =
+let join_impl t x =
   if not (Int_set.mem x t.members) then begin
     t.members <- Int_set.add x t.members;
     if Mctree.Tree.mem_node t.tree x then
@@ -56,7 +56,17 @@ let join t x =
     end
   end
 
-let leave t x =
+(* Closure-free phase wrappers; see Net.Dijkstra.run. *)
+let join t x =
+  let ph = Metrics.Phase.ambient () in
+  Metrics.Phase.enter ph "cbt.compute";
+  match join_impl t x with
+  | () -> Metrics.Phase.leave ph
+  | exception e ->
+    Metrics.Phase.leave ph;
+    raise e
+
+let leave_impl t x =
   if Int_set.mem x t.members then begin
     t.members <- Int_set.remove x t.members;
     let before = Mctree.Tree.n_edges t.tree in
@@ -64,6 +74,15 @@ let leave t x =
     (* One prune message per branch link torn down. *)
     t.messages <- t.messages + (before - Mctree.Tree.n_edges t.tree)
   end
+
+let leave t x =
+  let ph = Metrics.Phase.ambient () in
+  Metrics.Phase.enter ph "cbt.compute";
+  match leave_impl t x with
+  | () -> Metrics.Phase.leave ph
+  | exception e ->
+    Metrics.Phase.leave ph;
+    raise e
 
 (* The core anchors the tree as a terminal but is not a member; only
    member switches count as packet recipients. *)

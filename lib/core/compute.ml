@@ -93,7 +93,7 @@ let incremental config kind image members ~self current =
       else scratch config kind image members ~self
     with Failure _ -> scratch config kind image members ~self)
 
-let topology config kind image members ~self ~current =
+let topology_impl config kind image members ~self ~current =
   if Member.is_empty members then begin
     set_last_incremental false;
     Mctree.Tree.empty
@@ -108,3 +108,16 @@ let topology config kind image members ~self ~current =
              && not (Mctree.Tree.Int_set.is_empty (Mctree.Tree.terminals cur)) ->
         incremental config kind image members ~self cur
       | Some _ | None -> scratch config kind image members ~self)
+
+(* Closure-free phase wrapper; see Net.Dijkstra.run.  The tree-kernel
+   phases — mctree and net — appear as child time of [dgmc.compute]. *)
+let topology config kind image members ~self ~current =
+  let ph = Metrics.Phase.ambient () in
+  Metrics.Phase.enter ph "dgmc.compute";
+  match topology_impl config kind image members ~self ~current with
+  | r ->
+    Metrics.Phase.leave ph;
+    r
+  | exception e ->
+    Metrics.Phase.leave ph;
+    raise e

@@ -86,7 +86,8 @@ let flood_link_event t ~from (ev : Lsr.Lsdb.link_event) =
   end
   else Lsr.Flooding.flood t.flooding lsa
 
-let create ~graph ~config ?faults ?(trace = Sim.Trace.disabled) ?metrics () =
+let create ~graph ~config ?faults ?(trace = Sim.Trace.disabled) ?metrics
+    ?(series = Metrics.Series.disabled) () =
   let n = Net.Graph.n_nodes graph in
   if n < 2 then invalid_arg "Protocol.create: need at least 2 switches";
   let engine = Sim.Engine.create () in
@@ -112,8 +113,35 @@ let create ~graph ~config ?faults ?(trace = Sim.Trace.disabled) ?metrics () =
   in
   let flooding =
     Lsr.Flooding.create ~engine ~graph ~t_hop:config.Config.t_hop
-      ~mode:config.Config.flood_mode ?transmit ~trace ?metrics ~deliver ()
+      ~mode:config.Config.flood_mode ?transmit ~trace ?metrics ~series ~deliver
+      ()
   in
+  (* Flight-recorder probe: one engine-level sample per executed event.
+     Installed only when the series is live — the disabled engine path
+     stays a single [None] branch — and it only observes: reading the
+     clock, the calendar length, and per-switch LSDB sizes can neither
+     schedule events nor perturb protocol state, so figure output stays
+     byte-identical with recording on.  LSDB sizes are sampled once per
+     bucket boundary (first event at or past it), not per event. *)
+  if Metrics.Series.enabled series then begin
+    let width = Metrics.Series.bucket_width series in
+    let last_bucket = ref min_int in
+    Sim.Engine.set_probe engine (fun () ->
+        let now = Sim.Engine.now engine in
+        Metrics.Series.add series ~name:"engine.events" ~time:now 1.0;
+        Metrics.Series.add series ~name:"engine.queue_depth" ~time:now
+          (float_of_int (Sim.Engine.pending engine));
+        let bucket = int_of_float (Float.floor (now /. width)) in
+        if bucket <> !last_bucket then begin
+          last_bucket := bucket;
+          Array.iter
+            (fun sw ->
+              Metrics.Series.add series ~switch:(Switch.id sw)
+                ~name:"switch.lsdb_entries" ~time:now
+                (float_of_int (Switch.lsdb_changed_count sw)))
+            switches
+        end)
+  end;
   let net =
     {
       engine;

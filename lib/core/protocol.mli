@@ -45,6 +45,7 @@ val create :
   ?faults:Faults.Plan.t ->
   ?trace:Sim.Trace.t ->
   ?metrics:Metrics.Registry.t ->
+  ?series:Metrics.Series.t ->
   unit ->
   t
 (** Build a network of [Net.Graph.n_nodes graph] switches, each booted
@@ -68,7 +69,16 @@ val create :
     byte-for-byte deterministic.  [metrics] mirrors the counters of
     {!totals} (and the per-switch/flooding/fault internals) into a
     {!Metrics.Registry} under [protocol.*], [switch.*], [flood.*] and
-    [faults.*] names. *)
+    [faults.*] names.
+
+    An enabled [series] turns on the flight recorder: an engine probe
+    samples [engine.events] (executed events per bucket) and
+    [engine.queue_depth] after every event, [switch.lsdb_entries] per
+    switch once per bucket boundary, and the flooding layer contributes
+    [flood.lsas] and [flood.inflight_rtx] (see {!Lsr.Flooding.create}).
+    The probe only observes — the event calendar, protocol state and
+    figure output are byte-identical with recording on or off — and a
+    disabled series leaves the engine probe uninstalled entirely. *)
 
 val engine : t -> Sim.Engine.t
 

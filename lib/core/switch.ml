@@ -26,6 +26,7 @@ type resync_session = {
   mutable rs_completed : int;  (** Deltas applied. *)
   rs_quorum : int;
   mutable rs_deadline : Sim.Engine.handle option;
+  rs_started : float;  (** Simulated start time, for the duration SLI. *)
 }
 
 type t = {
@@ -118,6 +119,11 @@ let emit t ?parent event =
 let metric t name =
   match t.metrics with
   | Some m -> Metrics.Registry.incr m ~switch:t.id name
+  | None -> ()
+
+let metric_observe t name v =
+  match t.metrics with
+  | Some m -> Metrics.Registry.observe m ~switch:t.id name v
   | None -> ()
 
 let mc_str mc = Format.asprintf "%a" Mc_id.pp mc
@@ -782,6 +788,8 @@ let finish_resync t ~reason =
     metric t
       (if s.rs_completed >= s.rs_quorum then "switch.resyncs_completed"
        else "switch.resyncs_degraded");
+    metric_observe t "switch.resync_duration_s"
+      (Sim.Engine.now t.engine -. s.rs_started);
     (* Replay LSAs that arrived during the exchange, in arrival order.
        [resync_session] is already [None], so replay goes through the
        normal machinery and may start computations. *)
@@ -828,7 +836,7 @@ let resync_transport_failed t ~peer =
       if s.rs_outstanding = [] then finish_resync t ~reason:"exhausted"
     end
 
-let begin_resync t =
+let begin_resync_impl t =
   (* A second crash window can close while an earlier session is still in
      flight; the fresh recovery supersedes it (deferred LSAs survive the
      restart — the queue belongs to the switch, not the session). *)
@@ -859,6 +867,7 @@ let begin_resync t =
         rs_completed = 0;
         rs_quorum = quorum;
         rs_deadline = None;
+        rs_started = Sim.Engine.now t.engine;
       }
     in
     (* Install the session before sending: under the model-checking
@@ -883,6 +892,15 @@ let begin_resync t =
             metric t "switch.resync_summaries_sent";
             t.send_resync ~peer:nb summary))
       neighbors
+
+let begin_resync t =
+  let ph = Metrics.Phase.ambient () in
+  Metrics.Phase.enter ph "dgmc.resync";
+  match begin_resync_impl t with
+  | () -> Metrics.Phase.leave ph
+  | exception e ->
+    Metrics.Phase.leave ph;
+    raise e
 
 (* Apply one exported MC state from a delta.  Mirrors the pairwise
    [resync] phase 2, except re-proposal is deferred to [finish_resync]
@@ -1002,7 +1020,7 @@ let answer_summary t ~session ~peer (sum_links : Lsr.Lsdb.link_event list)
   metric t "switch.resync_deltas_sent";
   t.send_resync ~peer (Resync.Delta { session; origin = t.id; links; mcs })
 
-let receive_resync t msg =
+let receive_resync_impl t msg =
   match msg with
   | Resync.Summary { session; origin = peer; links; mcs } ->
     metric t "switch.resync_summaries_received";
@@ -1040,10 +1058,21 @@ let receive_resync t msg =
       tracef t "resync" "sw%d drops stale resync delta from sw%d" t.id peer;
       metric t "switch.resync_stale_deltas")
 
+let receive_resync t msg =
+  let ph = Metrics.Phase.ambient () in
+  Metrics.Phase.enter ph "dgmc.resync";
+  match receive_resync_impl t msg with
+  | () -> Metrics.Phase.leave ph
+  | exception e ->
+    Metrics.Phase.leave ph;
+    raise e
+
 (* ------------------------------------------------------------------ *)
 (* Introspection *)
 
 let lsdb_entries t = Lsr.Lsdb.entries t.lsdb
+
+let lsdb_changed_count t = Lsr.Lsdb.changed_count t.lsdb
 
 let mc_ids t =
   Mc_table.fold (fun mc _ acc -> mc :: acc) t.mcs []

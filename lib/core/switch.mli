@@ -60,6 +60,10 @@ val lsdb_entries : t -> Lsr.Lsdb.link_event list
     version knowledge behind [image], which up/down flags alone do not
     capture (the model checker hashes it; resynchronisation ships it). *)
 
+val lsdb_changed_count : t -> int
+(** [List.length (lsdb_entries t)] in O(1) without allocation — the
+    per-switch LSDB-size figure the flight recorder samples. *)
+
 val set_flood : t -> (Mc_lsa.t -> unit) -> unit
 (** Install the flooding callback.  Must be called before any event. *)
 

@@ -27,9 +27,9 @@ let measure net mcs =
     converged = List.for_all (Dgmc.Protocol.converged net) mcs;
   }
 
-let bursty_run ?trace ?metrics ~seed ~n ~config ~members () =
+let bursty_run ?trace ?metrics ?series ~seed ~n ~config ~members () =
   let graph = graph_for ~seed ~n in
-  let net = Dgmc.Protocol.create ~graph ~config ?trace ?metrics () in
+  let net = Dgmc.Protocol.create ~graph ~config ?trace ?metrics ?series () in
   let mc = Dgmc.Mc_id.make Dgmc.Mc_id.Symmetric 1 in
   let rng = Sim.Rng.create (seed lxor 0x5bd1e995) in
   let window =
@@ -41,9 +41,9 @@ let bursty_run ?trace ?metrics ~seed ~n ~config ~members () =
   Dgmc.Protocol.run net;
   measure net [ mc ]
 
-let poisson_run ?trace ?metrics ~seed ~n ~config ~events ~gap_rounds () =
+let poisson_run ?trace ?metrics ?series ~seed ~n ~config ~events ~gap_rounds () =
   let graph = graph_for ~seed ~n in
-  let net = Dgmc.Protocol.create ~graph ~config ?trace ?metrics () in
+  let net = Dgmc.Protocol.create ~graph ~config ?trace ?metrics ?series () in
   let mc = Dgmc.Mc_id.make Dgmc.Mc_id.Symmetric 1 in
   let rng = Sim.Rng.create (seed lxor 0x2545f491) in
   (* Establish a 5-member MC first; that setup is not measured. *)

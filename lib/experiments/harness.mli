@@ -26,6 +26,7 @@ val graph_for : seed:int -> n:int -> Net.Graph.t
 val bursty_run :
   ?trace:Sim.Trace.t ->
   ?metrics:Metrics.Registry.t ->
+  ?series:Metrics.Series.t ->
   seed:int ->
   n:int ->
   config:Dgmc.Config.t ->
@@ -34,12 +35,13 @@ val bursty_run :
   run
 (** Experiments 1 and 2: [members] switches join a fresh symmetric MC
     within one flooding-diameter window — the conflicting-burst regime.
-    [trace]/[metrics] are forwarded to {!Dgmc.Protocol.create} for
-    observability; they never change the measured run. *)
+    [trace]/[metrics]/[series] are forwarded to {!Dgmc.Protocol.create}
+    for observability; they never change the measured run. *)
 
 val poisson_run :
   ?trace:Sim.Trace.t ->
   ?metrics:Metrics.Registry.t ->
+  ?series:Metrics.Series.t ->
   seed:int ->
   n:int ->
   config:Dgmc.Config.t ->

@@ -27,6 +27,7 @@ type 'a t = {
   deliver : switch:int -> 'a Lsa.t -> unit;
   trace : Sim.Trace.t;
   metrics : Metrics.Registry.t option;
+  series : Metrics.Series.t;
   seen : (int * int, unit) Hashtbl.t array;
       (** Per switch: (origin, seq) pairs already received. *)
   pending : (int * int * (int * int), rtx) Hashtbl.t;
@@ -42,7 +43,8 @@ let default_transmit ~src:_ ~dst:_ ~base_delay = [ base_delay ]
 
 let create ~engine ~graph ~t_hop ?(mode = Hop_by_hop)
     ?(reliability = default_reliability) ?(transmit = default_transmit)
-    ?(trace = Sim.Trace.disabled) ?metrics ~deliver () =
+    ?(trace = Sim.Trace.disabled) ?metrics
+    ?(series = Metrics.Series.disabled) ~deliver () =
   if t_hop <= 0.0 then invalid_arg "Flooding.create: t_hop must be positive";
   if reliability.rto <= 2.0 then
     invalid_arg
@@ -61,6 +63,7 @@ let create ~engine ~graph ~t_hop ?(mode = Hop_by_hop)
     deliver;
     trace;
     metrics;
+    series;
     seen = Array.init (Net.Graph.n_nodes graph) (fun _ -> Hashtbl.create 64);
     pending = Hashtbl.create 64;
     floods = 0;
@@ -94,7 +97,19 @@ let transmit_copies t ~src ~dst k =
    forward's trace id (-1 untraced).  [k fid] runs per copy that arrives
    over a live link; fault losses and mid-flight link failures leave
    [Lsa_dropped] children on the forward event instead. *)
+(* Flight-recorder sampling.  Both sites are guarded on [Series.enabled]
+   at the call site — the guard is one field read, and the float
+   arguments ([now t], the pending count) would otherwise box even when
+   recording is off. *)
+let record_lsa t =
+  Metrics.Series.add t.series ~name:"flood.lsas" ~time:(now t) 1.0
+
+let record_inflight t =
+  Metrics.Series.add t.series ~name:"flood.inflight_rtx" ~time:(now t)
+    (float_of_int (Hashtbl.length t.pending))
+
 let send_data t ~src ~dst ~retransmit ~parent lsa k =
+  if Metrics.Series.enabled t.series then record_lsa t;
   let origin = lsa.Lsa.origin and seq = lsa.Lsa.seq in
   let fid =
     if traced t then
@@ -172,6 +187,7 @@ let rec arm_retransmit t key lsa rtx ~arrive ~on_giveup =
            if Hashtbl.mem t.pending key then
              if rtx.tries >= t.rel.max_retries then begin
                Hashtbl.remove t.pending key;
+               if Metrics.Series.enabled t.series then record_inflight t;
                t.abandoned <- t.abandoned + 1;
                bump t ~switch:src "flood.abandoned";
                if traced t then
@@ -214,6 +230,7 @@ and start_reliable t ~src ~dst ~parent ~arrive ~on_giveup lsa =
       }
     in
     Hashtbl.add t.pending key rtx;
+    if Metrics.Series.enabled t.series then record_inflight t;
     arm_retransmit t key lsa rtx ~arrive ~on_giveup
   end
 
@@ -231,7 +248,8 @@ and ack_received t key =
   match Hashtbl.find_opt t.pending key with
   | Some rtx ->
     Option.iter Sim.Engine.cancel rtx.rtx_handle;
-    Hashtbl.remove t.pending key
+    Hashtbl.remove t.pending key;
+    if Metrics.Series.enabled t.series then record_inflight t
   | None -> ()  (* late duplicate ack, or the sender already gave up *)
 
 and receive_reliable t lsa ~at:switch ~from ~fid =
@@ -281,7 +299,7 @@ let send t ~src ~dst ?(on_giveup = fun () -> ()) lsa =
       (send_data t ~src ~dst ~retransmit:false ~parent lsa (fun fid ->
            deliver_traced t lsa ~switch:dst ~source:src ~fid (fun _ -> ())))
 
-let flood t lsa =
+let flood_impl t lsa =
   t.floods <- t.floods + 1;
   let origin = lsa.Lsa.origin in
   bump t ~switch:origin "flood.floods";
@@ -320,6 +338,15 @@ let flood t lsa =
                    (fun _ -> ())))
         end)
       hops
+
+let flood t lsa =
+  let ph = Metrics.Phase.ambient () in
+  Metrics.Phase.enter ph "flood.dispatch";
+  match flood_impl t lsa with
+  | () -> Metrics.Phase.leave ph
+  | exception e ->
+    Metrics.Phase.leave ph;
+    raise e
 
 let floods_started t = t.floods
 

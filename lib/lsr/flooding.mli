@@ -68,6 +68,7 @@ val create :
   ?transmit:transmit ->
   ?trace:Sim.Trace.t ->
   ?metrics:Metrics.Registry.t ->
+  ?series:Metrics.Series.t ->
   deliver:(switch:int -> 'a Lsa.t -> unit) ->
   unit ->
   'a t
@@ -84,7 +85,16 @@ val create :
     the origination event) roots the tree; [deliver] runs under the
     delivery's context so protocol reactions chain on.  With [metrics],
     the per-instance counters are mirrored into [flood.*] counters
-    labelled by the sending switch. *)
+    labelled by the sending switch.
+
+    With an enabled [series], the flight recorder samples two windowed
+    time-series in simulated time: [flood.lsas] (one point per data
+    transmission, retransmissions included — bucket counts give LSAs per
+    tick) and [flood.inflight_rtx] (the reliable-mode in-flight
+    retransmit-table size, sampled at every arm/ack/abandon transition —
+    bucket [last] gives the depth profile).  All recording sites are
+    guarded on [Metrics.Series.enabled], so a disabled series costs one
+    field read per site and allocates nothing. *)
 
 val flood : 'a t -> 'a Lsa.t -> unit
 (** Start flooding from the LSA's origin at the current simulated time.

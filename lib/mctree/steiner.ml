@@ -28,7 +28,7 @@ let closure g tarray =
   done;
   (sssp, matrix)
 
-let kmb g terminals =
+let kmb_impl g terminals =
   let terminals = check_terminals g terminals in
   match terminals with
   | [ only ] -> Tree.of_terminals [ only ]
@@ -61,7 +61,20 @@ let kmb g terminals =
     in
     Tree.prune tree
 
-let sph g terminals =
+(* Closure-free phase wrappers; see Net.Dijkstra.run.  Dijkstra and MST
+   work inside shows up as child time of these phases. *)
+let kmb g terminals =
+  let ph = Metrics.Phase.ambient () in
+  Metrics.Phase.enter ph "mctree.kmb";
+  match kmb_impl g terminals with
+  | r ->
+    Metrics.Phase.leave ph;
+    r
+  | exception e ->
+    Metrics.Phase.leave ph;
+    raise e
+
+let sph_impl g terminals =
   let terminals = check_terminals g terminals in
   match terminals with
   | [] -> assert false (* check_terminals rejects the empty set *)
@@ -97,6 +110,17 @@ let sph g terminals =
         remaining := List.filter (fun x -> x <> t) !remaining
     done;
     Tree.prune !tree
+
+let sph g terminals =
+  let ph = Metrics.Phase.ambient () in
+  Metrics.Phase.enter ph "mctree.sph";
+  match sph_impl g terminals with
+  | r ->
+    Metrics.Phase.leave ph;
+    r
+  | exception e ->
+    Metrics.Phase.leave ph;
+    raise e
 
 let lower_bound g terminals =
   let terminals = check_terminals g terminals in

@@ -20,30 +20,11 @@ type meta = {
   quick : bool;
 }
 
-let escape s =
-  let b = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+let escape = Jsonf.escape
 
 (* Round-trip float rendering: dgmc-bench/1 is machine-diffed, so wall
    times must survive print → parse exactly. *)
-let num f =
-  if Float.is_integer f && Float.abs f < 1e15 then
-    (* dgmc-analyze: allow float-format — %.0f on an exactly-integral float
-       below 2^53 round-trips *)
-    Printf.sprintf "%.0f" f
-  else if Float.is_finite f then Printf.sprintf "%.17g" f
-  else "0"
+let num = Jsonf.num
 
 let speedup ~seq ~elapsed = if elapsed > 0.0 then seq /. elapsed else 1.0
 
@@ -68,15 +49,22 @@ let section_json s =
     (num (speedup ~seq:s.seq_estimate_s ~elapsed:s.elapsed_s))
     s.domains cells
 
-let to_string ~meta ?metrics sections =
+let to_string ~meta ?metrics ?series ?sli ?phase sections =
   let elapsed = List.fold_left (fun a s -> a +. s.elapsed_s) 0.0 sections in
   let seq = List.fold_left (fun a s -> a +. s.seq_estimate_s) 0.0 sections in
-  let metrics_field =
-    match metrics with
+  let field name body = Printf.sprintf "  \"%s\": %s,\n" name body in
+  let opt_field name render = function
     | None -> ""
-    | Some snap ->
-      Printf.sprintf "  \"metrics\": %s,\n" (Registry.snapshot_json snap)
+    | Some v -> field name (render v)
   in
+  let metrics_field = opt_field "metrics" Registry.snapshot_json metrics in
+  (* Telemetry sections of the flight recorder: windowed series and SLI
+     windows are simulation-time data (byte-identical for a fixed seed at
+     any --domains); the phase table is host wall/alloc attribution and
+     varies run to run by nature. *)
+  let series_field = opt_field "series" Series.to_json series in
+  let sli_field = opt_field "sli" Sli.to_json sli in
+  let phase_field = opt_field "phase" Phase.to_json phase in
   Printf.sprintf
     {|{
   "schema": "dgmc-bench/1",
@@ -87,7 +75,7 @@ let to_string ~meta ?metrics sections =
   "elapsed_s": %s,
   "seq_estimate_s": %s,
   "speedup_vs_sequential": %s,
-%s  "figures": [
+%s%s%s%s  "figures": [
 %s
   ]
 }
@@ -95,11 +83,12 @@ let to_string ~meta ?metrics sections =
     (escape meta.commit) meta.master_seed meta.domains meta.quick (num elapsed)
     (num seq)
     (num (speedup ~seq ~elapsed))
-    metrics_field
+    metrics_field series_field sli_field phase_field
     (String.concat ",\n" (List.map section_json sections))
 
-let write ~path ~meta ?metrics sections =
+let write ~path ~meta ?metrics ?series ?sli ?phase sections =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string ~meta ?metrics sections))
+    (fun () ->
+      output_string oc (to_string ~meta ?metrics ?series ?sli ?phase sections))

@@ -1,0 +1,27 @@
+(* Shared JSON fragment rendering for the machine-diffed outputs of this
+   library (dgmc-bench/1 and the telemetry sections embedded in it).
+   Mirrors Sim.Json.number/escape; Metrics deliberately has no dependency
+   on Sim. *)
+
+let num f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    (* dgmc-analyze: allow float-format — %.0f on an exactly-integral float
+       below 2^53 round-trips *)
+    Printf.sprintf "%.0f" f
+  else if Float.is_finite f then Printf.sprintf "%.17g" f
+  else "0"
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b

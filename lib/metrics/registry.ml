@@ -215,21 +215,73 @@ let snapshot t =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Merging *)
+
+(* Fold a quiescent source registry into [into]: counters add, histograms
+   merge bucket-exactly (bucket counts, n, sum and nonpos add; lo/hi take
+   min/max), and gauges combine by [Float.max] — the only order-free
+   choice short of keeping every sample.  Counter and histogram merges
+   are commutative and associative, so merging per-worker registries in
+   worker-slot order yields the same totals whatever the work-stealing
+   schedule was; iteration over the source is sorted so even error
+   surfacing (kind mismatches) is stable. *)
+let merge ~into src =
+  check_owner into;
+  let cells =
+    Hashtbl.fold (fun key cell acc -> (key, cell) :: acc) src.cells []
+    |> List.sort (fun (a, _) (b, _) -> compare_key a b)
+  in
+  List.iter
+    (fun (k, c) ->
+      match c with
+      | Counter r -> incr into ?switch:k.switch ~by:!r k.name
+      | Gauge r ->
+        let v =
+          match gauge_value into ?switch:k.switch k.name with
+          | Some old -> Float.max old !r
+          | None -> !r
+        in
+        set_gauge into ?switch:k.switch k.name v
+      | Hist h -> (
+        match
+          cell_of into ?switch:k.switch k.name
+            ~make:(fun () ->
+              Hist
+                {
+                  h_n = 0;
+                  h_sum = 0.0;
+                  h_lo = Float.infinity;
+                  h_hi = Float.neg_infinity;
+                  nonpos = 0;
+                  buckets = Hashtbl.create 16;
+                })
+            ~check:(function
+              | Hist _ -> () | c -> wrong_kind k.name "histogram" c)
+        with
+        | Hist dst ->
+          dst.h_n <- dst.h_n + h.h_n;
+          dst.h_sum <- dst.h_sum +. h.h_sum;
+          if h.h_lo < dst.h_lo then dst.h_lo <- h.h_lo;
+          if h.h_hi > dst.h_hi then dst.h_hi <- h.h_hi;
+          dst.nonpos <- dst.nonpos + h.nonpos;
+          Hashtbl.fold (fun b r acc -> (b, !r) :: acc) h.buckets []
+          |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+          |> List.iter (fun (b, n) ->
+                 match Hashtbl.find_opt dst.buckets b with
+                 | Some r -> r := !r + n
+                 | None -> Hashtbl.replace dst.buckets b (ref n))
+        | _ -> assert false))
+    cells
+
+(* ------------------------------------------------------------------ *)
 (* Rendering *)
 
 (* dgmc-analyze: allow float-format — console rendering only; JSON goes
    through [json_num] below *)
 let num f = if Float.is_finite f then Printf.sprintf "%.6g" f else "0"
 
-(* Round-trip float rendering for the JSON snapshot (mirrors
-   Sim.Json.number; Metrics deliberately has no dependency on Sim). *)
-let json_num f =
-  if Float.is_integer f && Float.abs f < 1e15 then
-    (* dgmc-analyze: allow float-format — %.0f on an exactly-integral float
-       below 2^53 round-trips *)
-    Printf.sprintf "%.0f" f
-  else if Float.is_finite f then Printf.sprintf "%.17g" f
-  else "0"
+(* Round-trip float rendering for the JSON snapshot. *)
+let json_num = Jsonf.num
 
 let key_json k =
   Printf.sprintf {|"name": "%s", "switch": %s|} k.name

@@ -59,6 +59,23 @@ val quantile : t -> ?switch:int -> string -> float -> float option
 (** [quantile t name q] for [q] in [\[0, 1\]]; [None] when the histogram
     is missing or empty. *)
 
+(** {2 Merging} *)
+
+val merge : into:t -> t -> unit
+(** [merge ~into src] folds every cell of [src] into [into]: counters
+    add, histograms merge bucket-exactly (counts/sums add, min/max take
+    the extremes), and gauges combine by [Float.max].  Counter and
+    histogram merges are commutative and associative, so per-worker
+    registries merged in worker-slot order yield deterministic totals
+    whatever the scheduling was (gauges are deterministic only when at
+    most one side set them, or under the max interpretation).
+
+    [into] must be owned by the calling domain ([Invalid_argument]
+    otherwise, as for any mutation); [src] must be quiescent — its owner
+    domain joined, as [Runner.Pool] guarantees before merging worker
+    registries.  A name carrying different cell kinds in the two
+    registries raises [Invalid_argument]. *)
+
 (** {2 Snapshots and rendering} *)
 
 type key = { name : string; switch : int option }

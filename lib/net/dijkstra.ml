@@ -1,6 +1,6 @@
 type result = { dist : float array; pred : int option array }
 
-let run g src =
+let run_impl g src =
   let n = Graph.n_nodes g in
   let dist = Array.make n infinity in
   let pred = Array.make n None in
@@ -28,6 +28,20 @@ let run g src =
   in
   loop ();
   { dist; pred }
+
+(* Phase attribution reads the ambient recorder; the wrapper is written
+   out (no closure) so a disabled recorder costs two branches and zero
+   allocation per call. *)
+let run g src =
+  let ph = Metrics.Phase.ambient () in
+  Metrics.Phase.enter ph "net.dijkstra";
+  match run_impl g src with
+  | r ->
+    Metrics.Phase.leave ph;
+    r
+  | exception e ->
+    Metrics.Phase.leave ph;
+    raise e
 
 let distance g src dst = (run g src).dist.(dst)
 

@@ -8,11 +8,23 @@ let sorted_edges edges =
       | c -> c)
     edges
 
-let kruskal g =
+let kruskal_impl g =
   let uf = Union_find.create (Graph.n_nodes g) in
   List.filter
     (fun (e : Graph.edge) -> Union_find.union uf e.u e.v)
     (sorted_edges (Graph.edges g))
+
+(* Closure-free phase wrapper; see Dijkstra.run. *)
+let kruskal g =
+  let ph = Metrics.Phase.ambient () in
+  Metrics.Phase.enter ph "net.mst";
+  match kruskal_impl g with
+  | r ->
+    Metrics.Phase.leave ph;
+    r
+  | exception e ->
+    Metrics.Phase.leave ph;
+    raise e
 
 let cost edges =
   List.fold_left (fun acc (e : Graph.edge) -> acc +. e.weight) 0.0 edges
@@ -25,7 +37,7 @@ let spans g edges =
   List.iter (fun (e : Graph.edge) -> ignore (Union_find.union uf e.u e.v)) edges;
   Union_find.n_sets uf = 1
 
-let mst_of_matrix m =
+let mst_of_matrix_impl m =
   let n = Array.length m in
   let edges = ref [] in
   for u = 0 to n - 1 do
@@ -39,3 +51,14 @@ let mst_of_matrix m =
     (fun (e : Graph.edge) ->
       if Union_find.union uf e.u e.v then Some (e.u, e.v, e.weight) else None)
     (sorted_edges !edges)
+
+let mst_of_matrix m =
+  let ph = Metrics.Phase.ambient () in
+  Metrics.Phase.enter ph "net.mst";
+  match mst_of_matrix_impl m with
+  | r ->
+    Metrics.Phase.leave ph;
+    r
+  | exception e ->
+    Metrics.Phase.leave ph;
+    raise e

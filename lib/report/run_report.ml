@@ -1,0 +1,219 @@
+(* The trace → SLI adapter and the human/machine run report.
+
+   This module owns the one piece of protocol knowledge the SLI layer
+   deliberately does not have: which trace events anchor, cost, and
+   close a reconfiguration window (Metrics.Sli is trace-agnostic). *)
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* Reduce a causal trace to SLI observations.
+
+   - Anchors are the local membership/link events: a [Compute_started]
+     whose trigger is ["event:<ev>"] (switches tag local triggers that
+     way; remote ones read ["receive-lsa"]), and the matching non-proposal
+     MC-LSA origination that announces the event to the network.
+   - Control cost is every MC-LSA origination plus every per-link copy of
+     one ([Lsa_forwarded], retransmissions included).  Forwards carry
+     only (origin, seq), so originations are indexed as they pass — a
+     forward always trails its origination in emission order.
+   - Installs close windows ([Topology_installed]). *)
+let sli_of_trace entries =
+  let mc_of = Hashtbl.create 256 in
+  let obs = ref [] in
+  let push o = obs := o :: !obs in
+  List.iter
+    (fun (e : Sim.Trace.entry) ->
+      let time = e.time in
+      match e.event with
+      | Lsa_originated { switch; mc; seq; ev; proposal; _ } when mc <> "" ->
+        Hashtbl.replace mc_of (switch, seq) mc;
+        if (not proposal) && ev <> "none" then
+          push (Metrics.Sli.anchor ~mc ~time);
+        push (Metrics.Sli.control ~mc ~time)
+      | Compute_started { mc; trigger; _ }
+        when mc <> "" && starts_with ~prefix:"event:" trigger ->
+        push (Metrics.Sli.anchor ~mc ~time)
+      | Lsa_forwarded { origin; seq; _ } -> (
+        match Hashtbl.find_opt mc_of (origin, seq) with
+        | Some mc -> push (Metrics.Sli.control ~mc ~time)
+        | None -> ())
+      | Topology_installed { mc; _ } when mc <> "" ->
+        push (Metrics.Sli.install ~mc ~time)
+      | _ -> ())
+    entries;
+  List.rev !obs
+
+let span entries =
+  match entries with
+  | [] -> 0.0
+  | (first : Sim.Trace.entry) :: _ ->
+    let last = List.fold_left (fun _ (e : Sim.Trace.entry) -> e.time) first.time entries in
+    last -. first.time
+
+(* With no better knowledge of the workload, call gaps longer than 1/20
+   of the run separate reconfigurations; degenerate spans fall back to
+   one simulated second. *)
+let default_gap entries =
+  let s = span entries /. 20.0 in
+  if s > 0.0 then s else 1.0
+
+(* ------------------------------------------------------------------ *)
+(* Rendering helpers *)
+
+(* dgmc-analyze: allow float-format — human-facing report rendering; the
+   JSON form uses round-trip rendering *)
+let num f = if Float.is_finite f then Printf.sprintf "%.6g" f else "nan"
+
+let category_counts entries =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Sim.Trace.entry) ->
+      let c = Sim.Trace.category e.event in
+      Hashtbl.replace tbl c (1 + Option.value ~default:0 (Hashtbl.find_opt tbl c)))
+    entries;
+  Hashtbl.fold (fun c n acc -> (c, n) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let dropped_note (a : Sim.Trace.archive) =
+  Printf.sprintf
+    "%d event(s) were evicted from the trace ring buffer; counts and SLI \
+     windows below understate the run (raise the trace cap)"
+    a.a_dropped
+
+let phase_table_of_bench bench =
+  let open Sim.Json in
+  match Option.bind (member "phase" bench) (member "phases") with
+  | Some (Arr rows) when rows <> [] ->
+    let b = Buffer.create 512 in
+    Buffer.add_string b
+      "| phase | calls | wall s | self wall s | minor words | self minor |\n";
+    Buffer.add_string b "|---|---:|---:|---:|---:|---:|\n";
+    List.iter
+      (fun row ->
+        let str k = Option.bind (member k row) to_string in
+        let fl k = Option.bind (member k row) to_float in
+        let cell = function Some f -> num f | None -> "-" in
+        Buffer.add_string b
+          (Printf.sprintf "| %s | %s | %s | %s | %s | %s |\n"
+             (Option.value ~default:"?" (str "phase"))
+             (cell (fl "calls"))
+             (cell (fl "wall_s"))
+             (cell (fl "self_wall_s"))
+             (cell (fl "minor_words"))
+             (cell (fl "self_minor_words"))))
+      rows;
+    Some (Buffer.contents b)
+  | _ -> None
+
+let dist_row label (d : Metrics.Sli.dist) =
+  Printf.sprintf "| %s | %d | %s | %s | %s | %s | %s |\n" label d.d_count
+    (num d.d_mean) (num d.d_p50) (num d.d_p90) (num d.d_p99) (num d.d_max)
+
+let markdown ?bench ~gap (a : Sim.Trace.archive) =
+  let b = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let entries = a.a_entries in
+  out "# D-GMC run report\n\n";
+  out "## Trace\n\n";
+  out "- events: %d retained, %d emitted, %d evicted\n" (List.length entries)
+    a.a_emitted a.a_dropped;
+  if a.a_dropped > 0 then out "- **warning**: %s\n" (dropped_note a);
+  out "- simulated span: %s s\n\n" (num (span entries));
+  if entries <> [] then begin
+    out "| category | events |\n|---|---:|\n";
+    List.iter (fun (c, n) -> out "| %s | %d |\n" c n) (category_counts entries);
+    out "\n"
+  end;
+  let summary = Metrics.Sli.summarize ~gap (sli_of_trace entries) in
+  out "## Reconfiguration SLIs (gap = %s s)\n\n" (num gap);
+  out "- windows: %d (%d unconverged)\n\n"
+    (List.length summary.s_windows)
+    summary.s_unconverged;
+  if summary.s_windows <> [] then begin
+    out "| figure | n | mean | p50 | p90 | p99 | max |\n";
+    out "|---|---:|---:|---:|---:|---:|---:|\n";
+    Buffer.add_string b (dist_row "convergence latency (s)" summary.s_latency);
+    Buffer.add_string b (dist_row "control messages" summary.s_control);
+    out "\n| mc | start s | end s | latency s | anchors | installs | control |\n";
+    out "|---|---:|---:|---:|---:|---:|---:|\n";
+    List.iter
+      (fun (w : Metrics.Sli.window) ->
+        out "| %s | %s | %s | %s | %d | %d | %d |\n" w.w_mc (num w.w_start)
+          (num w.w_end)
+          (num (Metrics.Sli.latency w))
+          w.w_anchors w.w_installs w.w_control)
+      summary.s_windows;
+    out "\n"
+  end;
+  (match Option.bind bench phase_table_of_bench with
+  | Some table ->
+    out "## Phase attribution (bench)\n\n";
+    Buffer.add_string b table;
+    out "\n"
+  | None -> ());
+  Buffer.contents b
+
+let render_json j =
+  let b = Buffer.create 1024 in
+  let rec go j =
+    match (j : Sim.Json.t) with
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (string_of_bool v)
+    | Num f -> Buffer.add_string b (Sim.Json.number f)
+    | Str s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (Sim.Json.escape s);
+      Buffer.add_char b '"'
+    | Arr xs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_string b ", ";
+          go x)
+        xs;
+      Buffer.add_char b ']'
+    | Obj kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string b ", ";
+          Buffer.add_char b '"';
+          Buffer.add_string b (Sim.Json.escape k);
+          Buffer.add_string b "\": ";
+          go v)
+        kvs;
+      Buffer.add_char b '}'
+  in
+  go j;
+  Buffer.contents b
+
+let json ?bench ~gap (a : Sim.Trace.archive) =
+  let entries = a.a_entries in
+  let summary = Metrics.Sli.summarize ~gap (sli_of_trace entries) in
+  let note =
+    if a.a_dropped > 0 then
+      Printf.sprintf ",\n    \"note\": \"%s\"" (Metrics.Jsonf.escape (dropped_note a))
+    else ""
+  in
+  let bench_field =
+    match bench with
+    | Some (Sim.Json.Obj _ as b) -> render_json b
+    | Some _ | None -> "null"
+  in
+  Printf.sprintf
+    {|{
+  "schema": "dgmc-report/1",
+  "trace": {
+    "emitted": %d,
+    "retained": %d,
+    "dropped": %d%s
+  },
+  "sli": %s,
+  "bench": %s
+}
+|}
+    a.a_emitted (List.length entries) a.a_dropped note
+    (Metrics.Sli.to_json summary)
+    bench_field

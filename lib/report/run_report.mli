@@ -1,0 +1,42 @@
+(** Run reports: trace → SLI reduction and markdown/JSON rendering.
+
+    This module holds the protocol-specific adapter that
+    {!Metrics.Sli} deliberately lacks: which [dgmc-trace/1] events
+    anchor a reconfiguration window (local membership/link events),
+    which count as control cost (MC-LSA originations and their per-link
+    forwards, retransmissions included), and which close it (topology
+    installs).  On top of it, {!markdown} and {!json} render a full run
+    report from a trace archive, optionally embedding a [dgmc-bench/1]
+    document's phase-attribution table. *)
+
+val sli_of_trace : Sim.Trace.entry list -> Metrics.Sli.obs list
+(** Reduce trace entries (oldest first, as {!Sim.Trace.entries} and
+    archives yield them) to SLI observations in the same order.
+    Anchors: [Compute_started] with an ["event:"]-prefixed trigger, and
+    non-proposal MC-LSA originations announcing an event.  Control: MC
+    originations plus every [Lsa_forwarded] copy of one.  Installs:
+    [Topology_installed]. *)
+
+val default_gap : Sim.Trace.entry list -> float
+(** Sessionization gap when the caller has none: 1/20 of the trace's
+    simulated span, or [1.0] when the span is degenerate. *)
+
+val span : Sim.Trace.entry list -> float
+(** Simulated time covered: last entry time minus first, [0.] when
+    empty. *)
+
+val render_json : Sim.Json.t -> string
+(** Compact re-rendering of a parsed JSON value (round-trip floats). *)
+
+val markdown : ?bench:Sim.Json.t -> gap:float -> Sim.Trace.archive -> string
+(** The report as markdown: trace inventory (with an eviction warning
+    when the ring buffer dropped events), per-category counts, SLI
+    window and distribution tables, and — when [bench] is a parsed
+    [dgmc-bench/1] document carrying a [phase] section — the
+    phase-attribution table. *)
+
+val json : ?bench:Sim.Json.t -> gap:float -> Sim.Trace.archive -> string
+(** The same report under schema [dgmc-report/1]: trace counters (plus
+    a machine-readable [note] field if and only if events were
+    evicted), the {!Metrics.Sli.to_json} summary, and the raw [bench]
+    document ([null] when absent). *)

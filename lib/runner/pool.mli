@@ -69,3 +69,22 @@ val map_timed :
   'b timed list * batch
 (** [map] plus per-task wall-clock/allocation counters and whole-batch
     timing, for benchmark reporting. *)
+
+val map_registered :
+  ?domains:int ->
+  metrics:Metrics.Registry.t ->
+  (?metrics:Metrics.Registry.t -> 'a -> 'b) ->
+  'a list ->
+  'b timed list * batch
+(** {!map_timed} for tasks that record metrics {e while running}.  Each
+    worker slot creates a child registry inside its own domain (so the
+    child is owned where the recording happens — {!Metrics.Registry} is
+    domain-pinned) and passes it to every task it runs as [?metrics];
+    after all workers join, the quiescent children are merged into
+    [metrics] in worker-slot order ({!Metrics.Registry.merge}: counters
+    add, histograms merge bucket-exactly), followed by the usual
+    post-join [pool.task_*] observations.  Since tasks are deterministic
+    functions of their input and merging commutes, the merged counters
+    and histograms are identical at any domain count and under any
+    stealing schedule; gauges merge by max and are only schedule-free
+    when one task sets them. *)

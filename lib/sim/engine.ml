@@ -5,6 +5,9 @@ type t = {
   mutable clock : float;
   mutable executed : int;
   mutable stop_requested : bool;
+  mutable probe : (unit -> unit) option;
+      (* Telemetry hook run after each executed event; [None] (the
+         default) costs one pattern-match branch per step. *)
 }
 
 let create () =
@@ -13,6 +16,7 @@ let create () =
     clock = 0.0;
     executed = 0;
     stop_requested = false;
+    probe = None;
   }
 
 let now t = t.clock
@@ -32,6 +36,10 @@ let pending t = Event_queue.length t.queue
 
 let events_executed t = t.executed
 
+let set_probe t f = t.probe <- Some f
+
+let clear_probe t = t.probe <- None
+
 let step t =
   match Event_queue.pop t.queue with
   | None -> false
@@ -39,6 +47,7 @@ let step t =
     t.clock <- time;
     t.executed <- t.executed + 1;
     f ();
+    (match t.probe with None -> () | Some probe -> probe ());
     true
 
 let run ?until ?max_events t =

@@ -50,6 +50,17 @@ val run : ?until:float -> ?max_events:int -> t -> unit
 val step : t -> bool
 (** Execute the single next action.  Returns [false] if none was pending. *)
 
+val set_probe : t -> (unit -> unit) -> unit
+(** Install a telemetry probe invoked after every executed event, with
+    the clock still at that event's time.  At most one probe is
+    installed (a second call replaces the first); with none installed
+    the per-event cost is a single pattern-match branch.  The probe
+    observes — it must not schedule or cancel events, and a probe that
+    raises aborts the run. *)
+
+val clear_probe : t -> unit
+(** Remove the installed probe, if any. *)
+
 val stop : t -> unit
 (** Request that [run] return after the action currently executing. *)
 

@@ -1,0 +1,442 @@
+(* Flight-recorder telemetry: Series bucketing against hand-computed
+   oracles, SLI sessionization, Phase attribution, zero-cost disabled
+   paths, per-domain Registry merging through the pool, and the
+   bench-diff regression gate. *)
+
+open Alcotest
+
+let feps = float 1e-9
+
+(* ------------------------------------------------------------------ *)
+(* Series: bucketing oracle *)
+
+let line_exn series name =
+  match
+    List.find_opt
+      (fun (l : Metrics.Series.line) -> l.l_name = name)
+      (Metrics.Series.lines series)
+  with
+  | Some l -> l
+  | None -> failf "no series line named %s" name
+
+let test_series_bucketing () =
+  let s = Metrics.Series.create ~bucket:0.5 ~cap:4 () in
+  Metrics.Series.add s ~name:"x" ~time:0.2 1.0;
+  Metrics.Series.add s ~name:"x" ~time:0.3 3.0;
+  Metrics.Series.add s ~name:"x" ~time:0.6 5.0;
+  let l = line_exn s "x" in
+  check int "two buckets" 2 (List.length l.l_points);
+  let b0 = List.nth l.l_points 0 in
+  check int "bucket 0 index" 0 b0.p_bucket;
+  check feps "bucket 0 start" 0.0 b0.p_time;
+  check int "bucket 0 count" 2 b0.p_count;
+  check feps "bucket 0 sum" 4.0 b0.p_sum;
+  check feps "bucket 0 min" 1.0 b0.p_min;
+  check feps "bucket 0 max" 3.0 b0.p_max;
+  check feps "bucket 0 last" 3.0 b0.p_last;
+  let b1 = List.nth l.l_points 1 in
+  check int "bucket 1 index" 1 b1.p_bucket;
+  check int "bucket 1 count" 1 b1.p_count;
+  check feps "bucket 1 last" 5.0 b1.p_last
+
+let test_series_eviction_and_late () =
+  let s = Metrics.Series.create ~bucket:0.5 ~cap:4 () in
+  Metrics.Series.add s ~name:"x" ~time:0.2 1.0;
+  (* Bucket 4 shares slot 0 with bucket 0 in a cap-4 ring: the old
+     bucket falls out of the window and must be counted as evicted. *)
+  Metrics.Series.add s ~name:"x" ~time:2.2 7.0;
+  (* Bucket 0 is now older than anything the window can hold. *)
+  Metrics.Series.add s ~name:"x" ~time:0.4 9.0;
+  let l = line_exn s "x" in
+  check int "one eviction" 1 l.l_evicted;
+  check int "one late sample" 1 l.l_late;
+  check (list int) "retained buckets" [ 4 ]
+    (List.map (fun (p : Metrics.Series.point) -> p.p_bucket) l.l_points);
+  let b = List.nth l.l_points 0 in
+  check int "evictor count" 1 b.p_count;
+  check feps "evictor sum (late sample dropped)" 7.0 b.p_sum
+
+let test_series_per_switch_keys () =
+  let s = Metrics.Series.create ~bucket:1.0 ~cap:8 () in
+  Metrics.Series.add s ~name:"x" ~switch:2 ~time:0.0 1.0;
+  Metrics.Series.add s ~name:"x" ~time:0.0 2.0;
+  Metrics.Series.add s ~name:"x" ~switch:1 ~time:0.0 3.0;
+  let switches =
+    List.map
+      (fun (l : Metrics.Series.line) -> l.l_switch)
+      (Metrics.Series.lines s)
+  in
+  (* Aggregate (no switch) first, then switches ascending. *)
+  check
+    (list (option int))
+    "key order" [ None; Some 1; Some 2 ] switches
+
+(* ------------------------------------------------------------------ *)
+(* SLI: sessionization oracle *)
+
+let obs =
+  [
+    (* MC a: one converged window, then an unconverged one after a gap *)
+    Metrics.Sli.anchor ~mc:"a" ~time:0.0;
+    Metrics.Sli.control ~mc:"a" ~time:0.1;
+    Metrics.Sli.control ~mc:"a" ~time:0.2;
+    Metrics.Sli.install ~mc:"a" ~time:0.3;
+    Metrics.Sli.anchor ~mc:"a" ~time:5.0;
+    Metrics.Sli.control ~mc:"a" ~time:5.1;
+    (* MC b: control before the anchor must not count *)
+    Metrics.Sli.control ~mc:"b" ~time:0.0;
+    Metrics.Sli.anchor ~mc:"b" ~time:0.1;
+    Metrics.Sli.install ~mc:"b" ~time:0.5;
+    Metrics.Sli.install ~mc:"b" ~time:0.9;
+  ]
+
+let test_sli_windows_oracle () =
+  let ws = Metrics.Sli.windows ~gap:1.0 obs in
+  check int "three windows" 3 (List.length ws);
+  let w mc i =
+    List.nth (List.filter (fun w -> w.Metrics.Sli.w_mc = mc) ws) i
+  in
+  let a0 = w "a" 0 in
+  check feps "a0 start" 0.0 a0.w_start;
+  check feps "a0 end" 0.3 a0.w_end;
+  check int "a0 anchors" 1 a0.w_anchors;
+  check int "a0 installs" 1 a0.w_installs;
+  check int "a0 control" 2 a0.w_control;
+  check feps "a0 latency" 0.3 (Metrics.Sli.latency a0);
+  let a1 = w "a" 1 in
+  check bool "a1 unconverged" false (Metrics.Sli.converged a1);
+  check feps "a1 latency" 0.0 (Metrics.Sli.latency a1);
+  check int "a1 control" 1 a1.w_control;
+  let b0 = w "b" 0 in
+  check feps "b0 start (first anchor)" 0.1 b0.w_start;
+  check feps "b0 end (last install)" 0.9 b0.w_end;
+  check int "b0 installs" 2 b0.w_installs;
+  check int "b0 control excludes pre-anchor" 0 b0.w_control
+
+let test_sli_summary_oracle () =
+  let s = Metrics.Sli.summarize ~gap:1.0 obs in
+  check int "unconverged count" 1 s.s_unconverged;
+  (* Latency over converged windows only: [0.3; 0.8]. *)
+  check int "latency count" 2 s.s_latency.d_count;
+  check feps "latency mean" 0.55 s.s_latency.d_mean;
+  check feps "latency p50 (linear interpolation)" 0.55 s.s_latency.d_p50;
+  check feps "latency p90" 0.75 s.s_latency.d_p90;
+  check feps "latency max" 0.8 s.s_latency.d_max;
+  (* Control over all windows: [2; 1; 0]. *)
+  check int "control count" 3 s.s_control.d_count;
+  check feps "control mean" 1.0 s.s_control.d_mean;
+  check feps "control max" 2.0 s.s_control.d_max
+
+let test_sli_of_scripted_run () =
+  let trace = Sim.Trace.create () in
+  ignore
+    (Experiments.Harness.bursty_run ~trace ~seed:7 ~n:10
+       ~config:Dgmc.Config.atm_lan ~members:5 ());
+  let entries = Sim.Trace.entries trace in
+  let sli_obs = Report.Run_report.sli_of_trace entries in
+  (* A gap wider than the whole run keeps each MC in one session, so
+     window totals must equal whole-trace totals. *)
+  let gap = Report.Run_report.span entries +. 1.0 in
+  let s = Metrics.Sli.summarize ~gap sli_obs in
+  check int "one window per MC" 1 (List.length s.s_windows);
+  let w = List.nth s.s_windows 0 in
+  check bool "burst converged" true (Metrics.Sli.converged w);
+  let installs_in_trace =
+    List.length
+      (List.filter
+         (fun (e : Sim.Trace.entry) ->
+           match e.event with
+           | Sim.Trace.Topology_installed i -> i.mc <> ""
+           | _ -> false)
+         entries)
+  in
+  check int "window installs = trace installs" installs_in_trace w.w_installs;
+  check bool "control messages counted" true (w.w_control > 0);
+  check bool "positive latency" true (Metrics.Sli.latency w > 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Phase attribution *)
+
+let test_phase_nesting () =
+  let p = Metrics.Phase.create () in
+  Metrics.Phase.enter p "outer";
+  Metrics.Phase.enter p "inner";
+  (* Many small blocks: attribution counts minor words, and one big
+     array would go straight to the major heap. *)
+  for _ = 1 to 1000 do
+    ignore (Sys.opaque_identity (ref 1.5))
+  done;
+  Metrics.Phase.leave p;
+  Metrics.Phase.leave p;
+  let rows = Metrics.Phase.snapshot p in
+  check (list string) "rows sorted by name" [ "inner"; "outer" ]
+    (List.map (fun (r : Metrics.Phase.row) -> r.r_name) rows);
+  let inner = List.nth rows 0 and outer = List.nth rows 1 in
+  check int "inner calls" 1 inner.r_calls;
+  check int "outer calls" 1 outer.r_calls;
+  (* Inclusive figures roll the child into the parent... *)
+  check bool "outer wall >= inner wall" true
+    (outer.r_wall_s >= inner.r_wall_s);
+  check bool "outer alloc >= inner alloc" true
+    (outer.r_minor_words >= inner.r_minor_words);
+  (* ...and self = inclusive - children. *)
+  check bool "outer self wall <= outer wall" true
+    (outer.r_self_wall_s <= outer.r_wall_s);
+  check bool "outer self alloc excludes inner array" true
+    (outer.r_self_minor_words < inner.r_minor_words);
+  check bool "inner allocated the refs" true (inner.r_minor_words >= 2000.0);
+  check int "balanced" 0 (Metrics.Phase.unbalanced_leaves p)
+
+let test_phase_unbalanced_leave () =
+  let p = Metrics.Phase.create () in
+  Metrics.Phase.leave p;
+  check int "counted, not raised" 1 (Metrics.Phase.unbalanced_leaves p);
+  check int "nothing open" 0 (Metrics.Phase.depth p)
+
+let test_phase_ambient () =
+  let p = Metrics.Phase.create () in
+  let seen = Metrics.Phase.with_ambient p (fun () -> Metrics.Phase.ambient ()) in
+  check bool "ambient inside with_ambient" true (seen == p);
+  check bool "restored after" true
+    (Metrics.Phase.ambient () == Metrics.Phase.disabled)
+
+(* ------------------------------------------------------------------ *)
+(* Disabled telemetry allocates nothing *)
+
+let test_disabled_zero_alloc () =
+  let s = Metrics.Series.disabled in
+  let p = Metrics.Phase.disabled in
+  (* Warm up, then measure what Gc.allocated_bytes itself allocates (it
+     boxes floats) so the loop's contribution comes out exact — the same
+     harness test_trace uses for Sim.Trace.recordf. *)
+  Metrics.Series.add s ~name:"warm" ~time:0.0 1.0;
+  Metrics.Phase.enter p "warm";
+  Metrics.Phase.leave p;
+  let baseline =
+    let a = Gc.allocated_bytes () in
+    Gc.allocated_bytes () -. a
+  in
+  let a0 = Gc.allocated_bytes () in
+  for _ = 1 to 1000 do
+    Metrics.Series.add s ~name:"no series here" ~time:1.0 2.0;
+    Metrics.Phase.enter p "no phase here";
+    Metrics.Phase.leave p
+  done;
+  let allocated = Gc.allocated_bytes () -. a0 -. baseline in
+  check (float 0.0) "zero bytes over 1000 disabled records" 0.0 allocated
+
+(* ------------------------------------------------------------------ *)
+(* Registry: merge oracle and pool integration *)
+
+let test_registry_merge_oracle () =
+  let a = Metrics.Registry.create () in
+  let b = Metrics.Registry.create () in
+  let direct = Metrics.Registry.create () in
+  let record r ~c ~samples =
+    Metrics.Registry.incr r ~by:c "events";
+    Metrics.Registry.incr r ~switch:3 "events";
+    List.iter (Metrics.Registry.observe r "lat") samples
+  in
+  record a ~c:2 ~samples:[ 1.0; 4.0 ];
+  record b ~c:5 ~samples:[ 2.0; 8.0; 16.0 ];
+  record direct ~c:2 ~samples:[ 1.0; 4.0 ];
+  record direct ~c:5 ~samples:[ 2.0; 8.0; 16.0 ];
+  Metrics.Registry.set_gauge b "level" 7.0;
+  Metrics.Registry.set_gauge direct "level" 7.0;
+  Metrics.Registry.merge ~into:a b;
+  check string "merged registry = direct recording"
+    (Metrics.Registry.snapshot_json (Metrics.Registry.snapshot direct))
+    (Metrics.Registry.snapshot_json (Metrics.Registry.snapshot a))
+
+let pool_counters domains =
+  let reg = Metrics.Registry.create () in
+  let (_ : Experiments.Harness.run Runner.Pool.timed list), _ =
+    Runner.Pool.map_registered ~domains ~metrics:reg
+      (fun ?metrics seed ->
+        Experiments.Harness.bursty_run ?metrics ~seed ~n:10
+          ~config:Dgmc.Config.atm_lan ~members:5 ())
+      [ 1; 2; 3; 4 ]
+  in
+  (Metrics.Registry.snapshot reg).counters
+
+let test_pool_map_registered () =
+  (* Worker tasks record protocol counters from spawned domains through
+     per-domain child registries; the merged totals must be non-empty
+     (the workers really recorded) and identical at any domain count
+     (the merge is deterministic).  Only counters are compared: the
+     pool.task_* histograms carry wall-clock values by design. *)
+  let c1 = pool_counters 1 in
+  check bool "workers recorded protocol counters" true (c1 <> []);
+  check bool "some flood counter present" true
+    (List.exists
+       (fun ((k : Metrics.Registry.key), _) -> k.name = "flood.floods")
+       c1);
+  let c2 = pool_counters 2 in
+  let c4 = pool_counters 4 in
+  check bool "counters identical at 1 vs 2 domains" true (c1 = c2);
+  check bool "counters identical at 1 vs 4 domains" true (c1 = c4)
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry is transparent to the measured run *)
+
+let test_harness_transparency () =
+  let plain =
+    Experiments.Harness.bursty_run ~seed:5 ~n:10 ~config:Dgmc.Config.atm_lan
+      ~members:5 ()
+  in
+  let instrumented () =
+    let trace = Sim.Trace.create () in
+    let reg = Metrics.Registry.create () in
+    let series = Metrics.Series.create ~bucket:1e-3 ~cap:64 () in
+    let phase = Metrics.Phase.create () in
+    let run =
+      Metrics.Phase.with_ambient phase (fun () ->
+          Experiments.Harness.bursty_run ~trace ~metrics:reg ~series ~seed:5
+            ~n:10 ~config:Dgmc.Config.atm_lan ~members:5 ())
+    in
+    (run, Metrics.Series.to_json series)
+  in
+  let run1, series1 = instrumented () in
+  let run2, series2 = instrumented () in
+  check bool "full telemetry never changes the measured run" true
+    (plain = run1);
+  check bool "instrumented runs agree with each other" true (run1 = run2);
+  check string "series content is deterministic" series1 series2
+
+(* ------------------------------------------------------------------ *)
+(* Bench diff: the regression gate *)
+
+let meta =
+  { Metrics.Bench.commit = "test"; master_seed = 1; domains = 2; quick = true }
+
+let section ?(cells = [ ("dgmc", 20, 1) ]) name seq =
+  {
+    Metrics.Bench.name;
+    elapsed_s = seq /. 2.0;
+    seq_estimate_s = seq;
+    domains = 2;
+    cells =
+      List.map
+        (fun (series, size, seed) ->
+          { Metrics.Bench.series; size; seed; wall_s = seq })
+        cells;
+  }
+
+let diff ?(wall_tol = 0.10) baseline candidate =
+  match
+    Report.Bench_diff.compare_strings ~wall_tol
+      ~baseline:(Metrics.Bench.to_string ~meta baseline)
+      ~candidate:(Metrics.Bench.to_string ~meta candidate)
+  with
+  | Ok outcome -> outcome
+  | Error msg -> failf "bench documents failed to parse: %s" msg
+
+let test_bench_diff_self_compare () =
+  let doc = [ section "fig6" 1.0; section "fig7" 2.0 ] in
+  let outcome = diff doc doc in
+  check bool "self-comparison passes" false (Report.Bench_diff.failed outcome)
+
+let test_bench_diff_detects_regression () =
+  let base = [ section "fig6" 1.0; section "fig7" 2.0 ] in
+  let cand = [ section "fig6" 2.0; section "fig7" 4.0 ] in
+  let outcome = diff base cand in
+  check bool "2x wall regression fails the gate" true
+    (Report.Bench_diff.failed outcome);
+  let areas =
+    List.filter_map
+      (fun (f : Report.Bench_diff.finding) ->
+        if f.severity = Report.Bench_diff.Fail then Some f.area else None)
+      outcome.findings
+  in
+  check bool "total gated" true (List.mem "total" areas);
+  check bool "each section gated" true
+    (List.mem "section fig6" areas && List.mem "section fig7" areas)
+
+let test_bench_diff_missing_section () =
+  let base = [ section "fig6" 1.0; section "fig7" 2.0 ] in
+  let cand = [ section "fig6" 1.0 ] in
+  let outcome = diff base cand in
+  check bool "missing section is structural" true
+    (Report.Bench_diff.failed outcome);
+  check bool "the right section is named" true
+    (List.exists
+       (fun (f : Report.Bench_diff.finding) ->
+         f.severity = Report.Bench_diff.Fail
+         && f.area = "section fig7"
+         && f.detail = "missing from candidate")
+       outcome.findings)
+
+let test_bench_diff_cell_set_exact () =
+  let base = [ section ~cells:[ ("dgmc", 20, 1); ("dgmc", 20, 2) ] "fig6" 1.0 ] in
+  let cand = [ section ~cells:[ ("dgmc", 20, 1); ("dgmc", 40, 2) ] "fig6" 1.0 ] in
+  check bool "cell identity change fails even inside wall tolerance" true
+    (Report.Bench_diff.failed (diff base cand))
+
+let test_bench_diff_tolerance_boundary () =
+  let base = [ section "fig6" 1.0 ] in
+  let within = [ section "fig6" 1.05 ] in
+  let beyond = [ section "fig6" 1.2 ] in
+  check bool "+5% within a 10% tolerance" false
+    (Report.Bench_diff.failed (diff base within));
+  check bool "+20% beyond a 10% tolerance" true
+    (Report.Bench_diff.failed (diff base beyond));
+  check bool "+20% within a widened tolerance" false
+    (Report.Bench_diff.failed (diff ~wall_tol:0.25 base beyond))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "series",
+        [
+          test_case "bucketing oracle" `Quick test_series_bucketing;
+          test_case "eviction and late samples" `Quick
+            test_series_eviction_and_late;
+          test_case "per-switch keys ordered" `Quick
+            test_series_per_switch_keys;
+        ] );
+      ( "sli",
+        [
+          test_case "window oracle" `Quick test_sli_windows_oracle;
+          test_case "summary oracle" `Quick test_sli_summary_oracle;
+          test_case "scripted run reduction" `Quick test_sli_of_scripted_run;
+        ] );
+      ( "phase",
+        [
+          test_case "nesting and self attribution" `Quick test_phase_nesting;
+          test_case "unbalanced leave is counted" `Quick
+            test_phase_unbalanced_leave;
+          test_case "ambient probe scoping" `Quick test_phase_ambient;
+        ] );
+      ( "cost",
+        [
+          test_case "disabled telemetry allocates nothing" `Quick
+            test_disabled_zero_alloc;
+        ] );
+      ( "registry",
+        [
+          test_case "merge equals direct recording" `Quick
+            test_registry_merge_oracle;
+          test_case "pool workers record via child registries" `Quick
+            test_pool_map_registered;
+        ] );
+      ( "transparency",
+        [
+          test_case "telemetry never changes the run" `Quick
+            test_harness_transparency;
+        ] );
+      ( "bench-diff",
+        [
+          test_case "self-comparison passes" `Quick
+            test_bench_diff_self_compare;
+          test_case "2x regression detected" `Quick
+            test_bench_diff_detects_regression;
+          test_case "missing section fails" `Quick
+            test_bench_diff_missing_section;
+          test_case "cell sets compare exactly" `Quick
+            test_bench_diff_cell_set_exact;
+          test_case "wall tolerance boundary" `Quick
+            test_bench_diff_tolerance_boundary;
+        ] );
+    ]
