@@ -351,7 +351,20 @@ let script_cmd =
       & info [ "fault-seed" ]
           ~doc:"Seed of the fault plan's random stream (default 1).")
   in
-  let run file trace_file trace_cats dot check faults_spec fault_seed =
+  let health_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "health" ] ~docv:"SPEC"
+          ~doc:
+            "Enable the link-health layer, e.g. \
+             'period=0.5r,detector=k:3,damp=on' (keys as in the script \
+             'health' directive; pass '' for all defaults).  Overrides the \
+             script's own 'health' directive; scripted link events then \
+             become ground truth the hello detectors must discover.")
+  in
+  let run file trace_file trace_cats dot check faults_spec fault_seed
+      health_spec =
     match Workload.Script.load file with
     | Error msg ->
       Printf.eprintf "%s: %s\n" file msg;
@@ -372,6 +385,36 @@ let script_cmd =
           Option.value ~default:script.Workload.Script.fault_seed fault_seed
         in
         { script with Workload.Script.faults; fault_seed }
+      in
+      let script =
+        match health_spec with
+        | None -> script
+        | Some s -> (
+          let args =
+            String.split_on_char ',' s
+            |> List.concat_map (String.split_on_char ' ')
+            |> List.filter (fun t -> t <> "")
+          in
+          match Workload.Script.health_of_args ~line:0 args with
+          | Error msg ->
+            Printf.eprintf "--health: %s\n" msg;
+            exit 2
+          | Ok d ->
+            let hc =
+              Workload.Script.health_config
+                ~graph:script.Workload.Script.graph
+                ~config:script.Workload.Script.config
+                ~last_event:
+                  (Workload.Script.last_event_time
+                     script.Workload.Script.events)
+                d
+            in
+            (match Health.Config.validate hc with
+            | Ok () -> ()
+            | Error msg ->
+              Printf.eprintf "--health: %s\n" msg;
+              exit 2);
+            { script with Workload.Script.health = Some hc })
       in
       let trace = make_trace trace_file trace_cats in
       let net = Workload.Script.build ~trace script in
@@ -415,6 +458,35 @@ let script_cmd =
            %d reordered, %d blocked@."
           c.transmissions c.delivered c.dropped c.duplicated c.reordered
           (c.blocked_crash + c.blocked_partition));
+      (match Dgmc.Protocol.health_summary net with
+      | None -> ()
+      | Some h ->
+        let p99 =
+          match h.Dgmc.Protocol.h_latencies with
+          | [] -> 0.0
+          | ls ->
+            let n = List.length ls in
+            let idx =
+              min (n - 1)
+                (max 0 (int_of_float (ceil (0.99 *. float_of_int n)) - 1))
+            in
+            List.nth ls idx
+        in
+        Format.printf
+          "health: hellos=%d detections=%d recoveries=%d false-positives=%d \
+           flaps=%d suppressed-now=%d@."
+          h.h_hellos h.h_detections h.h_recoveries h.h_false_positives
+          h.h_flaps h.h_suppressed;
+        (* dgmc-analyze: allow float-format — human-readable summary the CI
+           gate greps for within-bound, not a schema *)
+        Format.printf
+          "health: p99-detection=%.6f bound=%.6f within-bound=%b@." p99
+          h.h_bound
+          (p99 <= h.h_bound);
+        if h.h_pacer_emitted + h.h_pacer_coalesced + h.h_pacer_forced > 0 then
+          Format.printf
+            "health: pacer emitted=%d coalesced=%d forced=%d@."
+            h.h_pacer_emitted h.h_pacer_coalesced h.h_pacer_forced);
       (match monitor with
       | Some m ->
         (match Check.Monitor.violations m with
@@ -438,7 +510,7 @@ let script_cmd =
        ~doc:"Run a scenario file (see lib/workload/script.mli for the format).")
     Term.(
       const run $ file_arg $ trace_file_arg $ trace_cats_arg $ dot_arg
-      $ check_arg $ faults_arg $ fault_seed_arg)
+      $ check_arg $ faults_arg $ fault_seed_arg $ health_arg)
 
 (* ------------------------------------------------------------------ *)
 (* topo: inspect generated topologies *)
@@ -458,6 +530,7 @@ let topo_cmd =
     else begin
       Printf.printf "switches:     %d\n" (Net.Graph.n_nodes g);
       Printf.printf "links:        %d\n" (Net.Graph.n_edges g);
+      (* dgmc-analyze: allow float-format — human-readable topology stats *)
       Printf.printf "mean degree:  %.2f\n"
         (2.0 *. float_of_int (Net.Graph.n_edges g) /. float_of_int n);
       Printf.printf "hop diameter: %d\n" (Net.Bfs.hop_diameter g);
@@ -477,8 +550,8 @@ let topo_cmd =
    regenerates the identical case, so the captured trace is exactly the
    failing (or passing) run.  Shrinking is skipped — the trace records
    the unshrunk case the repro line names. *)
-let fuzz_traced ~seed ~iterations ~n_max ~mcs_max ~events_max ~trace_file
-    ~trace_cats =
+let fuzz_traced ~seed ~iterations ~n_max ~mcs_max ~events_max ~health
+    ~trace_file ~trace_cats =
   if iterations <> 1 then begin
     prerr_endline
       "dgmc_sim --fuzz --trace: tracing captures a single case; pass \
@@ -486,7 +559,7 @@ let fuzz_traced ~seed ~iterations ~n_max ~mcs_max ~events_max ~trace_file
     exit 2
   end;
   let trace = make_trace ~cap:200_000 (Some trace_file) trace_cats in
-  let case = Check.Fuzz.case_of_seed ~n_max ~mcs_max ~events_max seed in
+  let case = Check.Fuzz.case_of_seed ~n_max ~mcs_max ~events_max ~health seed in
   let outcome = Check.Fuzz.run_case ~trace case in
   finish_trace trace (Some trace_file);
   match outcome with
@@ -496,16 +569,17 @@ let fuzz_traced ~seed ~iterations ~n_max ~mcs_max ~events_max ~trace_file
     List.iter (fun p -> Printf.printf "  %s\n" p) problems;
     exit 1
 
-let fuzz_run ~seed ~iterations ~n_max ~mcs_max ~events_max ~domains ~verbose =
+let fuzz_run ~seed ~iterations ~n_max ~mcs_max ~events_max ~health ~domains
+    ~verbose =
   let progress s =
     if verbose then
       Format.printf "%a@."
         Check.Fuzz.pp_case
-        (Check.Fuzz.case_of_seed ~n_max ~mcs_max ~events_max s)
+        (Check.Fuzz.case_of_seed ~n_max ~mcs_max ~events_max ~health s)
   in
   let o =
-    Check.Fuzz.run ~n_max ~mcs_max ~events_max ~domains ~progress ~seed
-      ~iterations ()
+    Check.Fuzz.run ~n_max ~mcs_max ~events_max ~health ~domains ~progress
+      ~seed ~iterations ()
   in
   let agg f = List.fold_left (fun a s -> a + f s) 0 o.Check.Fuzz.o_stats in
   Printf.printf "fuzz: %d/%d cases passed (seeds %d..%d)\n"
@@ -562,6 +636,7 @@ let search_event_arg (ev : Check.Harness.event) =
   | Check.Harness.Link_up (u, v) -> Printf.sprintf "up %d %d" u v
   | Check.Harness.Crash i -> Printf.sprintf "crash %d" i
   | Check.Harness.Recover i -> Printf.sprintf "recover %d" i
+  | Check.Harness.Hello_round -> "hello"
 
 let search_main ~mode ~graph_spec ~regime ~mcs_spec ~race ~setup ~target_spec
     ~max_states ~max_depth ~max_len ~inject_bug ~domains =
@@ -717,6 +792,18 @@ let default_term =
       value & flag
       & info [ "verbose" ] ~doc:"Print each generated case before running it.")
   in
+  let health_band_arg =
+    Arg.(
+      value & flag
+      & info [ "health-band" ]
+          ~doc:
+            "Fuzz with the opt-in link-health layer enabled (default \
+             hello/detector parameters): detectors must discover every \
+             scripted link change.  Same seed, same topology and \
+             workload as the default band; message drops and \
+             crash/partition windows are stripped so the terminal \
+             ground-truth oracle stays sound.")
+  in
   let search_arg =
     Arg.(
       value
@@ -806,8 +893,8 @@ let default_term =
              $(b,asymmetric-tree) (secondary senders left off the span).")
   in
   let run fuzz search seed iterations n_max mcs_max events_max domains verbose
-      graph_spec regime mcs_spec race setup target_spec max_states max_depth
-      max_len inject_bug trace_file trace_cats =
+      health_band graph_spec regime mcs_spec race setup target_spec max_states
+      max_depth max_len inject_bug trace_file trace_cats =
     match search with
     | Some mode ->
       search_main ~mode ~graph_spec ~regime ~mcs_spec ~race ~setup
@@ -819,10 +906,10 @@ let default_term =
         (match trace_file with
         | Some trace_file ->
           fuzz_traced ~seed ~iterations ~n_max ~mcs_max ~events_max
-            ~trace_file ~trace_cats
+            ~health:health_band ~trace_file ~trace_cats
         | None ->
-          fuzz_run ~seed ~iterations ~n_max ~mcs_max ~events_max ~domains
-            ~verbose);
+          fuzz_run ~seed ~iterations ~n_max ~mcs_max ~events_max
+            ~health:health_band ~domains ~verbose);
         `Ok ()
       end
   in
@@ -830,7 +917,7 @@ let default_term =
     ret
       (const run $ fuzz_arg $ search_arg $ seed_arg $ iterations_arg
      $ n_max_arg $ mcs_max_arg $ events_max_arg $ domains_arg $ verbose_arg
-     $ graph_arg $ regime_arg $ search_mcs_arg $ race_arg $ setup_arg
+     $ health_band_arg $ graph_arg $ regime_arg $ search_mcs_arg $ race_arg $ setup_arg
      $ target_arg $ max_states_arg $ max_depth_arg $ max_len_arg
      $ inject_bug_arg $ trace_file_arg $ trace_cats_arg))
 

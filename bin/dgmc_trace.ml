@@ -30,7 +30,9 @@ let switch_of (ev : Sim.Trace.event) =
   | Topology_installed { switch; _ }
   | Crash { switch }
   | Recover { switch }
-  | Resync { switch; _ } -> Some switch
+  | Resync { switch; _ }
+  | Link_detected { switch; _ }
+  | Link_suppressed { switch; _ } -> Some switch
   | Lsa_forwarded { src; _ } | Lsa_dropped { src; _ } | Fault_injected { src; _ }
     -> Some src
   | Note _ -> None

@@ -34,9 +34,18 @@ let build scenario prefix =
   (h, descs)
 
 let check_state h =
-  Array.to_list (Harness.switches h)
-  |> List.concat_map (fun sw ->
-         Invariant.check_switch ~id:(Dgmc.Switch.id sw) sw)
+  let base =
+    Array.to_list (Harness.switches h)
+    |> List.concat_map (fun sw ->
+           Invariant.check_switch ~id:(Dgmc.Switch.id sw) sw)
+  in
+  match Harness.health_detect_rounds h with
+  | None -> base
+  | Some detect_rounds ->
+    base
+    @ Invariant.check_health_state ~detect_rounds
+        ~spurious:(Harness.health_spurious h)
+        (Harness.health_adjacencies h)
 
 (* No partial-order reduction here, deliberately.  The tempting
    persistent set — all enabled actions of one switch d — is unsound in
@@ -94,6 +103,9 @@ let run ?(strategy = `Bfs) ?(max_states = 200_000) ?(max_depth = 10_000)
           let tv =
             Invariant.check_terminal ~graph:(Harness.graph h)
               ~truth:(Harness.truth h) (Harness.switches h)
+            @ Invariant.check_health_terminal
+                ~suppressed:(Harness.suppressed_links h)
+                (Harness.switches h)
           in
           if tv <> [] then report (descs @ [ "(terminal state)" ]) tv
           else incr terminals

@@ -33,11 +33,12 @@ type outcome = {
 (* ------------------------------------------------------------------ *)
 (* Case generation *)
 
-(* Scheduled fault windows must be bridgeable by reliable flooding: with
-   the default reliability parameters (rto 4, doubling to 64, 10
-   retries) a transfer keeps retrying for ~444 hop times, so any outage
-   shorter than [max_window_hops] hop times is guaranteed to be spanned
-   by at least one retransmission landing after the window closes. *)
+(* Scheduled fault windows must be bridgeable by reliable flooding:
+   under the default reliability parameters a transfer keeps retrying
+   for [Lsr.Flooding.giveup_span_hops] hop times (508 with rto 4
+   doubling to a 64 cap over 10 retries), so any outage shorter than
+   [max_window_hops] hop times is guaranteed to be spanned by at least
+   one retransmission landing after the window closes. *)
 let max_window_hops = 100.0
 
 let default_n_max = 20
@@ -47,7 +48,7 @@ let default_mcs_max = 3
 let default_events_max = 20
 
 let case_of_seed ?(n_max = default_n_max) ?(mcs_max = default_mcs_max)
-    ?(events_max = default_events_max) seed =
+    ?(events_max = default_events_max) ?(health = false) seed =
   let master = Sim.Rng.create seed in
   let topo_rng = Sim.Rng.split master in
   let fault_rng = Sim.Rng.split master in
@@ -183,18 +184,49 @@ let case_of_seed ?(n_max = default_n_max) ?(mcs_max = default_mcs_max)
           emit heal (Workload.Events.Link_up (e.Net.Graph.u, e.Net.Graph.v))
       end
   done;
-  {
-    seed;
-    graph;
-    config;
-    regime;
-    fault_spec;
-    fault_seed = seed;
-    crashes;
-    partitions;
-    mcs;
-    events = Workload.Events.sort (List.rev !events);
-  }
+  let case =
+    {
+      seed;
+      graph;
+      config;
+      regime;
+      fault_spec;
+      fault_seed = seed;
+      crashes;
+      partitions;
+      mcs;
+      events = Workload.Events.sort (List.rev !events);
+    }
+  in
+  if not health then case
+  else begin
+    (* Health band: the same seed draws the same topology, workload and
+       message faults, then the case is transformed AFTER generation so
+       the default stream stays byte-identical.  Detectors must discover
+       every scripted link change themselves, so the oracle (terminal
+       agreement with ground truth) is only sound when hellos cannot be
+       silently eaten: message drops are zeroed (duplication, reordering
+       and jitter stay) and crash/partition windows are stripped —
+       sustained hello silence would otherwise be a TRUE detection the
+       terminal laws cannot distinguish from a stale believed-down. *)
+    let directive =
+      match Workload.Script.health_of_args ~line:0 [] with
+      | Ok d -> d
+      | Error e -> invalid_arg ("fuzz health defaults: " ^ e)
+    in
+    let hc =
+      Workload.Script.health_config ~graph ~config
+        ~last_event:(Workload.Script.last_event_time case.events)
+        directive
+    in
+    {
+      case with
+      config = { config with Dgmc.Config.health = Some hc };
+      fault_spec = { case.fault_spec with Faults.Plan.drop = 0.0 };
+      crashes = [];
+      partitions = [];
+    }
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Execution *)
@@ -304,8 +336,8 @@ let shrink case =
 (* ------------------------------------------------------------------ *)
 (* Batch driver *)
 
-let run ?n_max ?mcs_max ?events_max ?domains ?(progress = ignore) ~seed
-    ~iterations () =
+let run ?n_max ?mcs_max ?events_max ?health ?domains ?(progress = ignore)
+    ~seed ~iterations () =
   let seeds = List.init iterations (fun i -> seed + i) in
   (* The progress callback fires in seed order before the batch is
      dispatched: worker domains never touch the caller's output stream,
@@ -317,7 +349,7 @@ let run ?n_max ?mcs_max ?events_max ?domains ?(progress = ignore) ~seed
   let outcomes =
     Runner.Pool.map ?domains
       (fun case_seed ->
-        let case = case_of_seed ?n_max ?mcs_max ?events_max case_seed in
+        let case = case_of_seed ?n_max ?mcs_max ?events_max ?health case_seed in
         match run_case case with
         | Ok s -> Ok s
         | Error problems ->
@@ -337,13 +369,20 @@ let run ?n_max ?mcs_max ?events_max ?domains ?(progress = ignore) ~seed
 (* Reporting *)
 
 let repro_line f =
-  Printf.sprintf "dgmc_sim --fuzz --seed %d --iterations 1" f.f_case.seed
+  Printf.sprintf "dgmc_sim --fuzz --seed %d --iterations 1%s" f.f_case.seed
+    (match f.f_case.config.Dgmc.Config.health with
+    | Some _ -> " --health-band"
+    | None -> "")
 
 let pp_case ppf c =
   Format.fprintf ppf "@[<v>seed %d:@," c.seed;
   Format.fprintf ppf "  graph: %d switches, %d links (waxman)@,"
     (Net.Graph.n_nodes c.graph) (Net.Graph.n_edges c.graph);
   Format.fprintf ppf "  config: %s, reliable flooding@," c.regime;
+  (match c.config.Dgmc.Config.health with
+  | Some hc ->
+    Format.fprintf ppf "  health: %s@," (Health.Config.describe hc)
+  | None -> ());
   Format.fprintf ppf "  faults: %s (seed %d)@,"
     (Faults.Plan.spec_to_string c.fault_spec)
     c.fault_seed;

@@ -57,11 +57,22 @@ type outcome = {
 }
 
 val case_of_seed :
-  ?n_max:int -> ?mcs_max:int -> ?events_max:int -> int -> case
+  ?n_max:int -> ?mcs_max:int -> ?events_max:int -> ?health:bool -> int -> case
 (** Generate the case a seed denotes.  [n_max] (default 20) bounds the
     switch count from above (the minimum is 4), [mcs_max] (default 3)
     the number of MCs, [events_max] (default 20) the workload length
-    (link restorations may add a few more). *)
+    (link restorations may add a few more).
+
+    [health] (default [false]) selects the {e health band}: the same
+    seed draws the identical topology, workload and message-fault spec
+    — the default stream is untouched — and the case is then
+    transformed to run with the opt-in link-health layer (default
+    [health] directive: 0.5-round hellos, k:3 detector), so detectors
+    must discover every scripted link change.  Message drops are zeroed
+    and crash/partition windows stripped in this band: sustained hello
+    silence from those faults would be a true detection that the
+    terminal ground-truth oracle cannot tell apart from a stale
+    believed-down adjacency. *)
 
 val run_case : ?trace:Sim.Trace.t -> case -> (stats, string list) result
 (** Execute one case end to end.  [Error problems] lists every invariant
@@ -100,6 +111,7 @@ val run :
   ?n_max:int ->
   ?mcs_max:int ->
   ?events_max:int ->
+  ?health:bool ->
   ?domains:int ->
   ?progress:(int -> unit) ->
   seed:int ->

@@ -57,6 +57,15 @@ type event =
   | Recover of int
       (** End the outage; the switch enters RESYNCING
           ({!Dgmc.Switch.begin_resync}). *)
+  | Hello_round
+      (** Advance the abstract link-health layer by one hello round
+          (requires [config.health]; [Invalid_argument] otherwise).
+          Every directed adjacency either hears a hello — possible iff
+          the link is up, the sender is alive and neither direction is
+          suppressed — or counts a miss; detectors declare down after
+          [a_detect_rounds] misses and the declaring switch floods the
+          link LSA itself, exactly as {!Dgmc.Protocol} does under
+          [Config.health]. *)
 
 type action =
   | Deliver of { dst : int; msg : int }
@@ -67,7 +76,11 @@ type t
 
 val create : graph:Net.Graph.t -> config:Dgmc.Config.t -> unit -> t
 (** Fresh network; [graph] is copied (the harness owns the ground
-    truth). *)
+    truth).  When [config.health] is set, the harness runs the
+    round-granular abstraction of the link-health layer
+    ({!Health.Config.abstract}): {!event.Link_down}/{!event.Link_up}
+    touch ground truth only, and {!event.Hello_round}s drive the
+    abstract detectors that must discover them. *)
 
 val n_switches : t -> int
 
@@ -115,3 +128,37 @@ val digest : t -> string
 
 val describe : t -> action -> string
 (** Human-readable rendering for counterexample traces. *)
+
+(** {2 Link-health observation}
+
+    All of these are empty/[None] unless the config had [health] set. *)
+
+type adjacency_view = {
+  av_watcher : int;
+  av_peer : int;
+  av_up : bool;  (** The watcher's belief about the adjacency. *)
+  av_suppressed : bool;
+  av_truth_down : bool;
+      (** Ground truth: link down or peer inside an outage. *)
+  av_stable_rounds : int;
+      (** Hello rounds since the adjacency's ground truth last changed
+          while the watcher was alive. *)
+}
+
+val health_enabled : t -> bool
+
+val health_adjacencies : t -> adjacency_view list
+(** Every directed adjacency's abstract detector state, sorted by
+    (watcher, peer). *)
+
+val health_spurious : t -> string list
+(** Down declarations that contradicted ground truth at declaration
+    time, oldest first.  Any entry is a false positive — the abstract
+    model loses no hellos, so this list must stay empty. *)
+
+val health_detect_rounds : t -> int option
+(** [a_detect_rounds] of the abstract detector, when health is on. *)
+
+val suppressed_links : t -> (int * int) list
+(** Links at least one of whose directions is currently
+    damping-suppressed, normalised [(lo, hi)], sorted, deduplicated. *)

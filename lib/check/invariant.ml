@@ -99,6 +99,72 @@ let all_mcs ~truth switches =
     acc switches
   |> List.sort Dgmc.Mc_id.compare
 
+(* ------------------------------------------------------------------ *)
+(* Link-health laws (over the harness's abstract hello model) *)
+
+let check_health_state ~detect_rounds ~spurious adjacencies =
+  let out = ref [] in
+  let push x = out := x :: !out in
+  (* The abstract model loses no hellos, so any down declaration made
+     while ground truth said the adjacency was usable is a detector
+     false positive — on every schedule, not just fault-free ones. *)
+  List.iter
+    (fun msg ->
+      push { switch = None; mc = None; law = "hello-false-positive"; detail = msg })
+    spurious;
+  (* Every persistent failure is detected within the configured bound:
+     once an adjacency has been truth-down for [detect_rounds] hello
+     rounds with its watcher alive, the watcher must believe it down. *)
+  List.iter
+    (fun (a : Harness.adjacency_view) ->
+      if
+        a.av_truth_down && a.av_up
+        && (not a.av_suppressed)
+        && a.av_stable_rounds >= detect_rounds
+      then
+        push
+          {
+            switch = Some a.av_watcher;
+            mc = None;
+            law = "hello-detect";
+            detail =
+              Printf.sprintf
+                "adjacency to %d truth-down for %d hello rounds (bound %d) \
+                 but still believed up"
+                a.av_peer a.av_stable_rounds detect_rounds;
+          })
+    adjacencies;
+  List.rev !out
+
+let check_health_terminal ~suppressed switches =
+  match suppressed with
+  | [] -> []
+  | _ ->
+    let out = ref [] in
+    Array.iteri
+      (fun id sw ->
+        List.iter
+          (fun (s : Switch.mc_snapshot) ->
+            List.iter
+              (fun (u, v) ->
+                if Mctree.Tree.mem_edge s.snap_topology u v then
+                  out :=
+                    {
+                      switch = Some id;
+                      mc = Some s.snap_mc;
+                      law = "suppress-install";
+                      detail =
+                        Printf.sprintf
+                          "installed tree uses damping-suppressed link \
+                           (%d, %d)"
+                          u v;
+                    }
+                    :: !out)
+              suppressed)
+          (Switch.snapshots sw))
+      switches;
+    List.rev !out
+
 let check_terminal ~graph ~truth switches =
   let out = ref [] in
   let push x = out := x :: !out in

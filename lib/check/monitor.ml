@@ -117,7 +117,20 @@ let check_terminal t =
          v.law <> "truth-members" && v.law <> "terminals-match"
          && v.law <> "valid-topology")
        (Invariant.check_terminal ~graph:(Dgmc.Protocol.graph t.net) ~truth:[]
-          switches))
+          switches));
+  (* With the link-health layer on, a quiesced network must not keep a
+     damping-suppressed link inside any installed tree. *)
+  let suppressed =
+    Dgmc.Protocol.health_views t.net
+    |> List.concat_map (fun (i, view) ->
+           List.filter_map
+             (fun (peer, _, s) ->
+               if s then Some (min i peer, max i peer) else None)
+             view)
+    |> List.sort_uniq (fun (a, b) (c, d) ->
+           match Int.compare a c with 0 -> Int.compare b d | r -> r)
+  in
+  List.iter (record t) (Invariant.check_health_terminal ~suppressed switches)
 
 let assert_ok t =
   if not (ok t) then

@@ -39,6 +39,7 @@ let lint text =
   let used = ref [] in (* mc ids referenced by some event *)
   let events = ref [] in (* (line, time, rounds?, act) — file order *)
   let churns = ref [] in (* (line, churn_directive) — file order *)
+  let health_decl = ref None in (* (line, health_directive) *)
   let parse_int line what s =
     match int_of_string_opt s with
     | Some v -> Some v
@@ -198,6 +199,23 @@ let lint text =
           events := !events @ [ (line, v, rounds, act) ]
         | _ -> ())
       | [ "at" ] -> err line "at: missing time and event"
+      | "health" :: opts -> (
+        if !health_decl <> None then
+          warn line "duplicate 'health' directive overrides the previous one";
+        check_opts line ~allowed:Workload.Script.health_allowed_keys opts;
+        let known =
+          List.filter
+            (fun tok ->
+              match String.index_opt tok '=' with
+              | Some i ->
+                List.mem (String.sub tok 0 i)
+                  Workload.Script.health_allowed_keys
+              | None -> false)
+            opts
+        in
+        match Workload.Script.health_of_args ~line known with
+        | Ok d -> health_decl := Some (line, d)
+        | Error m -> err line "%s" m)
       | "churn" :: opts -> (
         (* Report every bad key here, then hand only the known ones to
            the shared parser (which stops at the first problem). *)
@@ -337,7 +355,31 @@ let lint text =
             warn line "link (%d, %d) is already down" u v;
           if up then Hashtbl.remove link_down key
           else Hashtbl.replace link_down key ())
-      timeline);
+      timeline;
+    (* A health directive must resolve to a valid configuration against
+       this graph and regime — the same resolution Script.parse does. *)
+    match !health_decl with
+    | None -> ()
+    | Some (hline, d) ->
+      let last_event =
+        List.fold_left (fun acc (_, t, _) -> Float.max acc t) 0.0 timeline
+      in
+      let hc =
+        Workload.Script.health_config ~graph:g ~config:!config ~last_event d
+      in
+      (match Health.Config.validate hc with
+      | Ok () -> ()
+      | Error m -> err hline "%s" m);
+      if
+        not
+          (List.exists
+             (fun (_, _, act) ->
+               match act with Link _ -> true | _ -> false)
+             timeline)
+      then
+        warn hline
+          "health directive but no scripted link events: the detectors \
+           have nothing to discover");
   List.iter
     (fun (line, id, _) ->
       if not (List.mem id !used) then

@@ -217,6 +217,8 @@ let check_edges target scenario (prefix, acts) =
         if enabled = [] && viols = [] then
           Invariant.check_terminal ~graph:(Harness.graph h)
             ~truth:(Harness.truth h) (Harness.switches h)
+          @ Invariant.check_health_terminal
+              ~suppressed:(Harness.suppressed_links h) (Harness.switches h)
         else []
       in
       let all = viols @ terminal_viols in
@@ -284,6 +286,8 @@ let forward ?(target = any) ?(max_states = 50_000) ?(max_depth = 10_000)
     if enabled0 = [] then
       Invariant.check_terminal ~graph:(Harness.graph h0)
         ~truth:(Harness.truth h0) (Harness.switches h0)
+      @ Invariant.check_health_terminal
+          ~suppressed:(Harness.suppressed_links h0) (Harness.switches h0)
     else []
   in
   let digest0 = Harness.digest h0 in
@@ -402,6 +406,7 @@ let apply_event st (ev : Harness.event) =
   | Harness.Crash i -> { st with ws_crashed = i :: st.ws_crashed }
   | Harness.Recover i ->
     { st with ws_crashed = List.filter (fun j -> j <> i) st.ws_crashed }
+  | Harness.Hello_round -> st
 
 let roles_for = function
   | Dgmc.Mc_id.Symmetric -> [ Dgmc.Member.Both ]
@@ -602,6 +607,7 @@ let event_line i (ev : Harness.event) =
     | Harness.Link_up (u, v) -> Printf.sprintf "link-up (%d, %d)" u v
     | Harness.Crash i -> Printf.sprintf "crash switch=%d" i
     | Harness.Recover i -> Printf.sprintf "recover switch=%d" i
+    | Harness.Hello_round -> "hello-round"
   in
   Printf.sprintf "[%d] %s" i describe
 
@@ -674,6 +680,7 @@ let events_of_string ~mcs s =
     | [ "recover"; sw ] ->
       let* switch = int_of "switch" sw in
       Ok (Harness.Recover switch)
+    | [ ("hello-round" | "hello") ] -> Ok Harness.Hello_round
     | verb :: _ -> Error (Printf.sprintf "unknown event %S" verb)
     | [] -> Error "empty event"
   in

@@ -15,6 +15,10 @@ type t = {
       (** [Hop_by_hop] (default) and [Ideal] assume lossless delivery;
           use [Reliable] (ack + retransmit) when running under a
           {!Faults.Plan} that can lose or reorder messages. *)
+  reliability : Lsr.Flooding.reliability;
+      (** Reliable-mode parameters handed to {!Lsr.Flooding.create}
+          ({!Lsr.Flooding.default_reliability} in every preset; set
+          [adaptive] for the Jacobson/Karn per-neighbor RTO). *)
   steiner : steiner;
       (** From-scratch heuristic for shared trees (symmetric and
           receiver-only MCs). *)
@@ -71,9 +75,17 @@ type t = {
       (** Crash-recovery resynchronisation: overall deadline for the
           exchange, as a multiple of [t_hop].  On expiry the switch
           re-enters normal handling with whatever it has (degraded
-          finish).  Must comfortably exceed the reliable transport's
-          worst-case giveup span (~444 hop times under the default
-          {!Lsr.Flooding.reliability}); default 512. *)
+          finish).  Must be at least the reliable transport's worst-case
+          giveup span ({!Lsr.Flooding.giveup_span_hops}; {!validate}
+          rejects configs that violate this).  The preset value is
+          {e derived} from the preset reliability — span + one rto,
+          512 hop times under the defaults — no longer hand-tuned. *)
+  health : Health.Config.t option;
+      (** Opt-in link-health layer (hello-based failure detection, flap
+          damping, LSA pacing — DESIGN.md §3f).  [None] in every preset:
+          without it scripted link events are applied to switch images
+          directly; with it they only change ground truth and switches
+          must detect them. *)
 }
 
 val default : t
@@ -90,5 +102,12 @@ val wan : t
 
 val round_length : t -> graph:Net.Graph.t -> float
 (** [tf + tc] for the given network (paper §4.1). *)
+
+val validate : t -> (unit, string) result
+(** Cross-field sanity: [resync_deadline_hops] must cover the reliable
+    transport's worst-case giveup span for the configured [reliability]
+    (adaptive RTO widens the span — it may start every backoff at
+    [rto_max]), and an enabled [health] section must itself validate.
+    {!Protocol.create} enforces this. *)
 
 val pp : Format.formatter -> t -> unit

@@ -33,6 +33,40 @@ module Link_tbl = Hashtbl.Make (struct
   let hash (a, b) = (a * 1000003) lxor b
 end)
 
+(* Link-health layer state (opt-in, [Config.health]).  When present,
+   scripted and fault-plan link changes touch ground truth only — the
+   hello agents must discover them, and the declaring switch originates
+   the link LSAs itself (paced when pacing is configured). *)
+type health_state = {
+  hc : Health.Config.t;
+  mutable agents : Health.Hello.t array;
+  pacers : Lsr.Lsdb.link_event Health.Pacer.t array;
+      (* Per switch when pacing is on; [[||]] otherwise. *)
+  truth_changed : float Link_tbl.t;
+      (* Last ground-truth change instant per link — detection-latency
+         base.  Crashes use the window bounds instead (see [truth_down]). *)
+  mutable hs_detections : int;  (* down verdicts matching ground truth *)
+  mutable hs_recoveries : int;  (* up verdicts *)
+  mutable hs_false_positives : int;
+  mutable hs_latencies : float list;  (* down-detection latencies *)
+  mutable hs_hellos_sent : int;
+  mutable hs_hellos_received : int;
+}
+
+type health_summary = {
+  h_detections : int;
+  h_recoveries : int;
+  h_false_positives : int;
+  h_latencies : float list;  (** Sorted ascending. *)
+  h_bound : float;
+  h_suppressed : int;
+  h_hellos : int;
+  h_flaps : int;
+  h_pacer_emitted : int;
+  h_pacer_coalesced : int;
+  h_pacer_forced : int;
+}
+
 type t = {
   engine : Sim.Engine.t;
   graph : Net.Graph.t;
@@ -40,6 +74,7 @@ type t = {
   faults : Faults.Plan.t option;
   switches : Switch.t array;
   flooding : payload Lsr.Flooding.t;
+  mutable health : health_state option;
   seqs : Lsr.Lsa.Seq.counter array;
   link_versions : int Link_tbl.t;
       (** Ground-truth per-link change counter: a link's state changes
@@ -90,6 +125,9 @@ let create ~graph ~config ?faults ?(trace = Sim.Trace.disabled) ?metrics
     ?(series = Metrics.Series.disabled) () =
   let n = Net.Graph.n_nodes graph in
   if n < 2 then invalid_arg "Protocol.create: need at least 2 switches";
+  (match Config.validate config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Protocol.create: " ^ msg));
   let engine = Sim.Engine.create () in
   let switches =
     Array.init n (fun id ->
@@ -113,8 +151,8 @@ let create ~graph ~config ?faults ?(trace = Sim.Trace.disabled) ?metrics
   in
   let flooding =
     Lsr.Flooding.create ~engine ~graph ~t_hop:config.Config.t_hop
-      ~mode:config.Config.flood_mode ?transmit ~trace ?metrics ~series ~deliver
-      ()
+      ~mode:config.Config.flood_mode ~reliability:config.Config.reliability
+      ?transmit ~trace ?metrics ~series ~deliver ()
   in
   (* Flight-recorder probe: one engine-level sample per executed event.
      Installed only when the series is live — the disabled engine path
@@ -150,6 +188,7 @@ let create ~graph ~config ?faults ?(trace = Sim.Trace.disabled) ?metrics
       faults;
       switches;
       flooding;
+      health = None;
       seqs = Array.init n (fun _ -> Lsr.Lsa.Seq.create ());
       link_versions = Link_tbl.create 16;
       truth = Mc_table.create 8;
@@ -276,6 +315,194 @@ let create ~graph ~config ?faults ?(trace = Sim.Trace.disabled) ?metrics
              }))
       (Faults.Plan.partition_windows plan)
   | _ -> ());
+  (* Link-health layer (opt-in).  Hello agents probe every configured
+     adjacency; scripted/fault-plan link changes become ground truth the
+     detectors must discover (see [link_change]).  Crash windows pause
+     the crashed switch's own sensing — a dead switch observes nothing —
+     and restart it with fresh detectors on recovery. *)
+  (match config.Config.health with
+  | None -> ()
+  | Some hc ->
+    let mbump ?switch name =
+      match metrics with
+      | Some m -> Metrics.Registry.incr m ?switch name
+      | None -> ()
+    in
+    let mobserve ?switch name v =
+      match metrics with
+      | Some m -> Metrics.Registry.observe m ?switch name v
+      | None -> ()
+    in
+    let crash_windows =
+      match faults with
+      | Some plan -> Faults.Plan.crash_windows plan
+      | None -> []
+    in
+    let crashed sw at =
+      List.exists
+        (fun (s, (from_, until)) -> s = sw && at >= from_ && at < until)
+        crash_windows
+    in
+    (* When the peer is inside a crash window, the instant it opened:
+       silence from a crashed switch is a genuine failure with the
+       window's start as its ground-truth change time. *)
+    let crash_since peer at =
+      List.fold_left
+        (fun acc (s, (from_, until)) ->
+          if s = peer && at >= from_ && at < until then Some from_ else acc)
+        None crash_windows
+    in
+    let all_edges = Net.Graph.all_edges graph in
+    let adjacency i =
+      List.filter_map
+        (fun ((e : Net.Graph.edge), _up) ->
+          if e.Net.Graph.u = i then Some e.Net.Graph.v
+          else if e.Net.Graph.v = i then Some e.Net.Graph.u
+          else None)
+        all_edges
+    in
+    let pacers =
+      match hc.Health.Config.pacing with
+      | None -> [||]
+      | Some p ->
+        Array.init n (fun i ->
+            Health.Pacer.create ~engine
+              ~min_interval:p.Health.Config.p_min_interval
+              ~cap:p.Health.Config.p_cap
+              ~emit:(fun _key ev -> flood_link_event net ~from:i ev)
+              ())
+    in
+    let h =
+      {
+        hc;
+        agents = [||];
+        pacers;
+        truth_changed = Link_tbl.create 16;
+        hs_detections = 0;
+        hs_recoveries = 0;
+        hs_false_positives = 0;
+        hs_latencies = [];
+        hs_hellos_sent = 0;
+        hs_hellos_received = 0;
+      }
+    in
+    (* One hello on the wire, subject to the same fault plan as LSAs:
+       drops, duplication and jitter are exactly the adversities the
+       detectors must tolerate.  Arrival is gated on the link being up
+       and the receiver being alive {e at delivery time}. *)
+    let send i ~peer =
+      let at = Sim.Engine.now engine in
+      if not (crashed i at) then begin
+        h.hs_hellos_sent <- h.hs_hellos_sent + 1;
+        mbump ~switch:i "health.hellos_sent";
+        let delays =
+          match transmit with
+          | Some f -> f ~src:i ~dst:peer ~base_delay:config.Config.t_hop
+          | None -> [ config.Config.t_hop ]
+        in
+        List.iter
+          (fun delay ->
+            ignore
+              (Sim.Engine.schedule engine ~delay (fun () ->
+                   if Net.Graph.link_is_up graph i peer then begin
+                     let at = Sim.Engine.now engine in
+                     if not (crashed peer at) then begin
+                       h.hs_hellos_received <- h.hs_hellos_received + 1;
+                       mbump ~switch:peer "health.hellos_received";
+                       Health.Hello.on_hello h.agents.(peer) ~from:i
+                     end
+                   end)))
+          delays
+      end
+    in
+    (* A detector verdict: the switch's belief about an incident link
+       changed.  Version the event, judge it against ground truth, tell
+       the switch, and originate the link LSA — directly or through the
+       pacer. *)
+    let declare i ~peer ~up =
+      let at = Sim.Engine.now engine in
+      let lo, hi = if i < peer then (i, peer) else (peer, i) in
+      let version =
+        1 + Option.value ~default:0 (Link_tbl.find_opt net.link_versions (lo, hi))
+      in
+      Link_tbl.replace net.link_versions (lo, hi) version;
+      let ev = { Lsr.Lsdb.u = i; v = peer; up; version } in
+      let truth_since =
+        if not (Net.Graph.link_is_up graph i peer) then
+          Some (Option.value ~default:0.0 (Link_tbl.find_opt h.truth_changed (lo, hi)))
+        else crash_since peer at
+      in
+      let latency, spurious =
+        if up then
+          (* Up verdicts rest on hellos that genuinely arrived; measure
+             recovery latency from the last ground-truth change. *)
+          ( (match Link_tbl.find_opt h.truth_changed (lo, hi) with
+            | Some since -> at -. since
+            | None -> 0.0),
+            false )
+        else
+          match truth_since with
+          | Some since -> (at -. since, false)
+          | None -> (0.0, true)
+      in
+      if up then begin
+        h.hs_recoveries <- h.hs_recoveries + 1;
+        mbump ~switch:i "health.recoveries";
+        mobserve ~switch:i "health.recovery_latency" latency
+      end
+      else begin
+        (* Retransmitting into a dead adjacency is pointless; cancel the
+           pending state and fire the give-ups exactly once each. *)
+        ignore (Lsr.Flooding.abandon_link flooding ~src:i ~dst:peer);
+        if spurious then begin
+          h.hs_false_positives <- h.hs_false_positives + 1;
+          mbump ~switch:i "health.false_positives"
+        end
+        else begin
+          h.hs_detections <- h.hs_detections + 1;
+          h.hs_latencies <- latency :: h.hs_latencies;
+          mbump ~switch:i "health.detections";
+          mobserve ~switch:i "health.detection_latency" latency
+        end
+      end;
+      if Sim.Trace.enabled trace then
+        ignore
+          (Sim.Trace.emit trace ~time:at
+             (Sim.Trace.Link_detected { switch = i; peer; up; latency; spurious }));
+      Switch.link_event switches.(i) ev ~detector:true;
+      if Array.length h.pacers > 0 then
+        Health.Pacer.submit h.pacers.(i) ~key:(lo, hi) ev
+      else flood_link_event net ~from:i ev;
+      if up then
+        ignore
+          (Sim.Engine.schedule engine ~delay:config.Config.t_hop (fun () ->
+               Switch.resync switches.(i) ~peer:switches.(peer)))
+    in
+    h.agents <-
+      Array.init n (fun i ->
+          Health.Hello.create ~engine ~config:hc ~self:i ~peers:(adjacency i)
+            ~send:(fun ~peer -> send i ~peer)
+            ~declare:(fun ~peer ~up -> declare i ~peer ~up)
+            ~on_suppress:(fun ~peer ~resumed ->
+              mbump ~switch:i
+                (if resumed then "health.unsuppressions"
+                 else "health.suppressions");
+              if Sim.Trace.enabled trace then
+                ignore
+                  (Sim.Trace.emit trace ~time:(Sim.Engine.now engine)
+                     (Sim.Trace.Link_suppressed { switch = i; peer; resumed })))
+            ());
+    net.health <- Some h;
+    Array.iter Health.Hello.start h.agents;
+    List.iter
+      (fun (sw, (from_, until)) ->
+        ignore
+          (Sim.Engine.schedule_at engine ~time:from_ (fun () ->
+               Health.Hello.pause h.agents.(sw)));
+        ignore
+          (Sim.Engine.schedule_at engine ~time:until (fun () ->
+               Health.Hello.resume h.agents.(sw))))
+      crash_windows);
   net
 
 let engine t = t.engine
@@ -325,6 +552,18 @@ let link_change t u v ~up =
   note_event t;
   Net.Graph.set_link t.graph u v ~up;
   let lo, hi = if u < v then (u, v) else (v, u) in
+  match t.health with
+  | Some h ->
+    (* Health layer on: the change is ground truth only.  No switch is
+       told, nothing is flooded — the hello agents must discover it, and
+       detection latency is measured from this instant. *)
+    let now = Sim.Engine.now t.engine in
+    Link_tbl.replace h.truth_changed (lo, hi) now;
+    if Sim.Trace.enabled t.trace then
+      Sim.Trace.recordf t.trace ~time:now ~category:"truth"
+        "link %d-%d ground truth now %s (detectors must discover it)" lo hi
+        (if up then "up" else "down")
+  | None ->
   let version =
     1 + Option.value ~default:0 (Link_tbl.find_opt t.link_versions (lo, hi))
   in
@@ -489,3 +728,50 @@ let converged_among t mc ids =
     List.for_all
       (fun (m, tree) -> Member.equal m m0 && Mctree.Tree.equal tree t0)
       rest
+
+(* ------------------------------------------------------------------ *)
+(* Link-health observability *)
+
+let health_summary t =
+  Option.map
+    (fun h ->
+      let suppressed =
+        Array.fold_left
+          (fun acc agent ->
+            List.fold_left
+              (fun acc (_, _, s) -> if s then acc + 1 else acc)
+              acc
+              (Health.Hello.view agent))
+          0 h.agents
+      in
+      let flaps =
+        Array.fold_left (fun acc a -> acc + Health.Hello.flaps a) 0 h.agents
+      in
+      let pe, pc, pf =
+        Array.fold_left
+          (fun (e, c, f) p ->
+            ( e + Health.Pacer.emitted p,
+              c + Health.Pacer.coalesced p,
+              f + Health.Pacer.forced p ))
+          (0, 0, 0) h.pacers
+      in
+      {
+        h_detections = h.hs_detections;
+        h_recoveries = h.hs_recoveries;
+        h_false_positives = h.hs_false_positives;
+        h_latencies = List.sort Float.compare h.hs_latencies;
+        h_bound = Health.Config.detect_bound h.hc;
+        h_suppressed = suppressed;
+        h_hellos = h.hs_hellos_sent;
+        h_flaps = flaps;
+        h_pacer_emitted = pe;
+        h_pacer_coalesced = pc;
+        h_pacer_forced = pf;
+      })
+    t.health
+
+let health_views t =
+  match t.health with
+  | None -> []
+  | Some h ->
+    Array.to_list (Array.mapi (fun i a -> (i, Health.Hello.view a)) h.agents)

@@ -37,6 +37,25 @@ type totals = {
   retransmissions : int;  (** Reliable flooding: data copies retransmitted. *)
 }
 
+type health_summary = {
+  h_detections : int;
+      (** Down verdicts that matched ground truth (link down or peer
+          inside a crash window). *)
+  h_recoveries : int;  (** Up re-declarations. *)
+  h_false_positives : int;
+      (** Down verdicts contradicting ground truth. *)
+  h_latencies : float list;
+      (** Detection latencies of the true down verdicts, sorted
+          ascending. *)
+  h_bound : float;  (** {!Health.Config.detect_bound} of the config. *)
+  h_suppressed : int;  (** Adjacency directions suppressed right now. *)
+  h_hellos : int;  (** Hellos put on the wire. *)
+  h_flaps : int;  (** Down declarations across all agents. *)
+  h_pacer_emitted : int;
+  h_pacer_coalesced : int;
+  h_pacer_forced : int;
+}
+
 type t
 
 val create :
@@ -112,11 +131,17 @@ val leave : t -> switch:int -> Mc_id.t -> unit
 val link_down : t -> int -> int -> unit
 (** Take a live link down now: the real graph changes, both endpoint
     switches detect it, flood a non-MC LSA each, and run [EventHandler]
-    for the MCs whose local topology used the link. *)
+    for the MCs whose local topology used the link.
+
+    With [Config.health] set, the change touches {e ground truth only}:
+    no switch is notified and nothing is flooded here — the hello agents
+    must discover the silence, and the declaring endpoints originate the
+    link LSAs themselves. *)
 
 val link_up : t -> int -> int -> unit
 (** Restore a link; endpoints flood non-MC LSAs (no MC LSAs: an MC
-    topology is never improved reactively by a link recovery). *)
+    topology is never improved reactively by a link recovery).  Under
+    [Config.health], ground truth only — see {!link_down}. *)
 
 val schedule_join :
   t -> at:float -> switch:int -> Mc_id.t -> Member.role -> unit
@@ -152,6 +177,14 @@ val convergence_rounds : t -> float option
 (** [(last_change - first_event) / round_length] — the paper's
     convergence time in rounds (Figure 6(c)).  [None] until an event and
     a change have happened. *)
+
+val health_summary : t -> health_summary option
+(** Aggregated link-health statistics; [None] when [Config.health] is
+    unset. *)
+
+val health_views : t -> (int * (int * bool * bool) list) list
+(** Per switch, the hello agent's [(peer, believed_up, suppressed)]
+    adjacency beliefs — empty when the health layer is off. *)
 
 (** {1 Agreement} *)
 

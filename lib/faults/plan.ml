@@ -81,6 +81,24 @@ type counters = {
   blocked_partition : int;
 }
 
+type link_counters = {
+  l_transmissions : int;
+  l_dropped : int;
+  l_duplicated : int;
+  l_reordered : int;
+  l_blocked : int;
+}
+
+(* Mutable accumulator behind {!link_counters} — one per directed
+   (src, dst) pair that ever transmitted. *)
+type link_acc = {
+  mutable a_transmissions : int;
+  mutable a_dropped : int;
+  mutable a_duplicated : int;
+  mutable a_reordered : int;
+  mutable a_blocked : int;
+}
+
 type fault_kind =
   | Drop
   | Duplicate
@@ -99,6 +117,7 @@ type t = {
   plan_seed : int;
   spec : spec;
   link_specs : (int * int, spec) Hashtbl.t;  (* key (min, max) *)
+  link_accs : (int * int, link_acc) Hashtbl.t;  (* key (src, dst), directed *)
   mutable crashes : (int * window) list;
   mutable partitions : (bool array * window) list;
       (* membership is precomputed up to the largest id mentioned;
@@ -125,6 +144,7 @@ let create ?(spec = spec_default) ~seed () =
     plan_seed = seed;
     spec;
     link_specs = Hashtbl.create 8;
+    link_accs = Hashtbl.create 32;
     crashes = [];
     partitions = [];
     c_transmissions = 0;
@@ -232,19 +252,39 @@ let link_spec t src dst =
   | Some s -> s
   | None -> t.spec
 
+let link_acc t src dst =
+  match Hashtbl.find_opt t.link_accs (src, dst) with
+  | Some a -> a
+  | None ->
+    let a =
+      {
+        a_transmissions = 0;
+        a_dropped = 0;
+        a_duplicated = 0;
+        a_reordered = 0;
+        a_blocked = 0;
+      }
+    in
+    Hashtbl.add t.link_accs (src, dst) a;
+    a
+
 let transmit t ~src ~dst ~now ~base_delay =
   if not (base_delay > 0.0) then
     invalid_arg "Faults.Plan.transmit: base_delay must be positive";
   t.c_transmissions <- t.c_transmissions + 1;
+  let la = link_acc t src dst in
+  la.a_transmissions <- la.a_transmissions + 1;
   bump t "faults.transmissions";
   if crashed t src now || crashed t dst now then begin
     let who = if crashed t src now then src else dst in
     t.c_blocked_crash <- t.c_blocked_crash + 1;
+    la.a_blocked <- la.a_blocked + 1;
     record t { time = now; src; dst; fault = Crash_block who };
     []
   end
   else if separated t src dst now then begin
     t.c_blocked_partition <- t.c_blocked_partition + 1;
+    la.a_blocked <- la.a_blocked + 1;
     record t { time = now; src; dst; fault = Partition_block };
     []
   end
@@ -258,6 +298,7 @@ let transmit t ~src ~dst ~now ~base_delay =
     let duplicated = draw () < spec.duplicate in
     if dropped then begin
       t.c_dropped <- t.c_dropped + 1;
+      la.a_dropped <- la.a_dropped + 1;
       record t { time = now; src; dst; fault = Drop };
       []
     end
@@ -275,6 +316,7 @@ let transmit t ~src ~dst ~now ~base_delay =
             else 0.0
           in
           t.c_reordered <- t.c_reordered + 1;
+          la.a_reordered <- la.a_reordered + 1;
           record t { time = now; src; dst; fault = Reorder extra };
           d +. extra
         end
@@ -284,6 +326,7 @@ let transmit t ~src ~dst ~now ~base_delay =
         let first = copy () in
         if duplicated then begin
           t.c_duplicated <- t.c_duplicated + 1;
+          la.a_duplicated <- la.a_duplicated + 1;
           record t { time = now; src; dst; fault = Duplicate };
           [ first; copy () ]
         end
@@ -308,6 +351,22 @@ let counters t =
     blocked_crash = t.c_blocked_crash;
     blocked_partition = t.c_blocked_partition;
   }
+
+let link_counters t =
+  Hashtbl.fold
+    (fun key a acc ->
+      ( key,
+        {
+          l_transmissions = a.a_transmissions;
+          l_dropped = a.a_dropped;
+          l_duplicated = a.a_duplicated;
+          l_reordered = a.a_reordered;
+          l_blocked = a.a_blocked;
+        } )
+      :: acc)
+    t.link_accs []
+  |> List.sort (fun ((a1, a2), _) ((b1, b2), _) ->
+         match Int.compare a1 b1 with 0 -> Int.compare a2 b2 | c -> c)
 
 let trace t = List.rev t.events
 

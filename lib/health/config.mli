@@ -1,0 +1,68 @@
+(** Link-health layer configuration.
+
+    The layer is strictly opt-in: a protocol instance without a health
+    config behaves exactly as before (scripted link events are applied
+    to switch images directly).  With one, scripted and fault-plan link
+    changes become {e ground truth only} — switches must discover them
+    through hello silence, and originate their own link LSAs. *)
+
+type damping = {
+  d_penalty : float;
+  d_suppress : float;
+  d_reuse : float;
+  d_half_life : float;  (** Seconds. *)
+}
+
+type pacing = { p_min_interval : float; p_cap : int }
+
+type t = {
+  period : float;  (** Hello period, seconds. *)
+  grace : float;  (** Transit allowance added to every tolerance, seconds. *)
+  detector : Detector.kind;
+  reup : int;  (** Consecutive hellos heard before re-declaring up. *)
+  damping : damping option;
+  pacing : pacing option;
+  horizon : float;
+      (** Absolute simulated time after which hello emission (and
+          down-verdict evaluation) stops, so runs still quiesce.  Pick it
+          past the last scripted event plus {!detect_bound} plus
+          convergence slack. *)
+}
+
+val make :
+  period:float ->
+  ?grace:float ->
+  ?detector:Detector.kind ->
+  ?reup:int ->
+  ?damping:damping ->
+  ?pacing:pacing ->
+  horizon:float ->
+  unit ->
+  t
+(** Defaults: [grace = period / 2], [detector = K_missed 3],
+    [reup = 2], no damping, no pacing. *)
+
+val validate : t -> (unit, string) result
+
+val detect_bound : t -> float
+(** Worst-case detection latency the configuration promises, from the
+    moment a link's ground truth changes to the down declaration: the
+    detector's maximum silence tolerance plus one period of send phase.
+    The CI gate holds the observed p99 under this. *)
+
+type abstract = {
+  a_detect_rounds : int;
+      (** Hello rounds of silence after which the abstract (model
+          checker) detector must have declared down. *)
+  a_suppress_flaps : int option;
+      (** Down declarations that trigger suppression, when damping on. *)
+  a_reuse_rounds : int;
+      (** Calm hello rounds after which abstract suppression lifts. *)
+}
+
+val abstract : t -> abstract
+(** The round-granular abstraction of this configuration that the
+    {!module:Check} harness model-checks (see DESIGN.md §3f). *)
+
+val describe : t -> string
+(** One-line human summary for run headers. *)

@@ -1,0 +1,85 @@
+type 'a slot = {
+  mutable payload : 'a option;  (* parked payload awaiting flush *)
+  mutable last_emit : float;
+  mutable timer : Sim.Engine.handle option;
+}
+
+type 'a t = {
+  engine : Sim.Engine.t;
+  min_interval : float;
+  cap : int;
+  emit : int * int -> 'a -> unit;
+  slots : (int * int, 'a slot) Hashtbl.t;  (* lookup only; never iterated *)
+  mutable n_pending : int;
+  mutable n_emitted : int;
+  mutable n_coalesced : int;
+  mutable n_forced : int;
+}
+
+let create ~engine ~min_interval ~cap ~emit () =
+  if min_interval < 0.0 then
+    invalid_arg "Pacer.create: min_interval must be >= 0";
+  if cap < 1 then invalid_arg "Pacer.create: cap must be >= 1";
+  {
+    engine;
+    min_interval;
+    cap;
+    emit;
+    slots = Hashtbl.create 16;
+    n_pending = 0;
+    n_emitted = 0;
+    n_coalesced = 0;
+    n_forced = 0;
+  }
+
+let slot t key =
+  match Hashtbl.find_opt t.slots key with
+  | Some s -> s
+  | None ->
+    let s = { payload = None; last_emit = neg_infinity; timer = None } in
+    Hashtbl.replace t.slots key s;
+    s
+
+let do_emit t key s payload =
+  s.last_emit <- Sim.Engine.now t.engine;
+  t.n_emitted <- t.n_emitted + 1;
+  t.emit key payload
+
+let flush t key s () =
+  s.timer <- None;
+  match s.payload with
+  | None -> ()
+  | Some payload ->
+    s.payload <- None;
+    t.n_pending <- t.n_pending - 1;
+    do_emit t key s payload
+
+let submit t ~key payload =
+  let s = slot t key in
+  match s.payload with
+  | Some _ ->
+    (* Already parked: the newer state supersedes the parked one. *)
+    s.payload <- Some payload;
+    t.n_coalesced <- t.n_coalesced + 1
+  | None ->
+    let now = Sim.Engine.now t.engine in
+    let due = s.last_emit +. t.min_interval in
+    if now >= due then do_emit t key s payload
+    else if t.n_pending >= t.cap then begin
+      (* Queue full: degrade to pass-through rather than grow state. *)
+      t.n_forced <- t.n_forced + 1;
+      do_emit t key s payload
+    end
+    else begin
+      s.payload <- Some payload;
+      t.n_pending <- t.n_pending + 1;
+      s.timer <- Some (Sim.Engine.schedule_at t.engine ~time:due (flush t key s))
+    end
+
+let pending t = t.n_pending
+
+let emitted t = t.n_emitted
+
+let coalesced t = t.n_coalesced
+
+let forced t = t.n_forced

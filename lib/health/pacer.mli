@@ -1,0 +1,46 @@
+(** Per-key origination pacing: coalesce and rate-limit LSA origination
+    under churn.
+
+    Each key (a link) may emit at most once per [min_interval] of
+    simulated time.  A submission arriving inside a key's hold-down is
+    parked; a later submission for the same key {e replaces} the parked
+    payload (only the latest state of a link matters — intermediate
+    flaps are shed and counted).  Parked payloads flush on a timer when
+    the hold-down expires, so the final state of a link is always
+    emitted, never dropped.
+
+    The pending queue is bounded: when [cap] keys are already parked, a
+    submission for a new key is emitted immediately (bypassing its
+    hold-down) rather than parked — pacing degrades to pass-through
+    under extreme churn instead of accumulating unbounded state.  Both
+    shedding modes are counted ({!coalesced}, {!forced}).
+
+    Timers run on the simulation engine only; emission order among keys
+    is the engine's deterministic FIFO order. *)
+
+type 'a t
+
+val create :
+  engine:Sim.Engine.t ->
+  min_interval:float ->
+  cap:int ->
+  emit:(int * int -> 'a -> unit) ->
+  unit ->
+  'a t
+(** [min_interval] in seconds (>= 0); [cap >= 1] bounds the number of
+    simultaneously parked keys. *)
+
+val submit : 'a t -> key:int * int -> 'a -> unit
+(** Offer the latest payload for [key]; emitted now, parked, or
+    coalesced into an already-parked slot per the policy above. *)
+
+val pending : 'a t -> int
+(** Keys currently parked. *)
+
+val emitted : 'a t -> int
+
+val coalesced : 'a t -> int
+(** Parked payloads replaced by a newer submission (shed). *)
+
+val forced : 'a t -> int
+(** Submissions emitted immediately because the queue was full. *)

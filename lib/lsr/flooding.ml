@@ -1,8 +1,26 @@
 type mode = Hop_by_hop | Ideal | Reliable
 
-type reliability = { rto : float; rto_max : float; max_retries : int }
+type reliability = {
+  rto : float;
+  rto_max : float;
+  max_retries : int;
+  adaptive : bool;
+}
 
-let default_reliability = { rto = 4.0; rto_max = 64.0; max_retries = 10 }
+let default_reliability =
+  { rto = 4.0; rto_max = 64.0; max_retries = 10; adaptive = false }
+
+(* Worst-case simulated time (in t_hop multiples) between a transfer's
+   first transmission and its giveup: the sum of all max_retries + 1
+   waits, each double the last up to rto_max.  Adaptive mode may start
+   anywhere in [rto, rto_max], so its worst case starts at the cap. *)
+let giveup_span_hops rel =
+  let initial = if rel.adaptive then rel.rto_max else rel.rto in
+  let rec go timeout i acc =
+    if i > rel.max_retries then acc
+    else go (Float.min (2.0 *. timeout) rel.rto_max) (i + 1) (acc +. timeout)
+  in
+  go initial 0 0.0
 
 type transmit = src:int -> dst:int -> base_delay:float -> float list
 
@@ -15,7 +33,18 @@ type rtx = {
   mutable tries : int;
   mutable timeout : float;
   rtx_first : int;
+  rtx_sent_at : float;  (* first transmission time — the RTT sample base *)
+  rtx_origin : int;
+  rtx_seq : int;
+  rtx_giveup : unit -> unit;
+      (* Stored so an external cancellation ({!abandon_link}) resolves
+         the transfer through the same single giveup path the timer
+         uses; removal from [pending] before either call site fires it
+         makes exactly-once structural. *)
 }
+
+(* Jacobson/Karn smoothed RTT state for one directed adjacency. *)
+type rtt_est = { mutable srtt : float; mutable rttvar : float }
 
 type 'a t = {
   engine : Sim.Engine.t;
@@ -32,6 +61,8 @@ type 'a t = {
       (** Per switch: (origin, seq) pairs already received. *)
   pending : (int * int * (int * int), rtx) Hashtbl.t;
       (** Reliable mode: (src, dst, lsa id) transfers awaiting an ack. *)
+  rtt : (int * int, rtt_est) Hashtbl.t;
+      (** Adaptive reliable mode: per directed adjacency SRTT/RTTVAR. *)
   mutable floods : int;
   mutable messages : int;
   mutable acks : int;
@@ -66,6 +97,7 @@ let create ~engine ~graph ~t_hop ?(mode = Hop_by_hop)
     series;
     seen = Array.init (Net.Graph.n_nodes graph) (fun _ -> Hashtbl.create 64);
     pending = Hashtbl.create 64;
+    rtt = Hashtbl.create 16;
     floods = 0;
     messages = 0;
     acks = 0;
@@ -172,37 +204,69 @@ let rec receive t lsa ~at:switch ~from ~fid =
 (* ------------------------------------------------------------------ *)
 (* Reliable (ack + retransmit) *)
 
+(* Abandon one pending transfer: age the entry out, account, leave the
+   trace breadcrumb, and fire its giveup callback.  Both callers remove
+   the entry from [pending] before anything observable runs, so a
+   transfer's giveup can fire at most once however the timer and an
+   external {!abandon_link} interleave. *)
+let drop_pending t key rtx ~reason =
+  let src, dst, _ = key in
+  Hashtbl.remove t.pending key;
+  if Metrics.Series.enabled t.series then record_inflight t;
+  t.abandoned <- t.abandoned + 1;
+  bump t ~switch:src "flood.abandoned";
+  if traced t then
+    ignore
+      (Sim.Trace.emit t.trace ~time:(now t) ~parent:rtx.rtx_first
+         (Lsa_dropped
+            { src; dst; origin = rtx.rtx_origin; seq = rtx.rtx_seq; reason }));
+  rtx.rtx_giveup ()
+
+(* Initial retransmit timeout for a fresh transfer.  The static mode uses
+   the configured rto; adaptive mode uses the Jacobson estimate
+   srtt + 4·rttvar for the destination when samples exist, clamped into
+   [rto, rto_max] so the configured bounds still hold. *)
+let initial_rto t ~src ~dst =
+  let floor_ = t.rel.rto *. t.t_hop in
+  if not t.rel.adaptive then floor_
+  else
+    match Hashtbl.find_opt t.rtt (src, dst) with
+    | None -> floor_
+    | Some est ->
+      Float.max floor_
+        (Float.min
+           (est.srtt +. (4.0 *. est.rttvar))
+           (t.rel.rto_max *. t.t_hop))
+
+(* Fold one ack round-trip sample into the estimator (RFC 6298 smoothing:
+   rttvar ← 3/4·rttvar + 1/4·|srtt − s|, srtt ← 7/8·srtt + 1/8·s). *)
+let note_rtt t ~src ~dst sample =
+  (match Hashtbl.find_opt t.rtt (src, dst) with
+  | None -> Hashtbl.replace t.rtt (src, dst) { srtt = sample; rttvar = sample /. 2.0 }
+  | Some est ->
+    est.rttvar <- (0.75 *. est.rttvar) +. (0.25 *. Float.abs (est.srtt -. sample));
+    est.srtt <- (0.875 *. est.srtt) +. (0.125 *. sample));
+  bump t ~switch:src "flood.rtt_samples";
+  match t.metrics with
+  | Some m -> Metrics.Registry.observe m ~switch:src "flood.rtt" sample
+  | None -> ()
+
 (* [arrive fid] runs per data copy landing over a live link (flood
-   forwarding or unicast terminal delivery); [on_giveup] fires once when
-   retries are exhausted — unicast resynchronisation uses it to count a
-   neighbor exchange as failed. *)
-let rec arm_retransmit t key lsa rtx ~arrive ~on_giveup =
+   forwarding or unicast terminal delivery); the giveup stored in the
+   entry fires once when retries are exhausted — unicast
+   resynchronisation uses it to count a neighbor exchange as failed. *)
+let rec arm_retransmit t key lsa rtx ~arrive =
   let src, dst, _ = key in
   rtx.rtx_handle <-
     Some
       (Sim.Engine.schedule t.engine ~delay:rtx.timeout (fun () ->
-           (* The entry is removed the moment an ack arrives, so reaching
-              this point with it still present means the transfer is
+           (* The entry is removed the moment an ack arrives (or the
+              transfer is externally abandoned), so reaching this point
+              with it still present means the transfer is live and
               unacknowledged. *)
            if Hashtbl.mem t.pending key then
-             if rtx.tries >= t.rel.max_retries then begin
-               Hashtbl.remove t.pending key;
-               if Metrics.Series.enabled t.series then record_inflight t;
-               t.abandoned <- t.abandoned + 1;
-               bump t ~switch:src "flood.abandoned";
-               if traced t then
-                 ignore
-                   (Sim.Trace.emit t.trace ~time:(now t) ~parent:rtx.rtx_first
-                      (Lsa_dropped
-                         {
-                           src;
-                           dst;
-                           origin = lsa.Lsa.origin;
-                           seq = lsa.Lsa.seq;
-                           reason = "abandoned";
-                         }));
-               on_giveup ()
-             end
+             if rtx.tries >= t.rel.max_retries then
+               drop_pending t key rtx ~reason:"abandoned"
              else begin
                rtx.tries <- rtx.tries + 1;
                t.rtx_count <- t.rtx_count + 1;
@@ -212,7 +276,7 @@ let rec arm_retransmit t key lsa rtx ~arrive ~on_giveup =
                     lsa arrive);
                rtx.timeout <-
                  Float.min (2.0 *. rtx.timeout) (t.rel.rto_max *. t.t_hop);
-               arm_retransmit t key lsa rtx ~arrive ~on_giveup
+               arm_retransmit t key lsa rtx ~arrive
              end))
 
 and start_reliable t ~src ~dst ~parent ~arrive ~on_giveup lsa =
@@ -225,13 +289,17 @@ and start_reliable t ~src ~dst ~parent ~arrive ~on_giveup lsa =
       {
         rtx_handle = None;
         tries = 0;
-        timeout = t.rel.rto *. t.t_hop;
+        timeout = initial_rto t ~src ~dst;
         rtx_first = fid;
+        rtx_sent_at = now t;
+        rtx_origin = lsa.Lsa.origin;
+        rtx_seq = lsa.Lsa.seq;
+        rtx_giveup = on_giveup;
       }
     in
     Hashtbl.add t.pending key rtx;
     if Metrics.Series.enabled t.series then record_inflight t;
-    arm_retransmit t key lsa rtx ~arrive ~on_giveup
+    arm_retransmit t key lsa rtx ~arrive
   end
 
 and send_reliable t ~src ~dst ~parent lsa =
@@ -249,7 +317,13 @@ and ack_received t key =
   | Some rtx ->
     Option.iter Sim.Engine.cancel rtx.rtx_handle;
     Hashtbl.remove t.pending key;
-    if Metrics.Series.enabled t.series then record_inflight t
+    if Metrics.Series.enabled t.series then record_inflight t;
+    (* Karn's rule: only transfers acked without any retransmission
+       yield an RTT sample — after a retry the ack is ambiguous. *)
+    if t.rel.adaptive && rtx.tries = 0 then begin
+      let src, dst, _ = key in
+      note_rtt t ~src ~dst (now t -. rtx.rtx_sent_at)
+    end
   | None -> ()  (* late duplicate ack, or the sender already gave up *)
 
 and receive_reliable t lsa ~at:switch ~from ~fid =
@@ -359,6 +433,34 @@ let retransmissions t = t.rtx_count
 let deliveries_abandoned t = t.abandoned
 
 let pending_retransmits t = Hashtbl.length t.pending
+
+(* A failure detector declared [dst] unreachable from [src]: cancel every
+   transfer still spinning toward it instead of letting each burn through
+   its remaining backoff.  Keys are collected then sorted, so giveup
+   callbacks fire in a deterministic order independent of hash layout. *)
+let abandon_link t ~src ~dst =
+  let keys =
+    Hashtbl.fold
+      (fun ((s, d, _) as key) _ acc ->
+        if s = src && d = dst then key :: acc else acc)
+      t.pending []
+    |> List.sort (fun (_, _, (ao, as_)) (_, _, (bo, bs)) ->
+           match Int.compare ao bo with 0 -> Int.compare as_ bs | c -> c)
+  in
+  List.iter
+    (fun key ->
+      match Hashtbl.find_opt t.pending key with
+      | Some rtx ->
+        Option.iter Sim.Engine.cancel rtx.rtx_handle;
+        drop_pending t key rtx ~reason:"neighbor-down"
+      | None -> ())
+    keys;
+  List.length keys
+
+let rtt_estimate t ~src ~dst =
+  Option.map
+    (fun est -> (est.srtt, est.rttvar))
+    (Hashtbl.find_opt t.rtt (src, dst))
 
 let reset_counters t =
   t.floods <- 0;

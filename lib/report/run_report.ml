@@ -107,6 +107,82 @@ let phase_table_of_bench bench =
     Some (Buffer.contents b)
   | _ -> None
 
+(* Per-directed-link fault aggregation from [Fault_injected] events —
+   the trace-side view of [Faults.Plan.link_counters] (capped at the
+   trace ring size, unlike the plan's exact totals). *)
+type link_faults = {
+  mutable f_drops : int;
+  mutable f_dups : int;
+  mutable f_reorders : int;
+  mutable f_blocked : int;
+}
+
+let fault_links entries =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Sim.Trace.entry) ->
+      match e.event with
+      | Fault_injected { src; dst; fault } ->
+        let f =
+          match Hashtbl.find_opt tbl (src, dst) with
+          | Some f -> f
+          | None ->
+            let f =
+              { f_drops = 0; f_dups = 0; f_reorders = 0; f_blocked = 0 }
+            in
+            Hashtbl.add tbl (src, dst) f;
+            f
+        in
+        if fault = "drop" then f.f_drops <- f.f_drops + 1
+        else if fault = "duplicate" then f.f_dups <- f.f_dups + 1
+        else if starts_with ~prefix:"reorder" fault then
+          f.f_reorders <- f.f_reorders + 1
+        else if starts_with ~prefix:"blocked" fault then
+          f.f_blocked <- f.f_blocked + 1
+      | _ -> ())
+    entries;
+  Hashtbl.fold (fun k f acc -> (k, f) :: acc) tbl []
+  |> List.sort (fun ((a1, a2), _) ((b1, b2), _) ->
+         match Int.compare a1 b1 with 0 -> Int.compare a2 b2 | c -> c)
+
+(* Link-health detection summary from [Link_detected] events. *)
+type detection = {
+  det_downs : int;  (** True down verdicts. *)
+  det_ups : int;
+  det_spurious : int;
+  det_latencies : float list;  (** Of the true downs, sorted ascending. *)
+}
+
+let detections entries =
+  let downs = ref 0 and ups = ref 0 and spurious = ref 0 in
+  let lats = ref [] in
+  List.iter
+    (fun (e : Sim.Trace.entry) ->
+      match e.event with
+      | Link_detected { up; latency; spurious = sp; _ } ->
+        if sp then incr spurious
+        else if up then incr ups
+        else begin
+          incr downs;
+          lats := latency :: !lats
+        end
+      | _ -> ())
+    entries;
+  {
+    det_downs = !downs;
+    det_ups = !ups;
+    det_spurious = !spurious;
+    det_latencies = List.sort Float.compare !lats;
+  }
+
+let percentile sorted p =
+  match sorted with
+  | [] -> 0.0
+  | ls ->
+    let n = List.length ls in
+    let idx = min (n - 1) (max 0 (int_of_float (ceil (p *. float_of_int n)) - 1)) in
+    List.nth ls idx
+
 let dist_row label (d : Metrics.Sli.dist) =
   Printf.sprintf "| %s | %d | %s | %s | %s | %s | %s |\n" label d.d_count
     (num d.d_mean) (num d.d_p50) (num d.d_p90) (num d.d_p99) (num d.d_max)
@@ -147,6 +223,37 @@ let markdown ?bench ~gap (a : Sim.Trace.archive) =
       summary.s_windows;
     out "\n"
   end;
+  (match fault_links entries with
+  | [] -> ()
+  | links ->
+    out "## Fault injections by link\n\n";
+    out "| link | drops | duplicates | reorders | blocked |\n";
+    out "|---|---:|---:|---:|---:|\n";
+    List.iter
+      (fun ((src, dst), f) ->
+        out "| %d → %d | %d | %d | %d | %d |\n" src dst f.f_drops f.f_dups
+          f.f_reorders f.f_blocked)
+      links;
+    out "\n");
+  (let d = detections entries in
+   if d.det_downs + d.det_ups + d.det_spurious > 0 then begin
+     out "## Link-health detection\n\n";
+     out "- down verdicts: %d true, %d spurious\n" d.det_downs d.det_spurious;
+     out "- up (recovery) verdicts: %d\n\n" d.det_ups;
+     match d.det_latencies with
+     | [] -> ()
+     | ls ->
+       let n = List.length ls in
+       let mean = List.fold_left ( +. ) 0.0 ls /. float_of_int n in
+       out "| figure | n | mean | p50 | p90 | p99 | max |\n";
+       out "|---|---:|---:|---:|---:|---:|---:|\n";
+       out "| detection latency (s) | %d | %s | %s | %s | %s | %s |\n\n" n
+         (num mean)
+         (num (percentile ls 0.50))
+         (num (percentile ls 0.90))
+         (num (percentile ls 0.99))
+         (num (List.nth ls (n - 1)))
+   end);
   (match Option.bind bench phase_table_of_bench with
   | Some table ->
     out "## Phase attribution (bench)\n\n";
@@ -202,6 +309,37 @@ let json ?bench ~gap (a : Sim.Trace.archive) =
     | Some (Sim.Json.Obj _ as b) -> render_json b
     | Some _ | None -> "null"
   in
+  let faults_field =
+    match fault_links entries with
+    | [] -> "[]"
+    | links ->
+      "["
+      ^ String.concat ", "
+          (List.map
+             (fun ((src, dst), f) ->
+               Printf.sprintf
+                 {|{"src": %d, "dst": %d, "drops": %d, "duplicates": %d, "reorders": %d, "blocked": %d}|}
+                 src dst f.f_drops f.f_dups f.f_reorders f.f_blocked)
+             links)
+      ^ "]"
+  in
+  let detection_field =
+    let d = detections entries in
+    if d.det_downs + d.det_ups + d.det_spurious = 0 then "null"
+    else
+      let ls = d.det_latencies in
+      let n = List.length ls in
+      let mean =
+        if n = 0 then 0.0 else List.fold_left ( +. ) 0.0 ls /. float_of_int n
+      in
+      Printf.sprintf
+        {|{"downs": %d, "ups": %d, "spurious": %d, "latency": {"count": %d, "mean": %s, "p50": %s, "p90": %s, "p99": %s, "max": %s}}|}
+        d.det_downs d.det_ups d.det_spurious n (Sim.Json.number mean)
+        (Sim.Json.number (percentile ls 0.50))
+        (Sim.Json.number (percentile ls 0.90))
+        (Sim.Json.number (percentile ls 0.99))
+        (Sim.Json.number (if n = 0 then 0.0 else List.nth ls (n - 1)))
+  in
   Printf.sprintf
     {|{
   "schema": "dgmc-report/1",
@@ -211,9 +349,11 @@ let json ?bench ~gap (a : Sim.Trace.archive) =
     "dropped": %d%s
   },
   "sli": %s,
+  "faults_by_link": %s,
+  "detection": %s,
   "bench": %s
 }
 |}
     a.a_emitted (List.length entries) a.a_dropped note
     (Metrics.Sli.to_json summary)
-    bench_field
+    faults_field detection_field bench_field

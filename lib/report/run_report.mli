@@ -31,12 +31,16 @@ val render_json : Sim.Json.t -> string
 val markdown : ?bench:Sim.Json.t -> gap:float -> Sim.Trace.archive -> string
 (** The report as markdown: trace inventory (with an eviction warning
     when the ring buffer dropped events), per-category counts, SLI
-    window and distribution tables, and — when [bench] is a parsed
-    [dgmc-bench/1] document carrying a [phase] section — the
-    phase-attribution table. *)
+    window and distribution tables, a per-link fault-injection table
+    (from [Fault_injected] events), a link-health detection-latency
+    section (from [Link_detected] events), and — when [bench] is a
+    parsed [dgmc-bench/1] document carrying a [phase] section — the
+    phase-attribution table.  Trace-empty sections are omitted. *)
 
 val json : ?bench:Sim.Json.t -> gap:float -> Sim.Trace.archive -> string
 (** The same report under schema [dgmc-report/1]: trace counters (plus
     a machine-readable [note] field if and only if events were
-    evicted), the {!Metrics.Sli.to_json} summary, and the raw [bench]
-    document ([null] when absent). *)
+    evicted), the {!Metrics.Sli.to_json} summary, [faults_by_link]
+    ([[]] when the trace has no fault events), [detection] ([null]
+    without link-health events), and the raw [bench] document ([null]
+    when absent). *)

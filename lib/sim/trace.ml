@@ -31,6 +31,14 @@ type event =
   | Crash of { switch : int }
   | Recover of { switch : int }
   | Resync of { switch : int; peer : int; mc : string }
+  | Link_detected of {
+      switch : int;
+      peer : int;
+      up : bool;
+      latency : float;
+      spurious : bool;
+    }
+  | Link_suppressed of { switch : int; peer : int; resumed : bool }
   | Note of { category : string; message : string }
 
 type entry = { id : int; parent : int; time : float; event : event }
@@ -93,6 +101,8 @@ let category = function
   | Crash _ -> "crash"
   | Recover _ -> "recover"
   | Resync _ -> "resync"
+  | Link_detected _ -> "detect"
+  | Link_suppressed _ -> "suppress"
   | Note n -> n.category
 
 (* ------------------------------------------------------------------ *)
@@ -139,6 +149,17 @@ let message = function
   | Recover { switch } -> Format.asprintf "switch %d recovers" switch
   | Resync { switch; peer; mc } ->
     Format.asprintf "switch %d resyncs mc=%s from %d" switch mc peer
+  | Link_detected { switch; peer; up; latency; spurious } ->
+    Format.asprintf "switch %d detects link %d-%d %s%s" switch switch peer
+      (if up then "up" else "down")
+      (if spurious then " (spurious)"
+       else
+         (* dgmc-analyze: allow float-format — human-readable timeline view *)
+         Printf.sprintf " (latency %gs)" latency)
+  | Link_suppressed { switch; peer; resumed } ->
+    Format.asprintf "switch %d %s link %d-%d" switch
+      (if resumed then "releases" else "suppresses")
+      switch peer
   | Note n -> n.message
 
 let pp_entry ppf e =
@@ -339,6 +360,19 @@ let add_event b = function
     field_int b "switch" switch;
     field_int b "peer" peer;
     field_str b "mc" mc
+  | Link_detected { switch; peer; up; latency; spurious } ->
+    field_str b "kind" "link-detected";
+    field_int b "switch" switch;
+    field_int b "peer" peer;
+    field_bool b "up" up;
+    Buffer.add_string b ",\"latency\":";
+    Buffer.add_string b (Json.number latency);
+    field_bool b "spurious" spurious
+  | Link_suppressed { switch; peer; resumed } ->
+    field_str b "kind" "link-suppressed";
+    field_int b "switch" switch;
+    field_int b "peer" peer;
+    field_bool b "resumed" resumed
   | Note { category; message } ->
     field_str b "kind" "note";
     field_str b "cat" category;
@@ -454,6 +488,18 @@ let event_of_json json =
   | "crash" -> Crash { switch = int "switch" }
   | "recover" -> Recover { switch = int "switch" }
   | "resync" -> Resync { switch = int "switch"; peer = int "peer"; mc = str "mc" }
+  | "link-detected" ->
+    Link_detected
+      {
+        switch = int "switch";
+        peer = int "peer";
+        up = bool "up";
+        latency = get "latency" Json.to_float json;
+        spurious = bool "spurious";
+      }
+  | "link-suppressed" ->
+    Link_suppressed
+      { switch = int "switch"; peer = int "peer"; resumed = bool "resumed" }
   | "note" -> Note { category = str "cat"; message = str "msg" }
   | kind -> failwith (Printf.sprintf "unknown event kind %S" kind)
 

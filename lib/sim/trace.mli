@@ -66,6 +66,21 @@ type event =
   | Crash of { switch : int }
   | Recover of { switch : int }
   | Resync of { switch : int; peer : int; mc : string }
+  | Link_detected of {
+      switch : int;
+      peer : int;
+      up : bool;
+      latency : float;
+          (** Seconds since the link's (or the peer's crash window's)
+              last ground-truth change; [0] when [spurious]. *)
+      spurious : bool;
+          (** The verdict contradicts ground truth — a false positive. *)
+    }
+      (** A link-health failure detector changed this switch's belief
+          about an incident link (category [detect]). *)
+  | Link_suppressed of { switch : int; peer : int; resumed : bool }
+      (** Flap damping placed the adjacency into — or released it from —
+          administrative suppression (category [suppress]). *)
   | Note of { category : string; message : string }
 
 type entry = { id : int; parent : int; time : float; event : event }

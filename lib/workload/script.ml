@@ -5,6 +5,7 @@ type t = {
   events : Events.t list;
   faults : Faults.Plan.spec option;
   fault_seed : int;
+  health : Health.Config.t option;
 }
 
 exception Parse_error of int * string
@@ -179,6 +180,138 @@ let churn_spec ~graph ~config d =
       (match d.churn_wave_period with Some wp -> resolve wp | None -> period);
   }
 
+(* "health period=0.5r detector=k:3 damp=on pace=0.2r" — link-health
+   layer configuration; time-valued options take the same second/round
+   literals as [at].  Resolution to a [Health.Config.t] waits until the
+   graph and regime (hence round length) and the full event list (hence
+   the default horizon) are known. *)
+type health_directive = {
+  h_period : float * bool;
+  h_grace : (float * bool) option;
+  h_detector : Health.Detector.kind;
+  h_reup : int option;
+  h_damping : bool;
+  h_damp_penalty : float;
+  h_damp_suppress : float;
+  h_damp_reuse : float;
+  h_damp_half_life : (float * bool) option;
+  h_pace : (float * bool) option;
+  h_pace_cap : int;
+  h_horizon : (float * bool) option;
+}
+
+let health_allowed_keys =
+  [ "period"; "grace"; "detector"; "reup"; "damp"; "damp-penalty";
+    "damp-suppress"; "damp-reuse"; "damp-half-life"; "pace"; "pace-cap";
+    "horizon" ]
+
+let parse_float lineno what s =
+  match float_of_string_opt s with
+  | Some v -> v
+  | None -> fail lineno "%s: expected a number, got %S" what s
+
+let parse_detector lineno s =
+  match String.split_on_char ':' s with
+  | [ ("k" | "k-missed"); k ] -> Health.Detector.K_missed (parse_int lineno "detector k" k)
+  | [ "phi"; window; threshold ] ->
+    Health.Detector.Phi
+      {
+        window = parse_int lineno "phi window" window;
+        threshold = parse_float lineno "phi threshold" threshold;
+      }
+  | _ ->
+    fail lineno "unknown detector %S (use k:<n> or phi:<window>:<threshold>)" s
+
+let parse_health lineno opts =
+  check_opts lineno ~allowed:health_allowed_keys opts;
+  let time_opt key = Option.map (parse_time lineno) (opt_value opts key) in
+  let float_opt key default =
+    match opt_value opts key with
+    | Some s -> parse_float lineno key s
+    | None -> default
+  in
+  let damp_keys =
+    [ "damp-penalty"; "damp-suppress"; "damp-reuse"; "damp-half-life" ]
+  in
+  let damping =
+    (match opt_value opts "damp" with
+    | Some "on" -> true
+    | Some "off" -> false
+    | Some s -> fail lineno "damp: expected on or off, got %S" s
+    | None -> false)
+    || List.exists (fun k -> opt_value opts k <> None) damp_keys
+  in
+  {
+    h_period =
+      (match time_opt "period" with
+      | Some p -> p
+      | None -> (0.5, true) (* half a protocol round *));
+    h_grace = time_opt "grace";
+    h_detector =
+      (match opt_value opts "detector" with
+      | Some s -> parse_detector lineno s
+      | None -> Health.Detector.K_missed 3);
+    h_reup = Option.map (parse_int lineno "reup") (opt_value opts "reup");
+    h_damping = damping;
+    h_damp_penalty = float_opt "damp-penalty" 1.0;
+    h_damp_suppress = float_opt "damp-suppress" 3.0;
+    h_damp_reuse = float_opt "damp-reuse" 0.75;
+    h_damp_half_life = time_opt "damp-half-life";
+    h_pace = time_opt "pace";
+    h_pace_cap =
+      (match opt_value opts "pace-cap" with
+      | Some s -> parse_int lineno "pace-cap" s
+      | None -> 16);
+    h_horizon = time_opt "horizon";
+  }
+
+let health_of_args ~line args =
+  match parse_health line args with
+  | d -> Ok d
+  | exception Parse_error (_, m) -> Error m
+
+let last_event_time events =
+  List.fold_left (fun acc (e : Events.t) -> Float.max acc e.time) 0.0 events
+
+let health_config ~graph ~config ~last_event d =
+  let round = Dgmc.Config.round_length config ~graph in
+  let resolve (v, rounds) = if rounds then v *. round else v in
+  let damping =
+    if d.h_damping then
+      Some
+        {
+          Health.Config.d_penalty = d.h_damp_penalty;
+          d_suppress = d.h_damp_suppress;
+          d_reuse = d.h_damp_reuse;
+          d_half_life =
+            (match d.h_damp_half_life with
+            | Some hl -> resolve hl
+            | None -> 4.0 *. round);
+        }
+    else None
+  in
+  let pacing =
+    Option.map
+      (fun mi ->
+        { Health.Config.p_min_interval = resolve mi; p_cap = d.h_pace_cap })
+      d.h_pace
+  in
+  let partial =
+    Health.Config.make ~period:(resolve d.h_period)
+      ?grace:(Option.map resolve d.h_grace) ~detector:d.h_detector
+      ?reup:d.h_reup ?damping ?pacing ~horizon:1.0 ()
+  in
+  let horizon =
+    match d.h_horizon with
+    | Some hz -> resolve hz
+    | None ->
+      (* Past the last scripted event by three detection bounds plus
+         convergence slack: enough for the slowest discovery (down, or
+         up through reup hellos), then quiescence. *)
+      last_event +. (3.0 *. Health.Config.detect_bound partial) +. (10.0 *. round)
+  in
+  { partial with Health.Config.horizon }
+
 (* "faults drop=0.3 dup=0.1 seed=7" — fault keys go to Faults.Plan's
    parser; [seed] is handled here.  Shared with the linter. *)
 let faults_of_args ~line args =
@@ -210,6 +343,7 @@ let parse text =
     let faults = ref None in
     let fault_seed = ref 1 in
     let mcs = ref [] in
+    let health = ref None in
     (* (time, rounds?, action builder) — resolved once graph+config known. *)
     let events = ref [] in
     (* churn directives expand once the graph and round length are known. *)
@@ -267,6 +401,7 @@ let parse text =
           in
           events := (lineno, time, act) :: !events
         | "churn" :: opts -> churns := (lineno, parse_churn lineno !mcs opts) :: !churns
+        | "health" :: opts -> health := Some (parse_health lineno opts)
         | verb :: _ -> fail lineno "unknown directive %S" verb)
       (String.split_on_char '\n' text);
     let graph =
@@ -310,6 +445,12 @@ let parse text =
         !events
     in
     let events = Events.sort (scripted @ churn_events) in
+    let health =
+      Option.map
+        (fun d ->
+          health_config ~graph ~config ~last_event:(last_event_time events) d)
+        !health
+    in
     Ok
       {
         graph;
@@ -318,6 +459,7 @@ let parse text =
         events;
         faults = !faults;
         fault_seed = !fault_seed;
+        health;
       }
   with Parse_error (line, msg) ->
     Error (if line = 0 then msg else Printf.sprintf "line %d: %s" line msg)
@@ -341,6 +483,11 @@ let build ?trace ?metrics t =
     | Some spec ->
       ( { t.config with flood_mode = Lsr.Flooding.Reliable },
         Some (Faults.Plan.create ~spec ~seed:t.fault_seed ()) )
+  in
+  let config =
+    match t.health with
+    | None -> config
+    | Some hc -> { config with Dgmc.Config.health = Some hc }
   in
   let net =
     Dgmc.Protocol.create ~graph:t.graph ~config ?faults ?trace ?metrics ()

@@ -42,6 +42,10 @@ type t = {
       (** When set, {!build} runs the network under this fault plan with
           [Reliable] flooding (overriding [config.flood_mode]). *)
   fault_seed : int;  (** Seed of the fault plan's random stream. *)
+  health : Health.Config.t option;
+      (** When set (a [health] directive), {!build} enables the
+          link-health layer: scripted link events become ground truth
+          the hello detectors must discover. *)
 }
 
 val parse : string -> (t, string) result
@@ -88,6 +92,45 @@ val churn_spec :
 (** Resolve the directive's round-denominated times against the graph
     and regime.  [Churn.generate] with [Sim.Rng.create churn_seed] then
     yields exactly the events {!parse} appends. *)
+
+type health_directive = {
+  h_period : float * bool;  (** (value, round-denominated?). *)
+  h_grace : (float * bool) option;
+  h_detector : Health.Detector.kind;
+  h_reup : int option;
+  h_damping : bool;
+  h_damp_penalty : float;
+  h_damp_suppress : float;
+  h_damp_reuse : float;
+  h_damp_half_life : (float * bool) option;  (** [None]: 4 rounds. *)
+  h_pace : (float * bool) option;  (** Min-interval; presence enables pacing. *)
+  h_pace_cap : int;
+  h_horizon : (float * bool) option;  (** [None]: derived from the events. *)
+}
+(** A [health] directive as written — times unresolved. *)
+
+val health_allowed_keys : string list
+(** The option keys a [health] directive accepts. *)
+
+val health_of_args :
+  line:int -> string list -> (health_directive, string) result
+(** Parse a [health] directive's [key=value] arguments (defaults:
+    [period=0.5r], [detector=k:3], no damping, no pacing).  Shared with
+    the linter and the CLI's [--health] flag. *)
+
+val last_event_time : Events.t list -> float
+(** Time of the latest event, 0 when the list is empty — the anchor for
+    {!health_config}'s derived horizon. *)
+
+val health_config :
+  graph:Net.Graph.t ->
+  config:Dgmc.Config.t ->
+  last_event:float ->
+  health_directive ->
+  Health.Config.t
+(** Resolve round-denominated times against the graph and regime.  When
+    no explicit horizon was given, it is placed past [last_event] by
+    three detection bounds plus ten rounds of convergence slack. *)
 
 val load : string -> (t, string) result
 (** Read and parse a file. *)

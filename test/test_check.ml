@@ -583,6 +583,212 @@ let test_lint_missing_graph () =
   Alcotest.(check bool) "missing graph is an error" true
     (Check.Scenario_lint.errors diags > 0)
 
+let test_lint_health_directive () =
+  let lint lines = Check.Scenario_lint.lint (String.concat "\n" lines) in
+  let base = [ "graph line 3"; "mc 1 symmetric"; "at 0 join 0 mc=1" ] in
+  let clean =
+    lint (base @ [ "health period=0.5r detector=k:3"; "at 1r linkdown 0 1" ])
+  in
+  Alcotest.(check int) "valid health directive lints clean" 0
+    (Check.Scenario_lint.errors clean);
+  let bad_key = lint (base @ [ "health perod=0.5r" ]) in
+  Alcotest.(check bool) "unknown key is an error" true
+    (Check.Scenario_lint.errors bad_key > 0);
+  let bad_detector = lint (base @ [ "health detector=banana" ]) in
+  Alcotest.(check bool) "unparseable detector is an error" true
+    (Check.Scenario_lint.errors bad_detector > 0);
+  let bad_damping =
+    lint (base @ [ "health damp-suppress=0.1 damp-reuse=0.5" ])
+  in
+  Alcotest.(check bool) "suppress below reuse fails semantic validation" true
+    (Check.Scenario_lint.errors bad_damping > 0);
+  let no_links = lint (base @ [ "health period=0.5r" ]) in
+  Alcotest.(check int) "health without link events is not an error" 0
+    (Check.Scenario_lint.errors no_links);
+  Alcotest.(check bool) "…but warns that there is nothing to detect" true
+    (Check.Scenario_lint.warnings no_links > 0)
+
+(* --- the abstract hello model, exhaustively explored --- *)
+
+(* K_missed 2 → detection proven by round 3; damping (when on) suppresses
+   at the first flap and readmits after one calm round. *)
+let hello_config ?damping () =
+  let damping =
+    if Option.value damping ~default:false then
+      Some
+        {
+          Health.Config.d_penalty = 1.0;
+          d_suppress = 1.0;
+          d_reuse = 0.5;
+          d_half_life = 0.001;
+        }
+    else None
+  in
+  Health.Config.make ~period:0.001 ~detector:(Health.Detector.K_missed 2)
+    ?damping ~horizon:1.0 ()
+
+let health_atm ?damping () =
+  { Dgmc.Config.atm_lan with Dgmc.Config.health = Some (hello_config ?damping ()) }
+
+(* Ring 3 keeps the members connected when one link (or the middle
+   switch) fails, so the terminal agreement laws stay applicable. *)
+let hello_scenario ?damping ~setup ~race () =
+  {
+    Check.Explore.graph = Net.Topo_gen.ring 3;
+    config = health_atm ?damping ();
+    setup;
+    race;
+  }
+
+let test_hello_fault_free_no_false_positive () =
+  (* Law "hello-false-positive", proven over every interleaving: with
+     every link up and nobody crashed, no hello round — wherever it
+     lands relative to a racing join — may produce a down declaration. *)
+  let scenario =
+    hello_scenario ~setup:[ join 0 ]
+      ~race:
+        [
+          join 2;
+          Check.Harness.Hello_round;
+          Check.Harness.Hello_round;
+          Check.Harness.Hello_round;
+          Check.Harness.Hello_round;
+        ]
+      ()
+  in
+  let o = Check.Explore.run scenario in
+  Format.printf "hello fault-free: %a@." Check.Explore.pp_outcome o;
+  (match o.violation with
+  | Some v ->
+    Alcotest.failf "unexpected violation: %s\ntrace:\n%s" v.message
+      (String.concat "\n" v.trace)
+  | None -> ());
+  Alcotest.(check bool) "exploration complete" true o.complete;
+  Alcotest.(check bool) "reached terminal states" true (o.terminals > 0)
+
+let test_hello_detection_proven () =
+  (* Law "hello-detect": in every interleaving of a link failure with
+     enough hello rounds, any adjacency whose truth has been down for
+     a_detect_rounds observed rounds must be believed down.  Completing
+     with no violation proves the abstract detectors never sleep through
+     a failure. *)
+  let rounds =
+    match
+      Check.Harness.health_detect_rounds
+        (Check.Harness.create ~graph:(Net.Topo_gen.ring 3)
+           ~config:(health_atm ()) ())
+    with
+    | Some r -> r
+    | None -> Alcotest.fail "health layer not engaged in the harness"
+  in
+  let scenario =
+    hello_scenario ~setup:[ join 0; join 2 ]
+      ~race:
+        (Check.Harness.Link_down (0, 1)
+        :: List.init (rounds + 1) (fun _ -> Check.Harness.Hello_round))
+      ()
+  in
+  let o = Check.Explore.run scenario in
+  Format.printf "hello detect: %a@." Check.Explore.pp_outcome o;
+  (match o.violation with
+  | Some v ->
+    Alcotest.failf "unexpected violation: %s\ntrace:\n%s" v.message
+      (String.concat "\n" v.trace)
+  | None -> ());
+  Alcotest.(check bool) "exploration complete" true o.complete;
+  (* And concretely, on the deterministic schedule: silence for
+     a_detect_rounds flips both endpoint beliefs, with zero spurious
+     declarations. *)
+  let h =
+    Check.Harness.create ~graph:(Net.Topo_gen.ring 3) ~config:(health_atm ())
+      ()
+  in
+  Check.Harness.inject h (join 0);
+  Check.Harness.inject h (join 2);
+  Check.Harness.settle h;
+  Check.Harness.inject h (Check.Harness.Link_down (0, 1));
+  for _ = 1 to rounds do
+    Check.Harness.inject h Check.Harness.Hello_round
+  done;
+  Check.Harness.settle h;
+  let believed_down w p =
+    List.exists
+      (fun (a : Check.Harness.adjacency_view) ->
+        a.av_watcher = w && a.av_peer = p && not a.av_up)
+      (Check.Harness.health_adjacencies h)
+  in
+  Alcotest.(check bool) "0 believes its link to 1 down" true
+    (believed_down 0 1);
+  Alcotest.(check bool) "1 believes its link to 0 down" true
+    (believed_down 1 0);
+  Alcotest.(check (list string)) "no spurious declaration" []
+    (Check.Harness.health_spurious h)
+
+let test_hello_damping_suppress_and_readmit () =
+  (* Damping lifecycle in the abstract model, plus the terminal
+     "suppress-install" law: after the flap suppresses the link, no
+     installed tree may use it; after readmission and recovery the
+     network reconverges. *)
+  let graph = Net.Topo_gen.line 3 in
+  let h =
+    Check.Harness.create ~graph ~config:(health_atm ~damping:true ()) ()
+  in
+  Check.Harness.inject h (join 0);
+  Check.Harness.inject h (join 2);
+  Check.Harness.settle h;
+  Check.Harness.inject h (Check.Harness.Link_down (0, 1));
+  for _ = 1 to 3 do
+    Check.Harness.inject h Check.Harness.Hello_round
+  done;
+  Check.Harness.settle h;
+  Alcotest.(check (list (pair int int))) "first flap suppresses the link"
+    [ (0, 1) ]
+    (Check.Harness.suppressed_links h);
+  (* Terminal law while suppressed: no installed tree contains (0,1) —
+     the members 0 and 2 cannot even form a tree without it on a line,
+     so the checker must see the degraded state, not a violation. *)
+  let violations =
+    Check.Invariant.check_health_terminal
+      ~suppressed:(Check.Harness.suppressed_links h)
+      (Check.Harness.switches h)
+  in
+  Alcotest.(check int) "no tree uses the suppressed link" 0
+    (List.length violations);
+  (* Heal the link; one calm round readmits, two arrivals re-up. *)
+  Check.Harness.inject h (Check.Harness.Link_up (0, 1));
+  for _ = 1 to 4 do
+    Check.Harness.inject h Check.Harness.Hello_round
+  done;
+  Check.Harness.settle h;
+  Alcotest.(check (list (pair int int))) "readmitted after the calm" []
+    (Check.Harness.suppressed_links h);
+  Alcotest.(check bool) "all adjacencies believed up again" true
+    (List.for_all
+       (fun (a : Check.Harness.adjacency_view) -> a.av_up)
+       (Check.Harness.health_adjacencies h));
+  Alcotest.(check (list string)) "no spurious declaration" []
+    (Check.Harness.health_spurious h)
+
+let test_hello_crash_detection_legitimate () =
+  (* A crashed peer goes silent exactly like a dead link; declaring it
+     down is a legitimate detection, not a false positive — explored
+     across every interleaving of the crash and the rounds. *)
+  let scenario =
+    hello_scenario ~setup:[ join 0; join 2 ]
+      ~race:
+        (Check.Harness.Crash 1
+        :: List.init 4 (fun _ -> Check.Harness.Hello_round))
+      ()
+  in
+  let o = Check.Explore.run scenario in
+  Format.printf "hello crash: %a@." Check.Explore.pp_outcome o;
+  (match o.violation with
+  | Some v ->
+    Alcotest.failf "unexpected violation: %s\ntrace:\n%s" v.message
+      (String.concat "\n" v.trace)
+  | None -> ());
+  Alcotest.(check bool) "exploration complete" true o.complete
+
 let () =
   Alcotest.run "check"
     [
@@ -647,5 +853,18 @@ let () =
             test_lint_catches_errors;
           Alcotest.test_case "warnings" `Quick test_lint_warnings;
           Alcotest.test_case "missing graph" `Quick test_lint_missing_graph;
+          Alcotest.test_case "health directive" `Quick
+            test_lint_health_directive;
+        ] );
+      ( "hello-model",
+        [
+          Alcotest.test_case "fault-free rounds: no false positive, proven"
+            `Quick test_hello_fault_free_no_false_positive;
+          Alcotest.test_case "link failure is detected in every interleaving"
+            `Quick test_hello_detection_proven;
+          Alcotest.test_case "damping suppresses, terminal law holds, readmits"
+            `Quick test_hello_damping_suppress_and_readmit;
+          Alcotest.test_case "crashed peer detection is legitimate" `Quick
+            test_hello_crash_detection_legitimate;
         ] );
     ]

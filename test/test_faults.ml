@@ -65,6 +65,49 @@ let test_counters_match_rates () =
     (n - c.dropped + c.duplicated)
     c.delivered
 
+(* Per-link totals are exact, directed, sorted, and sum to the
+   aggregate counters — the invariant dgmc_report's per-link fault
+   table relies on. *)
+let test_link_counters_sum_to_aggregate () =
+  let plan = Faults.Plan.create ~spec:lossy_spec ~seed:11 () in
+  Faults.Plan.crash_switch plan ~switch:3 ~from_:10.0 ~until:40.0;
+  for i = 0 to 4_999 do
+    let src = i mod 5 and dst = (i + 1 + (i mod 3)) mod 5 in
+    if src <> dst then
+      ignore
+        (Faults.Plan.transmit plan ~src ~dst ~now:(float_of_int i *. 0.05)
+           ~base_delay:1.0)
+  done;
+  let agg = Faults.Plan.counters plan in
+  let per_link = Faults.Plan.link_counters plan in
+  check Alcotest.bool "several links recorded" true (List.length per_link > 1);
+  let sum f = List.fold_left (fun acc (_, lc) -> acc + f lc) 0 per_link in
+  check Alcotest.int "transmissions sum" agg.Faults.Plan.transmissions
+    (sum (fun lc -> lc.Faults.Plan.l_transmissions));
+  check Alcotest.int "drops sum" agg.dropped
+    (sum (fun lc -> lc.Faults.Plan.l_dropped));
+  check Alcotest.int "duplicates sum" agg.duplicated
+    (sum (fun lc -> lc.Faults.Plan.l_duplicated));
+  check Alcotest.int "reorders sum" agg.reordered
+    (sum (fun lc -> lc.Faults.Plan.l_reordered));
+  let blocked = sum (fun lc -> lc.Faults.Plan.l_blocked) in
+  check Alcotest.bool "crash window blocked some transmissions" true
+    (blocked > 0);
+  (* Directed: traffic flowed both ways on some pair, and the two
+     directions are distinct keys. *)
+  check Alcotest.bool "directed keys" true
+    (List.exists
+       (fun ((a, b), _) -> List.mem_assoc (b, a) per_link)
+       per_link);
+  let keys = List.map fst per_link in
+  let sorted =
+    List.sort
+      (fun (a, b) (c, d) ->
+        match Int.compare a c with 0 -> Int.compare b d | n -> n)
+      keys
+  in
+  check Alcotest.bool "sorted output" true (keys = sorted)
+
 let test_transparent_plan_is_invisible () =
   let plan = Faults.Plan.create ~seed:1 () in
   for i = 0 to 99 do
@@ -158,6 +201,8 @@ let () =
         [
           Alcotest.test_case "counters match configured rates" `Quick
             test_counters_match_rates;
+          Alcotest.test_case "link counters sum to aggregate" `Quick
+            test_link_counters_sum_to_aggregate;
           Alcotest.test_case "transparent plan is invisible" `Quick
             test_transparent_plan_is_invisible;
         ] );

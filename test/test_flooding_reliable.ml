@@ -163,6 +163,139 @@ let test_lossless_reliable_matches_hop_by_hop () =
   check Alcotest.int "nothing abandoned" 0
     (Lsr.Flooding.deliveries_abandoned rel)
 
+let test_giveup_once_crash_window_closes_mid_backoff () =
+  (* Regression: a unicast transfer whose destination is crashed for the
+     whole retry schedule must fire on_giveup exactly once — including
+     when the crash window closes between two backoff attempts (the
+     give-up path used to be able to race a late retransmit timer). *)
+  let graph = Net.Topo_gen.line 2 in
+  let plan = Faults.Plan.create ~seed:4 () in
+  (* rto=4, retries=3: attempts at 0, 4, 12, 28 hop-times; the window
+     closes at 20.0, mid-way through the final backoff wait. *)
+  Faults.Plan.crash_switch plan ~switch:1 ~from_:0.0 ~until:20.0;
+  let engine_ref = ref None in
+  let transmit ~src ~dst ~base_delay =
+    faulty_transmit plan (Option.get !engine_ref) ~src ~dst ~base_delay
+  in
+  let reliability = { Lsr.Flooding.default_reliability with max_retries = 3 } in
+  let f, engine, log = make graph ~t_hop:1.0 ~transmit ~reliability in
+  engine_ref := Some engine;
+  let giveups = ref 0 in
+  Lsr.Flooding.send f ~src:0 ~dst:1
+    ~on_giveup:(fun () -> incr giveups)
+    (Lsr.Lsa.make ~origin:0 ~seq:0 ());
+  Sim.Engine.run engine;
+  (* The final attempt at t=28 lands after the window closes, so the
+     transfer actually completes — and the give-up must then never fire. *)
+  check Alcotest.int "delivered after the window closed" 1 (List.length !log);
+  check Alcotest.int "no giveup for a completed transfer" 0 !giveups;
+  check Alcotest.int "state aged out" 0 (Lsr.Flooding.pending_retransmits f);
+  (* Same schedule against a window outliving every attempt: exactly one
+     give-up, no double-fire from the abandoned timer. *)
+  let plan2 = Faults.Plan.create ~seed:4 () in
+  Faults.Plan.crash_switch plan2 ~switch:1 ~from_:0.0 ~until:1e12;
+  let engine_ref2 = ref None in
+  let transmit2 ~src ~dst ~base_delay =
+    faulty_transmit plan2 (Option.get !engine_ref2) ~src ~dst ~base_delay
+  in
+  let f2, engine2, log2 = make graph ~t_hop:1.0 ~transmit:transmit2 ~reliability in
+  engine_ref2 := Some engine2;
+  let giveups2 = ref 0 in
+  Lsr.Flooding.send f2 ~src:0 ~dst:1
+    ~on_giveup:(fun () -> incr giveups2)
+    (Lsr.Lsa.make ~origin:0 ~seq:0 ());
+  Sim.Engine.run engine2;
+  check Alcotest.int "nothing delivered" 0 (List.length !log2);
+  check Alcotest.int "on_giveup fired exactly once" 1 !giveups2;
+  check Alcotest.int "abandoned counted once" 1
+    (Lsr.Flooding.deliveries_abandoned f2);
+  check Alcotest.int "state aged out" 0 (Lsr.Flooding.pending_retransmits f2)
+
+let test_abandon_link_cancels_pending_once () =
+  (* The health layer's dead-neighbor hook: abandon_link cancels the
+     pending transfer immediately, fires its on_giveup exactly once, and
+     a second call (or the stale retransmit timer) finds nothing. *)
+  let graph = Net.Topo_gen.line 2 in
+  let transmit ~src:_ ~dst:_ ~base_delay:_ = [] in
+  let f, engine, log = make graph ~t_hop:1.0 ~transmit in
+  let giveups = ref 0 in
+  Lsr.Flooding.send f ~src:0 ~dst:1
+    ~on_giveup:(fun () -> incr giveups)
+    (Lsr.Lsa.make ~origin:0 ~seq:0 ());
+  (* Let the first transmission (and one backoff) happen, then declare
+     the neighbor dead mid-flight. *)
+  ignore
+    (Sim.Engine.schedule engine ~delay:5.0 (fun () ->
+         check Alcotest.int "transfer pending before abandon" 1
+           (Lsr.Flooding.pending_retransmits f);
+         check Alcotest.int "one transfer cancelled" 1
+           (Lsr.Flooding.abandon_link f ~src:0 ~dst:1);
+         check Alcotest.int "giveup fired synchronously" 1 !giveups;
+         check Alcotest.int "second abandon finds nothing" 0
+           (Lsr.Flooding.abandon_link f ~src:0 ~dst:1)));
+  Sim.Engine.run engine;
+  check Alcotest.int "nothing delivered" 0 (List.length !log);
+  check Alcotest.int "giveup still exactly once after the run" 1 !giveups;
+  check Alcotest.int "cancelled transfer counted abandoned" 1
+    (Lsr.Flooding.deliveries_abandoned f);
+  check Alcotest.int "no pending state left" 0
+    (Lsr.Flooding.pending_retransmits f)
+
+let test_adaptive_rtt_estimate_converges () =
+  (* Adaptive reliable mode: on a clean link the Jacobson/Karn estimate
+     converges to the actual round trip and no spurious retransmission
+     fires. *)
+  let graph = Net.Topo_gen.line 2 in
+  let reliability =
+    { Lsr.Flooding.default_reliability with adaptive = true }
+  in
+  let f, engine, _log = make graph ~t_hop:1.0 ~reliability in
+  check Alcotest.bool "no estimate before the first sample" true
+    (Lsr.Flooding.rtt_estimate f ~src:0 ~dst:1 = None);
+  for seq = 0 to 7 do
+    ignore
+      (Sim.Engine.schedule engine
+         ~delay:(10.0 *. float_of_int seq)
+         (fun () ->
+           Lsr.Flooding.send f ~src:0 ~dst:1 (Lsr.Lsa.make ~origin:0 ~seq ())))
+  done;
+  Sim.Engine.run engine;
+  (match Lsr.Flooding.rtt_estimate f ~src:0 ~dst:1 with
+  | None -> Alcotest.fail "no RTT estimate after eight clean transfers"
+  | Some (srtt, rttvar) ->
+    (* Data hop + ack hop = 2 hop-times exactly on a fault-free line. *)
+    check Alcotest.bool "srtt converged to the round trip" true
+      (Float.abs (srtt -. 2.0) < 0.01);
+    check Alcotest.bool "rttvar collapsed on a jitter-free link" true
+      (rttvar < 1.0));
+  check Alcotest.int "no spurious retransmission" 0
+    (Lsr.Flooding.retransmissions f)
+
+let test_adaptive_karn_rule () =
+  (* Karn's rule: a transfer that needed a retransmission contributes no
+     RTT sample (its ack is ambiguous). *)
+  let graph = Net.Topo_gen.line 2 in
+  let first = ref true in
+  let transmit ~src:_ ~dst ~base_delay =
+    (* Drop the very first data copy (towards 1); everything after —
+       including acks (towards 0) — is clean. *)
+    if !first && dst = 1 then begin
+      first := false;
+      []
+    end
+    else [ base_delay ]
+  in
+  let reliability =
+    { Lsr.Flooding.default_reliability with adaptive = true }
+  in
+  let f, engine, log = make graph ~t_hop:1.0 ~transmit ~reliability in
+  Lsr.Flooding.send f ~src:0 ~dst:1 (Lsr.Lsa.make ~origin:0 ~seq:0 ());
+  Sim.Engine.run engine;
+  check Alcotest.int "delivered on the retransmission" 1 (List.length !log);
+  check Alcotest.int "one retransmission" 1 (Lsr.Flooding.retransmissions f);
+  check Alcotest.bool "no sample from a retransmitted transfer" true
+    (Lsr.Flooding.rtt_estimate f ~src:0 ~dst:1 = None)
+
 let () =
   Alcotest.run "flooding_reliable"
     [
@@ -178,5 +311,15 @@ let () =
             test_exactly_once_under_duplication;
           Alcotest.test_case "lossless reliable = hop-by-hop modulo acks"
             `Quick test_lossless_reliable_matches_hop_by_hop;
+          Alcotest.test_case "giveup fires once when a crash window closes \
+                              mid-backoff"
+            `Quick test_giveup_once_crash_window_closes_mid_backoff;
+          Alcotest.test_case "abandon_link cancels pending state exactly once"
+            `Quick test_abandon_link_cancels_pending_once;
+          Alcotest.test_case "adaptive RTO estimate converges on a clean link"
+            `Quick test_adaptive_rtt_estimate_converges;
+          Alcotest.test_case "Karn's rule: no sample from retransmitted \
+                              transfers"
+            `Quick test_adaptive_karn_rule;
         ] );
     ]

@@ -1,0 +1,353 @@
+(* The adaptive link-health layer: detector timeouts, flap damping,
+   origination pacing, configuration validation, and the full
+   protocol-level loop — scripted link events as ground truth that the
+   hello detectors must discover, within the configured bound and with
+   zero false positives. *)
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Detector *)
+
+let test_k_missed_deadline () =
+  let det =
+    Health.Detector.create (Health.Detector.K_missed 3) ~period:1.0 ~grace:0.5
+      ~start:0.0
+  in
+  check (Alcotest.float 1e-9) "timeout = k periods + grace" 3.5
+    (Health.Detector.timeout det);
+  check Alcotest.bool "not down just before the deadline" false
+    (Health.Detector.down det ~now:3.49);
+  check Alcotest.bool "down at the deadline" true
+    (Health.Detector.down det ~now:3.5);
+  (* An arrival pushes the deadline out. *)
+  Health.Detector.note_arrival det ~now:2.0;
+  check (Alcotest.float 1e-9) "deadline re-anchored on the arrival" 5.5
+    (Health.Detector.deadline det);
+  (* reset forgets accumulated silence. *)
+  Health.Detector.reset det ~now:10.0;
+  check Alcotest.bool "fresh after reset" false
+    (Health.Detector.down det ~now:13.0)
+
+let test_phi_adapts_to_jitter () =
+  let kind = Health.Detector.Phi { window = 8; threshold = 4.0 } in
+  let quiet =
+    Health.Detector.create kind ~period:1.0 ~grace:0.0 ~start:0.0
+  in
+  let jittery =
+    Health.Detector.create kind ~period:1.0 ~grace:0.0 ~start:0.0
+  in
+  (* Same mean inter-arrival (1.0), very different spread. *)
+  List.iteri
+    (fun i _ -> Health.Detector.note_arrival quiet ~now:(float_of_int (i + 1)))
+    [ (); (); (); (); (); () ];
+  List.iter
+    (fun now -> Health.Detector.note_arrival jittery ~now)
+    [ 0.2; 2.0; 2.2; 4.0; 4.2; 6.0 ];
+  check Alcotest.bool "jittery path earns a longer tolerance" true
+    (Health.Detector.timeout jittery > Health.Detector.timeout quiet);
+  (* Both stay inside the configured clamp. *)
+  let inside d =
+    let t = Health.Detector.timeout d in
+    t >= 2.0 && t <= Health.Detector.phi_cap_mult
+  in
+  check Alcotest.bool "quiet tolerance clamped" true (inside quiet);
+  check Alcotest.bool "jittery tolerance clamped" true (inside jittery);
+  check Alcotest.bool "tolerance never exceeds the static bound" true
+    (Health.Detector.timeout jittery
+    <= Health.Detector.max_timeout kind ~period:1.0 ~grace:0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Damping *)
+
+let test_damping_lifecycle () =
+  let cfg =
+    { Health.Damping.penalty = 1.0; suppress = 2.5; reuse = 0.5; half_life = 2.0 }
+  in
+  let d = Health.Damping.create cfg in
+  Health.Damping.flap d ~now:0.0;
+  Health.Damping.flap d ~now:0.0;
+  check Alcotest.bool "two rapid flaps stay under the threshold" false
+    (Health.Damping.suppressed d ~now:0.0);
+  Health.Damping.flap d ~now:0.0;
+  check Alcotest.bool "third flap suppresses" true
+    (Health.Damping.suppressed d ~now:0.0);
+  (match Health.Damping.reuse_time d ~now:0.0 with
+  | None -> Alcotest.fail "suppressed link must expose a reuse time"
+  | Some rt ->
+    (* 3.0 decaying to 0.5 with half-life 2: t = 2·log2(6) ≈ 5.17. *)
+    check (Alcotest.float 1e-6) "analytic readmission instant"
+      (2.0 *. Float.log2 6.0)
+      rt;
+    check Alcotest.bool "still suppressed before" true
+      (Health.Damping.suppressed d ~now:(rt -. 0.01));
+    check Alcotest.bool "readmitted after" false
+      (Health.Damping.suppressed d ~now:(rt +. 0.01)));
+  check Alcotest.int "all flaps counted" 3 (Health.Damping.flaps d)
+
+(* ------------------------------------------------------------------ *)
+(* Pacer *)
+
+let test_pacer_coalesces_and_flushes_final_state () =
+  let engine = Sim.Engine.create () in
+  let emitted = ref [] in
+  let p =
+    Health.Pacer.create ~engine ~min_interval:1.0 ~cap:4
+      ~emit:(fun key v -> emitted := (key, v, Sim.Engine.now engine) :: !emitted)
+      ()
+  in
+  (* Three rapid submissions for one key: first passes, the middle one
+     parks, the last replaces it — only the final state flushes. *)
+  ignore
+    (Sim.Engine.schedule engine ~delay:0.0 (fun () ->
+         Health.Pacer.submit p ~key:(1, 2) "down";
+         Health.Pacer.submit p ~key:(1, 2) "up";
+         Health.Pacer.submit p ~key:(1, 2) "down2"));
+  Sim.Engine.run engine;
+  let log = List.rev !emitted in
+  check Alcotest.int "two emissions" 2 (List.length log);
+  (match log with
+  | [ ((1, 2), "down", t0); ((1, 2), "down2", t1) ] ->
+    check (Alcotest.float 1e-9) "first immediately" 0.0 t0;
+    check Alcotest.bool "flush after the hold-down" true (t1 >= 1.0)
+  | _ -> Alcotest.fail "unexpected emission sequence");
+  check Alcotest.int "intermediate state shed" 1 (Health.Pacer.coalesced p);
+  check Alcotest.int "nothing parked at quiescence" 0 (Health.Pacer.pending p)
+
+let test_pacer_cap_forces_passthrough () =
+  let engine = Sim.Engine.create () in
+  let emitted = ref 0 in
+  let p =
+    Health.Pacer.create ~engine ~min_interval:10.0 ~cap:2
+      ~emit:(fun _ _ -> incr emitted)
+      ()
+  in
+  ignore
+    (Sim.Engine.schedule engine ~delay:0.0 (fun () ->
+         (* Each key's first submission emits; the second parks it.  With
+            cap 2, a third parked key is refused: its submission passes
+            through immediately instead. *)
+         List.iter
+           (fun key ->
+             Health.Pacer.submit p ~key "a";
+             Health.Pacer.submit p ~key "b")
+           [ (0, 1); (1, 2); (2, 3) ]));
+  Sim.Engine.run engine;
+  check Alcotest.int "one forced pass-through" 1 (Health.Pacer.forced p);
+  (* 3 immediate + 1 forced + 2 flushed. *)
+  check Alcotest.int "every final state emitted" 6 !emitted;
+  check Alcotest.int "queue drained" 0 (Health.Pacer.pending p)
+
+(* ------------------------------------------------------------------ *)
+(* Config validation *)
+
+let test_config_validation () =
+  let ok =
+    Health.Config.make ~period:0.5
+      ~damping:
+        {
+          Health.Config.d_penalty = 1.0;
+          d_suppress = 3.0;
+          d_reuse = 0.75;
+          d_half_life = 4.0;
+        }
+      ~horizon:100.0 ()
+  in
+  (match Health.Config.validate ok with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "valid config rejected: %s" m);
+  let rejected t =
+    match Health.Config.validate t with Ok () -> false | Error _ -> true
+  in
+  check Alcotest.bool "non-positive period rejected" true
+    (rejected { ok with Health.Config.period = 0.0 });
+  check Alcotest.bool "negative grace rejected" true
+    (rejected { ok with Health.Config.grace = -1.0 });
+  check Alcotest.bool "reup < 1 rejected" true
+    (rejected { ok with Health.Config.reup = 0 });
+  check Alcotest.bool "suppress <= reuse rejected" true
+    (rejected
+       {
+         ok with
+         Health.Config.damping =
+           Some
+             {
+               Health.Config.d_penalty = 1.0;
+               d_suppress = 0.5;
+               d_reuse = 0.75;
+               d_half_life = 4.0;
+             };
+       });
+  check Alcotest.bool "non-positive horizon rejected" true
+    (rejected { ok with Health.Config.horizon = 0.0 })
+
+let test_config_abstract_mapping () =
+  let hc =
+    Health.Config.make ~period:0.5
+      ~detector:(Health.Detector.K_missed 3)
+      ~damping:
+        {
+          Health.Config.d_penalty = 1.0;
+          d_suppress = 3.0;
+          d_reuse = 0.75;
+          d_half_life = 2.0;
+        }
+      ~horizon:100.0 ()
+  in
+  let a = Health.Config.abstract hc in
+  check Alcotest.int "k-missed 3 detects by round 4" 4
+    a.Health.Config.a_detect_rounds;
+  check (Alcotest.option Alcotest.int) "ceil(suppress/penalty) flaps" (Some 3)
+    a.Health.Config.a_suppress_flaps;
+  check Alcotest.bool "readmission rounds positive" true
+    (a.Health.Config.a_reuse_rounds > 0)
+
+(* Satellite: the resync deadline is derived from the reliable
+   transport's worst case, and a hand-tuned value below it is a
+   configuration error surfaced at create time. *)
+let test_resync_deadline_derived_and_validated () =
+  let config = Dgmc.Config.atm_lan in
+  check (Alcotest.float 1e-9) "preset deadline = give-up span + rto"
+    (Lsr.Flooding.giveup_span_hops config.Dgmc.Config.reliability
+    +. config.Dgmc.Config.reliability.Lsr.Flooding.rto)
+    config.Dgmc.Config.resync_deadline_hops;
+  (match Dgmc.Config.validate config with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "preset invalid: %s" m);
+  let bad = { config with Dgmc.Config.resync_deadline_hops = 100.0 } in
+  (match Dgmc.Config.validate bad with
+  | Ok () -> Alcotest.fail "deadline below the give-up span must be rejected"
+  | Error _ -> ());
+  let graph = Net.Topo_gen.line 3 in
+  match Dgmc.Protocol.create ~graph ~config:bad () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "Protocol.create must reject an invalid config"
+
+(* ------------------------------------------------------------------ *)
+(* Protocol integration *)
+
+let mc = Dgmc.Mc_id.make Dgmc.Mc_id.Symmetric 1
+
+let health_cfg ?damping ?pacing ~horizon () =
+  Health.Config.make ~period:0.0005 ?damping ?pacing ~horizon ()
+
+(* A grid conference; the harness downs a link at [t_down] as ground
+   truth only, so the detectors must discover it. *)
+let run_detection ?damping ?pacing () =
+  let graph = Net.Topo_gen.grid ~rows:3 ~cols:3 () in
+  let hc = health_cfg ?damping ?pacing ~horizon:0.08 () in
+  let config = { Dgmc.Config.atm_lan with Dgmc.Config.health = Some hc } in
+  let metrics = Metrics.Registry.create () in
+  let net = Dgmc.Protocol.create ~graph ~config ~metrics () in
+  Dgmc.Protocol.join net ~switch:0 mc Dgmc.Member.Both;
+  Dgmc.Protocol.join net ~switch:8 mc Dgmc.Member.Both;
+  Dgmc.Protocol.schedule_link_down net ~at:0.02 4 5;
+  Dgmc.Protocol.schedule_link_up net ~at:0.05 4 5;
+  Dgmc.Protocol.run net;
+  (net, metrics, hc)
+
+let test_detection_within_bound_no_false_positives () =
+  let net, metrics, hc = run_detection () in
+  match Dgmc.Protocol.health_summary net with
+  | None -> Alcotest.fail "health layer not engaged"
+  | Some h ->
+    check Alcotest.bool "both endpoints detected the failure" true
+      (h.Dgmc.Protocol.h_detections >= 2);
+    check Alcotest.int "no false positive on a clean schedule" 0
+      h.Dgmc.Protocol.h_false_positives;
+    check Alcotest.bool "recoveries observed" true
+      (h.Dgmc.Protocol.h_recoveries >= 2);
+    check (Alcotest.float 1e-9) "summary bound matches the config"
+      (Health.Config.detect_bound hc) h.Dgmc.Protocol.h_bound;
+    List.iter
+      (fun l ->
+        check Alcotest.bool "every detection within the configured bound"
+          true
+          (l <= h.Dgmc.Protocol.h_bound))
+      h.Dgmc.Protocol.h_latencies;
+    check Alcotest.bool "the MC reconverged over the detected topology" true
+      (Dgmc.Protocol.divergence net mc = []);
+    (* Hello traffic is mirrored into the registry. *)
+    let snap = Metrics.Registry.snapshot metrics in
+    let total name =
+      List.fold_left
+        (fun acc ((k : Metrics.Registry.key), v) ->
+          if String.equal k.Metrics.Registry.name name then acc + v else acc)
+        0 snap.Metrics.Registry.counters
+    in
+    check Alcotest.bool "hellos counted" true (total "health.hellos_sent" > 0);
+    check Alcotest.int "detections mirrored"
+      h.Dgmc.Protocol.h_detections
+      (total "health.detections")
+
+let test_pacer_under_churn () =
+  let net, _metrics, _hc =
+    run_detection
+      ~pacing:{ Health.Config.p_min_interval = 0.002; p_cap = 8 }
+      ()
+  in
+  match Dgmc.Protocol.health_summary net with
+  | None -> Alcotest.fail "health layer not engaged"
+  | Some h ->
+    check Alcotest.bool "paced originations flowed" true
+      (h.Dgmc.Protocol.h_pacer_emitted > 0);
+    check Alcotest.bool "network still converged under pacing" true
+      (Dgmc.Protocol.divergence net mc = [])
+
+let test_health_run_deterministic () =
+  let digest () =
+    let net, _, _ = run_detection () in
+    match Dgmc.Protocol.health_summary net with
+    | None -> ""
+    | Some h ->
+      Format.asprintf "%d|%d|%d|%d|%a" h.Dgmc.Protocol.h_detections
+        h.Dgmc.Protocol.h_recoveries h.Dgmc.Protocol.h_false_positives
+        h.Dgmc.Protocol.h_hellos
+        (Format.pp_print_list Format.pp_print_float)
+        h.Dgmc.Protocol.h_latencies
+  in
+  let a = digest () and b = digest () in
+  check Alcotest.bool "two identical runs, identical health telemetry" true
+    (a <> "" && String.equal a b)
+
+let () =
+  Alcotest.run "health"
+    [
+      ( "detector",
+        [
+          Alcotest.test_case "k-missed deadline arithmetic" `Quick
+            test_k_missed_deadline;
+          Alcotest.test_case "phi adapts to jitter within clamps" `Quick
+            test_phi_adapts_to_jitter;
+        ] );
+      ( "damping",
+        [
+          Alcotest.test_case "suppress/reuse lifecycle" `Quick
+            test_damping_lifecycle;
+        ] );
+      ( "pacer",
+        [
+          Alcotest.test_case "coalesces and flushes final state" `Quick
+            test_pacer_coalesces_and_flushes_final_state;
+          Alcotest.test_case "bounded queue degrades to pass-through" `Quick
+            test_pacer_cap_forces_passthrough;
+        ] );
+      ( "config",
+        [
+          Alcotest.test_case "validation rejects bad fields" `Quick
+            test_config_validation;
+          Alcotest.test_case "abstract model mapping" `Quick
+            test_config_abstract_mapping;
+          Alcotest.test_case "resync deadline derived from give-up span"
+            `Quick test_resync_deadline_derived_and_validated;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "detection within bound, zero false positives"
+            `Quick test_detection_within_bound_no_false_positives;
+          Alcotest.test_case "pacing keeps the network convergent" `Quick
+            test_pacer_under_churn;
+          Alcotest.test_case "byte-identical health telemetry across runs"
+            `Quick test_health_run_deterministic;
+        ] );
+    ]

@@ -713,6 +713,114 @@ let prop_search_domains_identical =
       let r1 = render 1 in
       String.equal r1 (render 2) && String.equal r1 (render 4))
 
+(* ------------------------------------------------------------------ *)
+(* Link health: detector and damping properties *)
+
+let pp_floats fs =
+  "["
+  ^ String.concat "; "
+      (* dgmc-analyze: allow float-format — counterexample printers *)
+      (List.map (Printf.sprintf "%g") fs)
+  ^ "]"
+
+let prop_phi_tolerance_monotone_in_jitter =
+  (* Amplifying the deviations of the inter-arrival samples around their
+     mean (same mean, larger MAD) never shrinks the phi tolerance: a
+     jittery path earns at least the quiet path's timeout. *)
+  QCheck2.Test.make
+    ~name:"health: phi tolerance never shrinks as jitter grows" ~count:300
+    ~print:(fun (intervals, c, threshold, period, grace) ->
+      (* dgmc-analyze: allow float-format — counterexample printer *)
+      Printf.sprintf "intervals=%s c=%g threshold=%g period=%g grace=%g"
+        (pp_floats intervals) c threshold period grace)
+    QCheck2.Gen.(
+      tup5
+        (list_size (int_range 1 8) (float_range 0.1 3.0))
+        (float_range 1.0 5.0) (float_range 0.0 8.0) (float_range 0.1 2.0)
+        (float_range 0.01 1.0))
+    (fun (intervals, c, threshold, period, grace) ->
+      let mean =
+        List.fold_left ( +. ) 0.0 intervals
+        /. float_of_int (List.length intervals)
+      in
+      let amplified = List.map (fun x -> mean +. (c *. (x -. mean))) intervals in
+      Health.Detector.phi_timeout ~period ~grace ~threshold amplified
+      >= Health.Detector.phi_timeout ~period ~grace ~threshold intervals)
+
+let prop_k_missed_safe_under_k_minus_1_losses =
+  (* Runs of at most k-1 consecutive missed hellos never fire a
+     K_missed k detector: at every arrival instant the verdict is still
+     up. *)
+  QCheck2.Test.make
+    ~name:"health: k-missed never fires on <= k-1 consecutive losses"
+    ~count:300
+    ~print:(fun (k, runs, period, grace) ->
+      (* dgmc-analyze: allow float-format — counterexample printer *)
+      Printf.sprintf "k=%d runs=[%s] period=%g grace=%g" k
+        (String.concat "; " (List.map string_of_int runs))
+        period grace)
+    QCheck2.Gen.(
+      int_range 1 6 >>= fun k ->
+      tup4 (return k)
+        (list_size (int_range 1 20) (int_range 0 (k - 1)))
+        (float_range 0.1 2.0) (float_range 0.01 1.0))
+    (fun (k, runs, period, grace) ->
+      let det =
+        Health.Detector.create (Health.Detector.K_missed k) ~period ~grace
+          ~start:0.0
+      in
+      let now = ref 0.0 in
+      List.for_all
+        (fun losses ->
+          (* [losses] hellos vanish, then one arrives on schedule. *)
+          now := !now +. (float_of_int (losses + 1) *. period);
+          let alive = not (Health.Detector.down det ~now:!now) in
+          Health.Detector.note_arrival det ~now:!now;
+          alive)
+        runs)
+
+let prop_damping_decays_to_reuse_in_bounded_time =
+  (* However many flaps accumulated, suppression lifts exactly when the
+     exponential decay reaches the reuse threshold — and that instant is
+     the analytic half-life bound, so readmission is never unbounded. *)
+  QCheck2.Test.make
+    ~name:"health: damping decays to reuse within the half-life bound"
+    ~count:300
+    ~print:(fun (penalty, suppress_over, reuse, half_life, flaps) ->
+      (* dgmc-analyze: allow float-format — counterexample printer *)
+      Printf.sprintf
+        "penalty=%g suppress=reuse+%g reuse=%g half-life=%g flaps=%d" penalty
+        suppress_over reuse half_life flaps)
+    QCheck2.Gen.(
+      tup5 (float_range 0.1 4.0) (float_range 0.1 4.0) (float_range 0.05 2.0)
+        (float_range 0.1 10.0) (int_range 1 30))
+    (fun (penalty, suppress_over, reuse, half_life, flaps) ->
+      let suppress = reuse +. suppress_over in
+      let cfg = { Health.Damping.penalty; suppress; reuse; half_life } in
+      (match Health.Damping.validate cfg with
+      | Ok () -> ()
+      | Error m -> failwith m);
+      let d = Health.Damping.create cfg in
+      (* Rapid-fire worst case: all flaps at t=0, no decay in between. *)
+      for _ = 1 to flaps do
+        Health.Damping.flap d ~now:0.0
+      done;
+      let total = float_of_int flaps *. penalty in
+      if total < suppress then
+        (* Never suppressed: nothing to readmit. *)
+        Health.Damping.reuse_time d ~now:0.0 = None
+      else
+        match Health.Damping.reuse_time d ~now:0.0 with
+        | None -> false
+        | Some rt ->
+          let bound =
+            half_life *. (Float.log (total /. reuse) /. Float.log 2.0)
+          in
+          let eps = 1e-6 *. Float.max 1.0 rt in
+          rt <= bound +. eps
+          && Health.Damping.suppressed d ~now:(rt -. eps)
+          && not (Health.Damping.suppressed d ~now:(rt +. eps)))
+
 let () =
   Alcotest.run "properties"
     [
@@ -755,6 +863,13 @@ let () =
           QCheck_alcotest.to_alcotest prop_dataplane_fifo_order;
         ] );
       ("qos", [ QCheck_alcotest.to_alcotest prop_qos_never_oversubscribes ]);
+      ( "health",
+        [
+          QCheck_alcotest.to_alcotest prop_phi_tolerance_monotone_in_jitter;
+          QCheck_alcotest.to_alcotest prop_k_missed_safe_under_k_minus_1_losses;
+          QCheck_alcotest.to_alcotest
+            prop_damping_decays_to_reuse_in_bounded_time;
+        ] );
       ( "search",
         [
           QCheck_alcotest.to_alcotest

@@ -419,6 +419,119 @@ let test_script_errors () =
   expect_error "graph ring 6\nmc 1 symmetric\nat 0 join 0 mc=1\nat 1 linkdown 0 3"
     "line 4:"
 
+let test_script_health_directive () =
+  let text =
+    {|
+graph grid 3 3
+mc 1 symmetric
+health period=0.5r detector=phi:8:4 reup=3 damp-penalty=1 damp-suppress=2 damp-reuse=0.5 pace=1r pace-cap=4
+at 0 join 0 mc=1
+at 0 join 8 mc=1
+at 2r linkdown 4 5
+at 5r linkup 4 5
+|}
+  in
+  match Workload.Script.parse text with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok s -> (
+    match s.health with
+    | None -> Alcotest.fail "health directive not picked up"
+    | Some hc ->
+      let round = Dgmc.Config.round_length s.config ~graph:s.graph in
+      check (Alcotest.float 1e-9) "period resolved in rounds" (0.5 *. round)
+        hc.Health.Config.period;
+      (match hc.Health.Config.detector with
+      | Health.Detector.Phi { window = 8; threshold } ->
+        check (Alcotest.float 1e-9) "phi threshold" 4.0 threshold
+      | _ -> Alcotest.fail "detector spec not honoured");
+      check Alcotest.int "reup" 3 hc.Health.Config.reup;
+      (match hc.Health.Config.damping with
+      | Some d ->
+        check (Alcotest.float 1e-9) "suppress" 2.0 d.Health.Config.d_suppress
+      | None -> Alcotest.fail "damp-* keys must enable damping");
+      (match hc.Health.Config.pacing with
+      | Some p ->
+        check (Alcotest.float 1e-9) "pace interval" round
+          p.Health.Config.p_min_interval;
+        check Alcotest.int "pace cap" 4 p.Health.Config.p_cap
+      | None -> Alcotest.fail "pace= must enable pacing");
+      check Alcotest.bool "derived horizon past the last event" true
+        (hc.Health.Config.horizon > 5.0 *. round);
+      (* The layer is actually engaged and the run converges. *)
+      let net = Workload.Script.run s in
+      (match Dgmc.Protocol.health_summary net with
+      | None -> Alcotest.fail "built protocol has no health layer"
+      | Some h ->
+        check Alcotest.int "no false positive" 0
+          h.Dgmc.Protocol.h_false_positives;
+        check Alcotest.bool "failure detected" true
+          (h.Dgmc.Protocol.h_detections > 0));
+      List.iter
+        (fun mc ->
+          if Dgmc.Protocol.divergence net mc <> [] then
+            Alcotest.failf "health scenario diverged for %s"
+              (Format.asprintf "%a" Dgmc.Mc_id.pp mc))
+        s.mcs)
+
+(* The acceptance gate the CI health job scripts: the two churny shipped
+   scenarios still converge when the harness withholds scripted link
+   notifications and the detectors must discover everything — under the
+   runtime invariant monitor, with zero false positives and every
+   detection inside the configured bound. *)
+let test_shipped_scenarios_with_detectors () =
+  let scenario_dir =
+    List.find Sys.file_exists [ "../scenarios"; "scenarios" ]
+  in
+  List.iter
+    (fun file ->
+      let path = Filename.concat scenario_dir file in
+      match Workload.Script.load path with
+      | Error e -> Alcotest.failf "%s: %s" file e
+      | Ok s ->
+        let d =
+          match
+            Workload.Script.health_of_args ~line:0
+              [ "period=0.5r"; "detector=k:3" ]
+          with
+          | Ok d -> d
+          | Error e -> Alcotest.failf "health args: %s" e
+        in
+        let hc =
+          Workload.Script.health_config ~graph:s.graph ~config:s.config
+            ~last_event:(Workload.Script.last_event_time s.events)
+            d
+        in
+        let s = { s with Workload.Script.health = Some hc } in
+        let net = Workload.Script.build s in
+        let monitor = Check.Monitor.attach net in
+        Dgmc.Protocol.run net;
+        Check.Monitor.check_terminal monitor;
+        (match Check.Monitor.violations monitor with
+        | [] -> ()
+        | vs ->
+          Alcotest.failf "%s: monitor violations under detectors:\n%s" file
+            (String.concat "\n" vs));
+        (match Dgmc.Protocol.health_summary net with
+        | None -> Alcotest.failf "%s: health layer not engaged" file
+        | Some h ->
+          check Alcotest.int
+            (file ^ ": zero false positives")
+            0 h.Dgmc.Protocol.h_false_positives;
+          List.iter
+            (fun l ->
+              check Alcotest.bool
+                (file ^ ": detection within bound")
+                true
+                (l <= h.Dgmc.Protocol.h_bound))
+            h.Dgmc.Protocol.h_latencies);
+        List.iter
+          (fun mc ->
+            if Dgmc.Protocol.divergence net mc <> [] then
+              Alcotest.failf "%s: diverged for %s under detectors" file
+                (Format.asprintf "%a" Dgmc.Mc_id.pp mc))
+          s.mcs)
+    [ "failure_recovery.dgmc"; "churn_storm.dgmc" ]
+
 let () =
   Alcotest.run "workload"
     [
@@ -464,5 +577,9 @@ let () =
             test_script_runs_to_convergence;
           Alcotest.test_case "roles" `Quick test_script_roles;
           Alcotest.test_case "errors" `Quick test_script_errors;
+          Alcotest.test_case "health directive" `Quick
+            test_script_health_directive;
+          Alcotest.test_case "shipped scenarios under detectors" `Quick
+            test_shipped_scenarios_with_detectors;
         ] );
     ]
